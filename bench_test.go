@@ -1,0 +1,350 @@
+// Benchmarks regenerating every figure-level artifact of the paper (one
+// benchmark per experiment in DESIGN.md §5), plus micro-benchmarks and
+// ablations for the core machinery. The paper reports no wall-clock
+// numbers — it is a solvability paper — so the benches measure this
+// reproduction's own cost of (a) mechanically re-verifying each claim
+// and (b) executing each algorithm under crash injection; the boolean
+// outcomes (who can solve what) are asserted to match the paper on every
+// iteration.
+package rcons_test
+
+import (
+	"testing"
+
+	"rcons"
+	"rcons/internal/checker"
+	"rcons/internal/harness"
+	"rcons/internal/history"
+	"rcons/internal/rc"
+	"rcons/internal/sim"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+	"rcons/internal/universal"
+)
+
+// benchOpts keeps per-iteration work bounded.
+func benchOpts() harness.Options { return harness.Options{Seeds: 10, MaxN: 4, Limit: 5} }
+
+func runExperiment(b *testing.B, run func(harness.Options) (*harness.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Pass {
+			b.Fatalf("experiment failed:\n%s", rep)
+		}
+	}
+}
+
+// BenchmarkFig1Implications regenerates Figure 1 (the implication diagram
+// between n-recording, n-discerning and solvability) over the type zoo.
+func BenchmarkFig1Implications(b *testing.B) { runExperiment(b, harness.Fig1Implications) }
+
+// BenchmarkFig2TeamConsensus regenerates Figure 2: recoverable team
+// consensus executions under randomized independent crashes for every
+// readable type with a recording witness.
+func BenchmarkFig2TeamConsensus(b *testing.B) { runExperiment(b, harness.Fig2TeamConsensus) }
+
+// BenchmarkFig4Simultaneous regenerates Figure 4 / Theorem 1: RC from
+// consensus under simultaneous crashes.
+func BenchmarkFig4Simultaneous(b *testing.B) { runExperiment(b, harness.Fig4Simultaneous) }
+
+// BenchmarkFig5Tn regenerates Figure 5 / Proposition 19: T_n is
+// n-discerning but not (n-1)-recording.
+func BenchmarkFig5Tn(b *testing.B) { runExperiment(b, harness.Fig5Tn) }
+
+// BenchmarkFig6Sn regenerates Figure 6 / Proposition 21:
+// rcons(S_n) = cons(S_n) = n.
+func BenchmarkFig6Sn(b *testing.B) { runExperiment(b, harness.Fig6Sn) }
+
+// BenchmarkFig7Universal regenerates Figure 7: the recoverable universal
+// construction under crash injection with linearizability checking.
+func BenchmarkFig7Universal(b *testing.B) { runExperiment(b, harness.Fig7Universal) }
+
+// BenchmarkFig8Stack regenerates Figure 8 / Appendix H: the mechanical
+// ingredients of rcons(stack) = 1 plus Herlihy's stack consensus.
+func BenchmarkFig8Stack(b *testing.B) { runExperiment(b, harness.Fig8Stack) }
+
+// BenchmarkHierarchyTable regenerates the implicit hierarchy table:
+// cons/rcons bands for the whole zoo.
+func BenchmarkHierarchyTable(b *testing.B) { runExperiment(b, harness.HierarchyTable) }
+
+// BenchmarkThm22Sets regenerates the Theorem 22 table: RC power of sets
+// of readable types.
+func BenchmarkThm22Sets(b *testing.B) { runExperiment(b, harness.Thm22Sets) }
+
+// BenchmarkModelCheck runs E10: bounded exhaustive model checking of
+// Figure 2 (every interleaving + crash placement in bounds) plus the
+// rediscovery of both §3.1 counterexamples on the broken variants.
+func BenchmarkModelCheck(b *testing.B) { runExperiment(b, harness.ModelCheck) }
+
+// BenchmarkMotivation runs E11: test&set consensus vs CAS consensus with
+// and without crash recovery — the paper's opening gap, found
+// exhaustively.
+func BenchmarkMotivation(b *testing.B) { runExperiment(b, harness.Motivation) }
+
+// BenchmarkScaling runs E12: step-cost growth of the constructions with
+// process count, crash-free vs crash-injected.
+func BenchmarkScaling(b *testing.B) { runExperiment(b, harness.Scaling) }
+
+// ---- Micro-benchmarks for the core machinery. ----
+
+// BenchmarkQSet measures one Q_X computation (the checker's inner loop)
+// on S_5's paper witness.
+func BenchmarkQSet(b *testing.B) {
+	t := types.NewSn(5)
+	w := harness.SnPaperWitness(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.QSet(t, w, checker.TeamA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyRecording measures a full Definition 4 verification.
+func BenchmarkVerifyRecording(b *testing.B) {
+	t := types.NewSn(5)
+	w := harness.SnPaperWitness(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := checker.VerifyRecording(t, w)
+		if err != nil || !res.OK {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkVerifyDiscerning measures a full Definition 2 verification
+// (2n R-set computations) on T_6's paper witness.
+func BenchmarkVerifyDiscerning(b *testing.B) {
+	t := types.NewTn(6)
+	w := harness.TnPaperWitness(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := checker.VerifyDiscerning(t, w)
+		if err != nil || !res.OK {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkSearchRecordingNegative measures the exhaustive "not
+// (n-1)-recording" search for T_5 — the expensive negative certificate
+// behind Proposition 19.
+func BenchmarkSearchRecordingNegative(b *testing.B) {
+	t := types.NewTn(5)
+	for i := 0; i < b.N; i++ {
+		w, err := checker.SearchRecording(t, 4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w != nil {
+			b.Fatalf("T_5 unexpectedly 4-recording: %s", w)
+		}
+	}
+}
+
+// BenchmarkClassifyZoo measures classifying the entire zoo at limit 5.
+func BenchmarkClassifyZoo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, t := range types.Zoo() {
+			if _, err := checker.Classify(t, 5, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTeamConsensusDecide measures one crash-free Figure 2
+// execution (4 processes over compare&swap).
+func BenchmarkTeamConsensusDecide(b *testing.B) {
+	tc, err := rc.NewTeamConsensus(types.NewCAS(), harness.CASWitness(2, 4), "b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := tc.TeamInputs("a", "z")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Run(tc, inputs, sim.Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTeamConsensusDecideWithCrashes is the crash-injected variant
+// (ablation: the cost of recovery re-runs).
+func BenchmarkTeamConsensusDecideWithCrashes(b *testing.B) {
+	tc, err := rc.NewTeamConsensus(types.NewCAS(), harness.CASWitness(2, 4), "b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := tc.TeamInputs("a", "z")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{Seed: int64(i), CrashProb: 0.3, MaxCrashes: 8}
+		if _, err := rc.Run(tc, inputs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTournament measures full 4-process RC over S_4 (tournament of
+// team consensus instances) — the paper's positive result end to end.
+func BenchmarkTournament(b *testing.B) {
+	tr, err := rc.NewTournament(types.NewSn(4), harness.SnPaperWitness(4), 4, "b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []sim.Value{"w", "x", "y", "z"}
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Run(tr, inputs, sim.Config{Seed: int64(i), CrashProb: 0.2, MaxCrashes: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimultaneousRC measures one Figure 4 execution with crash-all
+// events (3 processes).
+func BenchmarkSimultaneousRC(b *testing.B) {
+	alg := rc.NewSimultaneousRC(3, "b")
+	inputs := []sim.Value{"x", "y", "z"}
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{Seed: int64(i), Model: sim.Simultaneous, CrashProb: 0.1, MaxCrashes: 3}
+		if _, err := rc.Run(alg, inputs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUniversalCAS measures the universal construction's throughput
+// (appends/sec) over the default CAS-based RC instances.
+func BenchmarkUniversalCAS(b *testing.B) {
+	benchUniversal(b, nil)
+}
+
+// BenchmarkUniversalTournamentRC is the ablation partner: the same
+// workload with per-node RC instances built from S_2 via the full
+// Figure 2 + tournament stack instead of raw compare&swap.
+func BenchmarkUniversalTournamentRC(b *testing.B) {
+	inst, err := rc.NewTournamentInstance(types.NewSn(2), harness.SnPaperWitness(2), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchUniversal(b, inst)
+}
+
+func benchUniversal(b *testing.B, inst rc.Instance) {
+	b.Helper()
+	const opsEach = 4
+	for i := 0; i < b.N; i++ {
+		u := universal.New(2, types.NewFetchAdd(1_000_000), "0", "u")
+		if inst != nil {
+			u.RC = inst
+		}
+		m := sim.NewMemory()
+		u.Setup(m)
+		bodies := make([]sim.Body, 2)
+		for pi := 0; pi < 2; pi++ {
+			pi := pi
+			bodies[pi] = func(p *sim.Proc) sim.Value {
+				last := sim.Value("")
+				for k := 0; k < opsEach; k++ {
+					last = sim.Value(u.Invoke(p, pi, k, "add(1)"))
+				}
+				return last
+			}
+		}
+		cfg := sim.Config{Seed: int64(i), CrashProb: 0.1, MaxCrashes: 4}
+		if _, err := sim.NewRunner(m, bodies, cfg).Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.VerifyList(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*opsEach), "appends/op")
+}
+
+// BenchmarkLinearizabilityCheck measures the history checker on a
+// 12-operation crash-recovered queue history.
+func BenchmarkLinearizabilityCheck(b *testing.B) {
+	u := universal.New(3, types.NewQueue(10), "", "u")
+	u.Rec = history.NewRecorder()
+	m := sim.NewMemory()
+	u.Setup(m)
+	ops := [][]spec.Op{
+		{"enq(0)", "deq", "enq(0)", "deq"},
+		{"enq(1)", "deq", "enq(1)", "deq"},
+		{"deq", "enq(1)", "deq", "enq(0)"},
+	}
+	bodies := make([]sim.Body, 3)
+	for pi := range bodies {
+		pi := pi
+		bodies[pi] = func(p *sim.Proc) sim.Value {
+			for k, op := range ops[pi] {
+				u.Invoke(p, pi, k, op)
+			}
+			return ""
+		}
+	}
+	if _, err := sim.NewRunner(m, bodies, sim.Config{Seed: 7, CrashProb: 0.2, MaxCrashes: 6}).Run(); err != nil {
+		b.Fatal(err)
+	}
+	hist := u.Rec.Events()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := history.CheckLinearizable(types.NewQueue(10), "", hist)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkSimulatorStep measures raw simulator step throughput.
+func BenchmarkSimulatorStep(b *testing.B) {
+	const stepsPerRun = 1000
+	for i := 0; i < b.N; i++ {
+		m := sim.NewMemory()
+		m.AddRegister("R", sim.None)
+		body := func(p *sim.Proc) sim.Value {
+			for s := 0; s < stepsPerRun; s++ {
+				p.Read("R")
+			}
+			return "done"
+		}
+		if _, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1}).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stepsPerRun, "steps/op")
+}
+
+// BenchmarkPublicAPI exercises the facade end to end: classify a family
+// member and solve RC with it at its level.
+func BenchmarkPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := rcons.TypeByName("S_3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := rcons.Classify(t, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.RconsLo != 3 || c.RconsHi != 3 {
+			b.Fatalf("rcons(S_3) band = [%d,%d], want [3,3]", c.RconsLo, c.RconsHi)
+		}
+		tr, err := rcons.NewTournament(t, harness.SnPaperWitness(3), 3, "b")
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs := []rcons.Value{"x", "y", "z"}
+		cfg := rcons.Config{Seed: int64(i), CrashProb: 0.2, MaxCrashes: 6}
+		if _, err := rcons.RunRC(tr, inputs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

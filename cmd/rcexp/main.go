@@ -1,0 +1,82 @@
+// Command rcexp runs the paper-reproduction experiments (one per figure
+// of "When Is Recoverable Consensus Harder Than Consensus?", PODC 2022)
+// and prints their reports. See DESIGN.md §5 for the experiment index.
+//
+// Usage:
+//
+//	rcexp [-seeds 60] [-maxn 5] [-limit 6] [-only E4] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rcons/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rcexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rcexp", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 60, "random schedules per configuration")
+	maxn := fs.Int("maxn", 5, "maximum process count swept")
+	limit := fs.Int("limit", 6, "checker scan limit")
+	only := fs.String("only", "", "run a single experiment by id (e.g. E4)")
+	markdown := fs.Bool("markdown", false, "emit Markdown tables (for EXPERIMENTS.md)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := harness.Options{Seeds: *seeds, MaxN: *maxn, Limit: *limit}
+	failures := 0
+	for _, e := range harness.All() {
+		if *only != "" && !strings.EqualFold(*only, e.ID) {
+			continue
+		}
+		rep, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *markdown {
+			printMarkdown(rep)
+		} else {
+			fmt.Println(rep)
+		}
+		if !rep.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed to reproduce the paper", failures)
+	}
+	return nil
+}
+
+func printMarkdown(r *harness.Report) {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Printf("### %s — %s (%s): **%s**\n\n", r.ID, r.Artifact, r.Title, status)
+	fmt.Printf("| %s |\n", strings.Join(r.Header, " | "))
+	seps := make([]string, len(r.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Printf("| %s |\n", strings.Join(seps, " | "))
+	for _, row := range r.Rows {
+		fmt.Printf("| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Println()
+	for _, n := range r.Notes {
+		fmt.Printf("> %s\n", n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E5", "-seeds", "3", "-maxn", "3", "-limit", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run([]string{"-only", "E7", "-seeds", "3", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Command rcons classifies a shared object type in the recoverable
+// consensus hierarchy: it scans the n-recording (Definition 4) and
+// n-discerning (Definition 2) properties and prints the cons/rcons bands
+// the paper's theorems imply, optionally with witnesses and the full
+// transition diagram.
+//
+// Usage:
+//
+//	rcons -type S_3 [-limit 6] [-witness] [-diagram]
+//	rcons -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rcons/internal/checker"
+	"rcons/internal/harness"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rcons:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rcons", flag.ContinueOnError)
+	typeName := fs.String("type", "", "type to classify (e.g. register, cas, stack, T_5, S_3)")
+	specFile := fs.String("spec", "", "classify a custom type from a JSON transition table instead of a built-in")
+	limit := fs.Int("limit", 6, "scan the properties for n = 2..limit")
+	witness := fs.Bool("witness", false, "print the maximal recording/discerning witnesses")
+	diagram := fs.Bool("diagram", false, "print the type's transition diagram")
+	list := fs.Bool("list", false, "list the built-in type zoo and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, t := range types.Zoo() {
+			readable := "readable"
+			if !types.Readable(t) {
+				readable = "non-readable"
+			}
+			fmt.Printf("%-24s %s\n", t.Name(), readable)
+		}
+		return nil
+	}
+	var t spec.Type
+	switch {
+	case *specFile != "":
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		custom, err := types.NewCustomFromJSON(data)
+		if err != nil {
+			return err
+		}
+		t = custom
+	case *typeName != "":
+		var err error
+		t, err = types.ByName(*typeName)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("missing -type or -spec (or use -list); try: rcons -type S_3")
+	}
+	c, err := checker.Classify(t, *limit, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("type:            %s\n", c.TypeName)
+	fmt.Printf("readable:        %v\n", c.Readable)
+	fmt.Printf("max n-discerning: %s\n", c.Discerning)
+	fmt.Printf("max n-recording:  %s\n", c.Recording)
+	fmt.Printf("cons band:       %s\n", c.ConsBand())
+	fmt.Printf("rcons band:      %s\n", c.RconsBand())
+	if !c.Readable {
+		fmt.Println("note: type is not readable — Theorems 3 and 8 do not apply, so the")
+		fmt.Println("      property levels above imply no lower bounds (cf. Appendix H).")
+	}
+
+	if *witness {
+		if c.Recording.Witness != nil {
+			fmt.Printf("recording witness (n=%d):  %s\n", c.Recording.Witness.N(), c.Recording.Witness)
+		}
+		if c.Discerning.Witness != nil {
+			fmt.Printf("discerning witness (n=%d): %s\n", c.Discerning.Witness.N(), c.Discerning.Witness)
+		}
+	}
+	if *diagram {
+		q0 := t.InitialStates()[0]
+		d, err := harness.Diagram(t, q0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.TrimRight(d, "\n"))
+	}
+	return nil
+}

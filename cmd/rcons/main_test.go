@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestRunClassify(t *testing.T) {
+	if err := run([]string{"-type", "S_2", "-limit", "4", "-witness"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDiagram(t *testing.T) {
+	if err := run([]string{"-type", "T_4", "-limit", "4", "-diagram"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNonReadableNote(t *testing.T) {
+	if err := run([]string{"-type", "stack", "-limit", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -type accepted")
+	}
+	if err := run([]string{"-type", "bogus"}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunCustomSpec(t *testing.T) {
+	if err := run([]string{"-spec", "../../testdata/sticky.json", "-limit", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomSpecMissingFile(t *testing.T) {
+	if err := run([]string{"-spec", "/nonexistent.json"}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package rcons_test
+
+import (
+	"fmt"
+
+	"rcons"
+	"rcons/internal/harness"
+)
+
+// ExampleClassify places the paper's S_3 family member (Figure 6) in the
+// recoverable consensus hierarchy.
+func ExampleClassify() {
+	t, _ := rcons.TypeByName("S_3")
+	c, _ := rcons.Classify(t, 6)
+	fmt.Printf("cons(S_3) = %s, rcons(S_3) = %s\n", c.ConsBand(), c.RconsBand())
+	// Output:
+	// cons(S_3) = 3, rcons(S_3) = 3
+}
+
+// ExampleClassify_gap shows the paper's headline separation: T_4 solves
+// 4-process consensus but cannot solve 4-process recoverable consensus.
+func ExampleClassify_gap() {
+	t, _ := rcons.TypeByName("T_4")
+	c, _ := rcons.Classify(t, 6)
+	fmt.Printf("cons(T_4) = %s, rcons(T_4) = %s\n", c.ConsBand(), c.RconsBand())
+	// Output:
+	// cons(T_4) = 4, rcons(T_4) = 2–3
+}
+
+// ExampleSearchRecording finds a Definition 4 witness mechanically.
+func ExampleSearchRecording() {
+	t, _ := rcons.TypeByName("S_2")
+	w, _ := rcons.SearchRecording(t, 2)
+	fmt.Println(w)
+	// Output:
+	// q0=B,0 A={0:opA} B={1:opB}
+}
+
+// ExampleRunRC solves recoverable consensus among three crash-prone
+// processes using only S_3 objects and registers — the paper's Theorem 8
+// plus Appendix B, executed.
+func ExampleRunRC() {
+	t, _ := rcons.TypeByName("S_3")
+	tournament, _ := rcons.NewTournament(t, harness.SnPaperWitness(3), 3, "ex")
+	out, err := rcons.RunRC(tournament, []rcons.Value{"a", "b", "c"}, rcons.Config{
+		Seed: 1, CrashProb: 0.3, MaxCrashes: 6,
+	})
+	if err != nil {
+		fmt.Println("violation:", err)
+		return
+	}
+	agreed := out.Decisions[0] == out.Decisions[1] && out.Decisions[1] == out.Decisions[2]
+	fmt.Printf("all agreed: %v\n", agreed)
+	// Output:
+	// all agreed: true
+}
+
+// ExampleReadable shows why Appendix H's stack needs a different
+// argument: the plain stack is not readable, so Theorem 8 cannot apply.
+func ExampleReadable() {
+	st, _ := rcons.TypeByName("stack")
+	rs, _ := rcons.TypeByName("readable-stack")
+	fmt.Println(rcons.Readable(st), rcons.Readable(rs))
+	// Output:
+	// false true
+}

@@ -1,0 +1,110 @@
+// Adversary: replay the paper's §3.1 counterexample schedules.
+//
+// Figure 2's line 19 — "if |B| = 1 and R_A ≠ ⊥ then return R_A" — looks
+// innocuous, but the paper justifies both halves of it with explicit bad
+// schedules. This example runs deliberately broken variants of the
+// algorithm (one drops the |B| = 1 test, the other drops the yield
+// entirely) under exactly those schedules and shows agreement breaking;
+// then it runs the real algorithm on the same schedules and shows it
+// deciding safely.
+//
+// Run: go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcons/internal/harness"
+	"rcons/internal/rc"
+	"rcons/internal/sim"
+	"rcons/internal/types"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if err := scenarioYieldWithoutSizeCheck(); err != nil {
+		return err
+	}
+	return scenarioNoYield()
+}
+
+// scenarioYieldWithoutSizeCheck: with |B| = 2 and the |B| = 1 test
+// removed, one team-B process defers to team A while another goes on to
+// update O first.
+func scenarioYieldWithoutSizeCheck() error {
+	fmt.Println("=== bad scenario 1: yielding without the |B| = 1 test (CAS witness, |B| = 2) ===")
+	tc, err := rc.NewTeamConsensus(types.NewCAS(), harness.CASWitness(1, 3), "adv1")
+	if err != nil {
+		return err
+	}
+	script := []sim.Action{
+		sim.Step(1), sim.Step(1), sim.Step(1), // p1 ∈ B: poised to update O
+		sim.Step(0),                           // p0 ∈ A: writes R_A
+		sim.Step(2), sim.Step(2), sim.Step(2), // p2 ∈ B: defers, decides vA
+		sim.Step(1), sim.Step(1), sim.Step(1), // p1: first update! decides vB
+	}
+	broken := rc.NewTeamConsensusVariant(tc, rc.VariantYieldAlways)
+	if _, err := rc.Run(broken, broken.TeamInputs("vA", "vB"), sim.Config{Seed: 1, Script: script}); err != nil {
+		fmt.Println("broken variant:", err)
+	} else {
+		return fmt.Errorf("expected the broken variant to violate agreement")
+	}
+
+	// The real algorithm never executes the yield with |B| = 2, so the
+	// prefix of the schedule that is still meaningful decides safely.
+	safe := []sim.Action{
+		sim.Step(1), sim.Step(1),
+		sim.Step(0),
+		sim.Step(2), sim.Step(2),
+	}
+	out, err := rc.Run(tc, tc.TeamInputs("vA", "vB"), sim.Config{Seed: 1, Script: safe})
+	if err != nil {
+		return fmt.Errorf("real algorithm failed: %w", err)
+	}
+	fmt.Printf("real algorithm: all decided %q — agreement preserved\n\n", out.Decisions[0])
+	return nil
+}
+
+// scenarioNoYield: with q0 ∈ Q_A and |B| = 1 (the S_2 witness after the
+// role swap), the lone team-B process updates O, crashes, finds O back in
+// q0, and — without the yield — updates again, flipping the winner.
+func scenarioNoYield() error {
+	fmt.Println("=== bad scenario 2: no yield after a crash (S_2 witness, |B| = 1, q0 ∈ Q_A) ===")
+	tc, err := rc.NewTeamConsensus(types.NewSn(2), harness.SnPaperWitness(2), "adv2")
+	if err != nil {
+		return err
+	}
+	script := []sim.Action{
+		sim.Step(0), sim.Step(0), // p0 (role B): poised at the update
+		sim.Step(1), sim.Step(1), sim.Step(1), sim.Step(1), sim.Step(1), // p1 decides vA
+		sim.Step(0), sim.Crash(0), // p0 updates (O returns to q0), crashes
+		sim.Step(0), sim.Step(0), sim.Step(0), sim.Step(0), sim.Step(0), // p0 re-runs, updates AGAIN
+	}
+	broken := rc.NewTeamConsensusVariant(tc, rc.VariantNoYield)
+	if _, err := rc.Run(broken, broken.TeamInputs("vA", "vB"), sim.Config{Seed: 1, Script: script}); err != nil {
+		fmt.Println("broken variant:", err)
+	} else {
+		return fmt.Errorf("expected the broken variant to violate agreement")
+	}
+
+	// Real algorithm, same adversary (with the extra R_A-read step the
+	// real control flow has): the recovered process yields at line 19.
+	safe := []sim.Action{
+		sim.Step(0), sim.Step(0), sim.Step(0),
+		sim.Step(1), sim.Step(1), sim.Step(1), sim.Step(1), sim.Step(1),
+		sim.Step(0), sim.Crash(0),
+		sim.Step(0), sim.Step(0), sim.Step(0),
+	}
+	out, err := rc.Run(tc, tc.TeamInputs("vA", "vB"), sim.Config{Seed: 1, Script: safe})
+	if err != nil {
+		return fmt.Errorf("real algorithm failed: %w", err)
+	}
+	fmt.Printf("real algorithm: all decided %q — the yield rule saved agreement\n", out.Decisions[0])
+	return nil
+}

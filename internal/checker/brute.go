@@ -1,0 +1,128 @@
+package checker
+
+import (
+	"fmt"
+
+	"rcons/internal/spec"
+)
+
+// This file provides brute-force reference implementations of the Q_X
+// and R_{X,j} sets, enumerating every permutation of every subset of
+// distinct processes directly from Definitions 2 and 4 — no counts
+// abstraction, no memoization. They are exponentially slower than QSet
+// and RSet but obviously correct, and the property tests cross-validate
+// the fast implementations against them on randomly generated types
+// (see brute_test.go). They also serve as executable statements of the
+// definitions for readers of the code.
+
+// QSetBrute computes Q_X by enumerating all sequences of distinct
+// processes whose first process is on team x, applying Definitions 4's
+// construction literally.
+func QSetBrute(t spec.Type, w Witness, x int) (map[spec.State]bool, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	out := map[spec.State]bool{}
+	n := w.N()
+	used := make([]bool, n)
+	var rec func(s spec.State, depth int) error
+	rec = func(s spec.State, depth int) error {
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if depth == 0 && w.Teams[i] != x {
+				continue // the first process must be on team x
+			}
+			ns, _, err := t.Apply(s, w.Ops[i])
+			if err != nil {
+				return fmt.Errorf("checker: brute Q: %w", err)
+			}
+			out[ns] = true
+			used[i] = true
+			if err := rec(ns, depth+1); err != nil {
+				used[i] = false
+				return err
+			}
+			used[i] = false
+		}
+		return nil
+	}
+	if err := rec(w.Q0, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RSetBrute computes R_{X,j} by enumerating all sequences of distinct
+// processes that include j and start with a process on team x, recording
+// the pair (response of op_j, final state) for every such sequence.
+func RSetBrute(t spec.Type, w Witness, x, j int) (map[RPair]bool, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if j < 0 || j >= w.N() {
+		return nil, fmt.Errorf("checker: process index %d out of range", j)
+	}
+	out := map[RPair]bool{}
+	n := w.N()
+	used := make([]bool, n)
+	var rec func(s spec.State, depth int, jResp spec.Response, jUsed bool) error
+	rec = func(s spec.State, depth int, jResp spec.Response, jUsed bool) error {
+		if jUsed {
+			out[RPair{Resp: jResp, State: s}] = true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if depth == 0 && w.Teams[i] != x {
+				continue
+			}
+			ns, r, err := t.Apply(s, w.Ops[i])
+			if err != nil {
+				return fmt.Errorf("checker: brute R: %w", err)
+			}
+			nResp, nUsed := jResp, jUsed
+			if i == j {
+				nResp, nUsed = r, true
+			}
+			used[i] = true
+			if err := rec(ns, depth+1, nResp, nUsed); err != nil {
+				used[i] = false
+				return err
+			}
+			used[i] = false
+		}
+		return nil
+	}
+	if err := rec(w.Q0, 0, "", false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyRecordingBrute is VerifyRecording computed from the brute-force
+// Q sets.
+func VerifyRecordingBrute(t spec.Type, w Witness) (Result, error) {
+	qa, err := QSetBrute(t, w, TeamA)
+	if err != nil {
+		return Result{}, err
+	}
+	qb, err := QSetBrute(t, w, TeamB)
+	if err != nil {
+		return Result{}, err
+	}
+	for s := range qa {
+		if qb[s] {
+			return fail("condition 1: state %q is in both Q_A and Q_B", s), nil
+		}
+	}
+	if qa[w.Q0] && w.TeamSize(TeamB) != 1 {
+		return fail("condition 2: q0 ∈ Q_A but |B| ≠ 1"), nil
+	}
+	if qb[w.Q0] && w.TeamSize(TeamA) != 1 {
+		return fail("condition 3: q0 ∈ Q_B but |A| ≠ 1"), nil
+	}
+	return Result{OK: true}, nil
+}

@@ -1,0 +1,206 @@
+package checker
+
+import (
+	"fmt"
+
+	"rcons/internal/spec"
+)
+
+// SearchOptions configures witness searches. The zero value means "derive
+// candidates from the type": initial states from Type.InitialStates and
+// the operation alphabet from spec.CandidateOps.
+//
+// The searches are exhaustive over the candidate sets: because processes
+// assigned the same operation on the same team are interchangeable in
+// Definitions 2 and 4, enumerating (initial state × team sizes ×
+// per-team operation multisets) covers every witness up to symmetry.
+// A negative search result is therefore a proof of "not n-recording"
+// (resp. "not n-discerning") relative to the candidate state set; for the
+// paper's finite-state families the candidate set is the full state
+// space, making the negative results unconditional.
+type SearchOptions struct {
+	// States are the candidate initial states q0.
+	States []spec.State
+	// Ops is the candidate operation alphabet.
+	Ops []spec.Op
+}
+
+func (o *SearchOptions) fill(t spec.Type, n int) ([]spec.State, []spec.Op) {
+	states := t.InitialStates()
+	ops := spec.CandidateOps(t, n)
+	if o != nil {
+		if len(o.States) > 0 {
+			states = o.States
+		}
+		if len(o.Ops) > 0 {
+			ops = o.Ops
+		}
+	}
+	return states, ops
+}
+
+// multisets enumerates all multisets of size k over m symbols, invoking
+// yield with a count vector of length m for each. yield must not retain
+// the slice. It returns false if yield returned false (early stop).
+func multisets(m, k int, yield func(counts []int) bool) bool {
+	counts := make([]int, m)
+	var rec func(pos, left int) bool
+	rec = func(pos, left int) bool {
+		if pos == m-1 {
+			counts[pos] = left
+			ok := yield(counts)
+			counts[pos] = 0
+			return ok
+		}
+		for c := left; c >= 0; c-- {
+			counts[pos] = c
+			if !rec(pos+1, left-c) {
+				counts[pos] = 0
+				return false
+			}
+		}
+		counts[pos] = 0
+		return true
+	}
+	if m == 0 {
+		return k != 0 || yield(nil)
+	}
+	return rec(0, k)
+}
+
+// witnessFromCounts materializes a concrete witness from per-team
+// operation multisets: team A processes come first, then team B.
+func witnessFromCounts(q0 spec.State, ops []spec.Op, aCounts, bCounts []int) Witness {
+	w := Witness{Q0: q0}
+	for k, c := range aCounts {
+		for i := 0; i < c; i++ {
+			w.Teams = append(w.Teams, TeamA)
+			w.Ops = append(w.Ops, ops[k])
+		}
+	}
+	for k, c := range bCounts {
+		for i := 0; i < c; i++ {
+			w.Teams = append(w.Teams, TeamB)
+			w.Ops = append(w.Ops, ops[k])
+		}
+	}
+	return w
+}
+
+// searchWitness runs the shared exhaustive enumeration, calling verify on
+// each candidate witness until one passes.
+func searchWitness(
+	t spec.Type, n int, opts *SearchOptions,
+	verify func(spec.Type, Witness) (Result, error),
+) (*Witness, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("checker: the properties are defined for n ≥ 2, got %d", n)
+	}
+	states, ops := opts.fill(t, n)
+	if len(ops) == 0 {
+		return nil, nil // a type with no update operations has no witness
+	}
+	var found *Witness
+	var searchErr error
+	for _, q0 := range states {
+		for a := 1; a < n; a++ {
+			stop := !multisets(len(ops), a, func(aCounts []int) bool {
+				aCopy := append([]int(nil), aCounts...)
+				return multisets(len(ops), n-a, func(bCounts []int) bool {
+					w := witnessFromCounts(q0, ops, aCopy, bCounts)
+					res, err := verify(t, w)
+					if err != nil {
+						searchErr = err
+						return false
+					}
+					if res.OK {
+						found = &w
+						return false
+					}
+					return true
+				})
+			})
+			if searchErr != nil {
+				return nil, searchErr
+			}
+			if stop {
+				return found, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// SearchRecording looks for an n-recording witness (Definition 4) for
+// type t. It returns nil if none exists over the candidate sets.
+func SearchRecording(t spec.Type, n int, opts *SearchOptions) (*Witness, error) {
+	return searchWitness(t, n, opts, VerifyRecording)
+}
+
+// SearchDiscerning looks for an n-discerning witness (Definition 2) for
+// type t. It returns nil if none exists over the candidate sets.
+func SearchDiscerning(t spec.Type, n int, opts *SearchOptions) (*Witness, error) {
+	return searchWitness(t, n, opts, VerifyDiscerning)
+}
+
+// MaxLevel is the result of scanning a property up to a process-count
+// limit.
+type MaxLevel struct {
+	// Max is the largest n ≤ Limit at which the property holds; 1 means
+	// the property fails already at n = 2 (both properties are defined
+	// only for n ≥ 2).
+	Max int
+	// AtLimit is true when the property still holds at n = Limit, i.e.
+	// the true maximum may exceed Limit (e.g. compare&swap, which is
+	// n-recording for every n).
+	AtLimit bool
+	// Limit echoes the scan bound.
+	Limit int
+	// Witness is a witness at level Max (nil when Max = 1).
+	Witness *Witness
+}
+
+// String renders the level, e.g. "3" or "≥8".
+func (m MaxLevel) String() string {
+	if m.AtLimit {
+		return fmt.Sprintf("≥%d", m.Limit)
+	}
+	return fmt.Sprintf("%d", m.Max)
+}
+
+// scanMax finds the largest n ≤ limit at which search succeeds. Both
+// properties are downward closed for n ≥ 3 (Observation 6 for recording;
+// dropping a process preserves discerning likewise), so a linear upward
+// scan that stops at the first failure is exact; to be robust against
+// hypothetical non-monotone candidate sets we keep scanning after an
+// early failure only if the next level succeeds is impossible — we stop,
+// documenting the monotonicity assumption.
+func scanMax(
+	t spec.Type, limit int, opts *SearchOptions,
+	search func(spec.Type, int, *SearchOptions) (*Witness, error),
+) (MaxLevel, error) {
+	out := MaxLevel{Max: 1, Limit: limit}
+	for n := 2; n <= limit; n++ {
+		w, err := search(t, n, opts)
+		if err != nil {
+			return MaxLevel{}, err
+		}
+		if w == nil {
+			return out, nil
+		}
+		out.Max = n
+		out.Witness = w
+	}
+	out.AtLimit = true
+	return out, nil
+}
+
+// MaxRecording scans the n-recording property for n = 2 … limit.
+func MaxRecording(t spec.Type, limit int, opts *SearchOptions) (MaxLevel, error) {
+	return scanMax(t, limit, opts, SearchRecording)
+}
+
+// MaxDiscerning scans the n-discerning property for n = 2 … limit.
+func MaxDiscerning(t spec.Type, limit int, opts *SearchOptions) (MaxLevel, error) {
+	return scanMax(t, limit, opts, SearchDiscerning)
+}

@@ -1,0 +1,228 @@
+// Package explore performs bounded exhaustive exploration ("small-scope
+// model checking") of simulated executions: it enumerates EVERY
+// interleaving of process steps and EVERY placement of crashes — up to a
+// configurable schedule depth and crash budget — and checks a safety
+// predicate on every resulting execution. Random seeds sample the
+// adversary; this package *is* the adversary, within its bounds.
+//
+// It complements the paper-reproduction suite: Theorem 8 claims the
+// Figure 2 algorithm is safe against all independent-crash adversaries,
+// and explore verifies that claim exhaustively for small instances
+// (2–3 processes, small crash budgets) rather than statistically.
+//
+// The explorer works by schedule-prefix extension: the simulator runs
+// each candidate prefix from a fresh memory (executions are
+// deterministic given a script), halts at the prefix's end, reports
+// which processes are still undecided, and the explorer branches on
+// every enabled action (a step of any live process, or a crash while
+// budget remains). Prefixes that reach MaxDepth are completed with a
+// deterministic fair schedule and checked, so every explored prefix
+// contributes a full execution.
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"rcons/internal/sim"
+)
+
+// Factory produces a fresh, independent instance of the system under
+// test: its memory, its process bodies, and the inputs used for
+// checking. It must return an equivalent instance on every call
+// (exploration re-executes from scratch for every prefix).
+type Factory func() (*sim.Memory, []sim.Body, []sim.Value)
+
+// Checker validates one finished (or prefix-halted) execution; inputs
+// come from the Factory. rc.CheckOutcome is the usual choice.
+type Checker func(inputs []sim.Value, out *sim.Outcome) error
+
+// Options bounds the exploration.
+type Options struct {
+	// MaxDepth bounds the explored schedule prefix length (deeper
+	// behaviour is covered by the fair completion). Default 8.
+	MaxDepth int
+	// CrashBudget bounds the total number of crash events placed by the
+	// explorer. Default 1.
+	CrashBudget int
+	// Simultaneous switches crash events to crash-all (the Section 2
+	// model); individual crashes are used otherwise.
+	Simultaneous bool
+	// Check is the safety predicate; it must not be nil.
+	Check Checker
+	// OnViolation, if non-nil, receives the offending script before
+	// Exhaustive returns (useful for printing a repro).
+	OnViolation func(script []sim.Action, err error)
+}
+
+// Stats summarizes an exploration.
+type Stats struct {
+	// Prefixes is the number of schedule prefixes executed.
+	Prefixes int
+	// Completions is the number of full executions checked (every
+	// leaf: all-decided prefixes plus fair completions).
+	Completions int
+	// MaxDepthReached is the longest prefix explored.
+	MaxDepthReached int
+	// CrashPlacements counts prefixes that contained at least one crash.
+	CrashPlacements int
+}
+
+// ErrViolation wraps the checker error for a failing schedule.
+var ErrViolation = errors.New("explore: safety violation")
+
+// Exhaustive enumerates schedules of f within the bounds and checks
+// every execution. It returns stats and the first violation found (nil
+// when the system is safe throughout the explored space).
+func Exhaustive(f Factory, opts Options) (*Stats, error) {
+	if opts.Check == nil {
+		return nil, errors.New("explore: Options.Check must be set")
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 8
+	}
+	if opts.CrashBudget < 0 {
+		opts.CrashBudget = 1
+	}
+	e := &explorer{f: f, opts: opts, stats: &Stats{}}
+	if err := e.extend(nil, 0); err != nil {
+		return e.stats, err
+	}
+	return e.stats, nil
+}
+
+type explorer struct {
+	f     Factory
+	opts  Options
+	stats *Stats
+}
+
+// runPrefix executes one prefix and returns the outcome and inputs.
+func (e *explorer) runPrefix(script []sim.Action, halt bool) ([]sim.Value, *sim.Outcome, error) {
+	m, bodies, inputs := e.f()
+	model := sim.Independent
+	if e.opts.Simultaneous {
+		model = sim.Simultaneous
+	}
+	cfg := sim.Config{
+		// Seed irrelevant for the scripted part; the fair completion
+		// (halt == false) uses round-robin-ish random with seed 0 and no
+		// further crashes. DecideRequiresStep makes the adversary
+		// strictly stronger: it can crash a process between its last
+		// shared access and its output — the window that breaks
+		// non-recoverable algorithms.
+		Seed:               0,
+		Model:              model,
+		Script:             script,
+		HaltAtScriptEnd:    halt,
+		DecideRequiresStep: true,
+	}
+	out, err := sim.NewRunner(m, bodies, cfg).Run()
+	if err != nil {
+		return inputs, out, err
+	}
+	return inputs, out, nil
+}
+
+func crashesIn(script []sim.Action) int {
+	n := 0
+	for _, a := range script {
+		if a.Kind != sim.ActStep {
+			n++
+		}
+	}
+	return n
+}
+
+// extend explores all continuations of the given prefix.
+func (e *explorer) extend(script []sim.Action, depth int) error {
+	e.stats.Prefixes++
+	if depth > e.stats.MaxDepthReached {
+		e.stats.MaxDepthReached = depth
+	}
+	if crashesIn(script) > 0 {
+		e.stats.CrashPlacements++
+	}
+
+	inputs, out, err := e.runPrefix(script, true)
+	if err != nil {
+		return fmt.Errorf("explore: prefix execution: %w", err)
+	}
+	if err := e.opts.Check(inputs, out); err != nil {
+		return e.violation(script, err)
+	}
+
+	live := make([]int, 0, len(out.Decided))
+	for i, d := range out.Decided {
+		if !d {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		e.stats.Completions++
+		return nil
+	}
+	if depth >= e.opts.MaxDepth {
+		// Fair completion: run the same prefix without halting; no
+		// further crashes are injected (CrashProb 0).
+		inputs, out, err := e.runPrefix(script, false)
+		if err != nil {
+			return fmt.Errorf("explore: completion: %w", err)
+		}
+		e.stats.Completions++
+		if err := e.opts.Check(inputs, out); err != nil {
+			return e.violation(script, err)
+		}
+		return nil
+	}
+
+	budgetLeft := e.opts.CrashBudget - crashesIn(script)
+	for _, p := range live {
+		next := append(append([]sim.Action(nil), script...), sim.Step(p))
+		if err := e.extend(next, depth+1); err != nil {
+			return err
+		}
+		if budgetLeft > 0 && !e.opts.Simultaneous {
+			next := append(append([]sim.Action(nil), script...), sim.Crash(p))
+			if err := e.extend(next, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	if budgetLeft > 0 && e.opts.Simultaneous {
+		next := append(append([]sim.Action(nil), script...), sim.CrashAll())
+		if err := e.extend(next, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *explorer) violation(script []sim.Action, err error) error {
+	if e.opts.OnViolation != nil {
+		e.opts.OnViolation(script, err)
+	}
+	return fmt.Errorf("%w: %v (schedule: %s)", ErrViolation, err, FormatScript(script))
+}
+
+// FormatScript renders a schedule compactly, e.g. "s0 s1 c0 s0".
+func FormatScript(script []sim.Action) string {
+	out := ""
+	for i, a := range script {
+		if i > 0 {
+			out += " "
+		}
+		switch a.Kind {
+		case sim.ActStep:
+			out += fmt.Sprintf("s%d", a.Proc)
+		case sim.ActCrash:
+			out += fmt.Sprintf("c%d", a.Proc)
+		case sim.ActCrashAll:
+			out += "C*"
+		}
+	}
+	if out == "" {
+		return "(empty)"
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rcons/internal/checker"
+	"rcons/internal/rc"
+	"rcons/internal/sim"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+	"rcons/internal/universal"
+)
+
+// snWitness2 is the Proposition 21 witness for S_2.
+func snWitness2() checker.Witness {
+	return checker.Witness{
+		Q0:    types.SnInitial,
+		Teams: []int{checker.TeamA, checker.TeamB},
+		Ops:   []spec.Op{"opA", "opB"},
+	}
+}
+
+// tcFactory builds fresh Figure 2 instances for exploration.
+func tcFactory(t *testing.T, typ spec.Type, w checker.Witness) Factory {
+	t.Helper()
+	tc, err := rc.NewTeamConsensus(typ, w, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := tc.TeamInputs("vA", "vB")
+	return func() (*sim.Memory, []sim.Body, []sim.Value) {
+		m := sim.NewMemory()
+		tc.Setup(m)
+		bodies := make([]sim.Body, tc.N())
+		for i := range bodies {
+			bodies[i] = tc.Body(i, inputs[i])
+		}
+		return m, bodies, inputs
+	}
+}
+
+// TestModelCheckFigure2OnS2 exhaustively verifies the Figure 2 algorithm
+// on the S_2 witness for every interleaving and every single-crash
+// placement within the depth bound — the strongest form of the Theorem 8
+// check this repository performs.
+func TestModelCheckFigure2OnS2(t *testing.T) {
+	f := tcFactory(t, types.NewSn(2), snWitness2())
+	stats, err := Exhaustive(f, Options{
+		MaxDepth:    10,
+		CrashBudget: 1,
+		Check:       rc.CheckOutcome,
+	})
+	if err != nil {
+		t.Fatalf("violation found: %v", err)
+	}
+	if stats.Completions == 0 || stats.Prefixes < 100 {
+		t.Fatalf("exploration too shallow: %+v", stats)
+	}
+	t.Logf("explored %d prefixes, %d completions, %d with crashes",
+		stats.Prefixes, stats.Completions, stats.CrashPlacements)
+}
+
+// TestModelCheckFigure2OnCAS3 covers a 3-process instance (|B| = 2, the
+// non-yield branch) with one crash anywhere.
+func TestModelCheckFigure2OnCAS3(t *testing.T) {
+	w := checker.Witness{
+		Q0:    spec.State(types.Bottom),
+		Teams: []int{checker.TeamA, checker.TeamB, checker.TeamB},
+		Ops:   []spec.Op{"cas(_,a)", "cas(_,b)", "cas(_,c)"},
+	}
+	f := tcFactory(t, types.NewCAS(), w)
+	stats, err := Exhaustive(f, Options{
+		MaxDepth:    7,
+		CrashBudget: 1,
+		Check:       rc.CheckOutcome,
+	})
+	if err != nil {
+		t.Fatalf("violation found: %v", err)
+	}
+	t.Logf("stats: %+v", stats)
+}
+
+// TestModelCheckFindsKnownBug turns the explorer on the deliberately
+// broken VariantNoYield algorithm (the paper's second §3.1 scenario) and
+// demands it FINDS the agreement violation — a self-test that the
+// exploration is actually adversarial enough.
+func TestModelCheckFindsKnownBug(t *testing.T) {
+	tc, err := rc.NewTeamConsensus(types.NewSn(2), snWitness2(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := rc.NewTeamConsensusVariant(tc, rc.VariantNoYield)
+	inputs := broken.TeamInputs("vA", "vB")
+	f := func() (*sim.Memory, []sim.Body, []sim.Value) {
+		m := sim.NewMemory()
+		broken.Setup(m)
+		bodies := make([]sim.Body, broken.N())
+		for i := range bodies {
+			bodies[i] = broken.Body(i, inputs[i])
+		}
+		return m, bodies, inputs
+	}
+	var foundScript string
+	_, err = Exhaustive(f, Options{
+		MaxDepth:    10,
+		CrashBudget: 1,
+		Check:       rc.CheckOutcome,
+		OnViolation: func(script []sim.Action, verr error) {
+			foundScript = FormatScript(script)
+		},
+	})
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("explorer failed to find the known §3.1 bug: %v", err)
+	}
+	if !strings.Contains(foundScript, "c0") && !strings.Contains(foundScript, "c1") {
+		t.Fatalf("violation schedule %q contains no crash — the bug needs one", foundScript)
+	}
+	t.Logf("found violating schedule: %s", foundScript)
+}
+
+// TestModelCheckFindsYieldAlwaysBug does the same for VariantYieldAlways
+// (the first §3.1 scenario), which needs no crash at all.
+func TestModelCheckFindsYieldAlwaysBug(t *testing.T) {
+	w := checker.Witness{
+		Q0:    spec.State(types.Bottom),
+		Teams: []int{checker.TeamA, checker.TeamB, checker.TeamB},
+		Ops:   []spec.Op{"cas(_,a)", "cas(_,b)", "cas(_,c)"},
+	}
+	tc, err := rc.NewTeamConsensus(types.NewCAS(), w, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := rc.NewTeamConsensusVariant(tc, rc.VariantYieldAlways)
+	inputs := broken.TeamInputs("vA", "vB")
+	f := func() (*sim.Memory, []sim.Body, []sim.Value) {
+		m := sim.NewMemory()
+		broken.Setup(m)
+		bodies := make([]sim.Body, broken.N())
+		for i := range bodies {
+			bodies[i] = broken.Body(i, inputs[i])
+		}
+		return m, bodies, inputs
+	}
+	_, err = Exhaustive(f, Options{
+		MaxDepth:    9,
+		CrashBudget: 0,
+		Check:       rc.CheckOutcome,
+	})
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("explorer failed to find the yield-always bug: %v", err)
+	}
+}
+
+// TestSimultaneousExploration exercises crash-all branching on the
+// Figure 4 algorithm for 2 processes.
+func TestSimultaneousExploration(t *testing.T) {
+	alg := rc.NewSimultaneousRC(2, "x")
+	inputs := []sim.Value{"x", "y"}
+	f := func() (*sim.Memory, []sim.Body, []sim.Value) {
+		m := sim.NewMemory()
+		alg.Setup(m)
+		bodies := make([]sim.Body, 2)
+		for i := range bodies {
+			bodies[i] = alg.Body(i, inputs[i])
+		}
+		return m, bodies, inputs
+	}
+	stats, err := Exhaustive(f, Options{
+		MaxDepth:     8,
+		CrashBudget:  1,
+		Simultaneous: true,
+		Check:        rc.CheckOutcome,
+	})
+	if err != nil {
+		t.Fatalf("violation: %v", err)
+	}
+	if stats.CrashPlacements == 0 {
+		t.Fatal("no crash-all placements explored")
+	}
+}
+
+func TestExhaustiveRequiresChecker(t *testing.T) {
+	f := func() (*sim.Memory, []sim.Body, []sim.Value) {
+		return sim.NewMemory(), nil, nil
+	}
+	if _, err := Exhaustive(f, Options{}); err == nil {
+		t.Fatal("nil checker accepted")
+	}
+}
+
+func TestFormatScript(t *testing.T) {
+	got := FormatScript([]sim.Action{sim.Step(0), sim.Crash(1), sim.CrashAll()})
+	if got != "s0 c1 C*" {
+		t.Fatalf("FormatScript = %q", got)
+	}
+	if FormatScript(nil) != "(empty)" {
+		t.Fatal("empty script formatting")
+	}
+}
+
+// TestModelCheckUniversalTiny exhaustively explores the universal
+// construction with two processes, one operation each, and one crash
+// anywhere within the depth bound; every completion must leave a list
+// that replays correctly and contains each operation exactly once.
+func TestModelCheckUniversalTiny(t *testing.T) {
+	var lastU *universal.Universal
+	var lastM *sim.Memory
+	f := func() (*sim.Memory, []sim.Body, []sim.Value) {
+		u := universal.New(2, types.NewFetchAdd(100), "0", "u")
+		m := sim.NewMemory()
+		u.Setup(m)
+		lastU, lastM = u, m
+		bodies := []sim.Body{
+			func(p *sim.Proc) sim.Value { return sim.Value(u.Invoke(p, 0, 0, "add(1)")) },
+			func(p *sim.Proc) sim.Value { return sim.Value(u.Invoke(p, 1, 0, "add(1)")) },
+		}
+		return m, bodies, []sim.Value{"0", "1"}
+	}
+	check := func(inputs []sim.Value, out *sim.Outcome) error {
+		if err := lastU.VerifyList(lastM); err != nil {
+			return err
+		}
+		list, err := lastU.ListOrder(lastM)
+		if err != nil {
+			return err
+		}
+		done := 0
+		for _, d := range out.Decided {
+			if d {
+				done++
+			}
+		}
+		// Every decided process's op is in the list; the list never
+		// exceeds the number of announced ops.
+		if len(list) < done || len(list) > 2 {
+			return fmt.Errorf("list has %d ops with %d processes decided", len(list), done)
+		}
+		// Decided responses must be distinct fetch&add positions.
+		if done == 2 && out.Decisions[0] == out.Decisions[1] {
+			return fmt.Errorf("duplicate fetch&add responses %v", out.Decisions)
+		}
+		return nil
+	}
+	stats, err := Exhaustive(f, Options{MaxDepth: 7, CrashBudget: 1, Check: check})
+	if err != nil {
+		t.Fatalf("violation: %v", err)
+	}
+	t.Logf("universal model check: %+v", stats)
+}
+
+// TestOpenQuestionProbeDeeper pushes the paper's §5 open question (is
+// 2-recording necessary for 2-process RC?) a little harder: Figure 4
+// over non-recoverable test&set consensus, independent crashes, deeper
+// schedules. Finding a violation here would resolve the open question
+// negatively for this particular algorithm; none has been found.
+func TestOpenQuestionProbeDeeper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration skipped in -short mode")
+	}
+	alg := rc.NewSimultaneousRC(2, "probe")
+	alg.Sub = rc.TASInstance{}
+	inputs := []sim.Value{"x", "y"}
+	f := func() (*sim.Memory, []sim.Body, []sim.Value) {
+		m := sim.NewMemory()
+		alg.Setup(m)
+		bodies := make([]sim.Body, 2)
+		for i := range bodies {
+			bodies[i] = alg.Body(i, inputs[i])
+		}
+		return m, bodies, inputs
+	}
+	stats, err := Exhaustive(f, Options{
+		MaxDepth:    12,
+		CrashBudget: 2,
+		Check:       rc.CheckOutcome,
+	})
+	if err != nil {
+		t.Fatalf("open question answered?! %v", err)
+	}
+	t.Logf("probe explored %d prefixes (%d completions) without violation", stats.Prefixes, stats.Completions)
+}

@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"rcons/internal/spec"
+)
+
+// Diagram renders a type's full transition diagram as text — the
+// reproduction of the state diagrams shown in the paper's Figures 5
+// (T_n) and 6 (S_n). Each line lists a state and, per operation, the
+// successor state and the operation's response.
+func Diagram(t spec.Type, q0 spec.State) (string, error) {
+	ops := t.Ops()
+	states, err := spec.Reachable(t, q0, ops, 10_000)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "transition diagram of %s (initial state %q, %d states)\n", t.Name(), q0, len(states))
+	for _, s := range states {
+		fmt.Fprintf(&b, "  %-10s", string(s))
+		for _, op := range ops {
+			ns, resp, err := t.Apply(s, op)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "  --%s/%s--> %-10s", op, resp, string(ns))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

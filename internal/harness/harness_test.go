@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"rcons/internal/checker"
+	"rcons/internal/types"
+)
+
+// fastOpts keeps the full suite quick enough for go test.
+func fastOpts() Options { return Options{Seeds: 25, MaxN: 4, Limit: 5} }
+
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(fastOpts())
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Artifact, err)
+			}
+			if !rep.Pass {
+				t.Fatalf("%s (%s) failed:\n%s", e.ID, e.Artifact, rep)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	reps, err := RunAll(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(All()) {
+		t.Fatalf("got %d reports, want %d", len(reps), len(All()))
+	}
+}
+
+func TestReportTableRendering(t *testing.T) {
+	r := &Report{
+		ID: "X", Artifact: "test", Title: "rendering",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"a", "1"}, {"longer", "2"}},
+		Pass:   true,
+	}
+	tbl := r.Table()
+	if !strings.Contains(tbl, "col") || !strings.Contains(tbl, "longer") {
+		t.Fatalf("table rendering broken:\n%s", tbl)
+	}
+	full := r.String()
+	if !strings.Contains(full, "PASS") {
+		t.Fatalf("report string missing status:\n%s", full)
+	}
+}
+
+func TestDiagramSn(t *testing.T) {
+	d, err := Diagram(types.NewSn(3), types.SnInitial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2n = 6 states, one line each plus a header.
+	if got := strings.Count(d, "\n"); got != 7 {
+		t.Fatalf("diagram has %d lines:\n%s", got, d)
+	}
+	if !strings.Contains(d, "--opA/ack-->") {
+		t.Fatalf("diagram missing transitions:\n%s", d)
+	}
+}
+
+func TestDiagramTn(t *testing.T) {
+	d, err := Diagram(types.NewTn(4), types.TnBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T_4: 1 + 2·2·2 = 9 states.
+	if got := strings.Count(d, "\n"); got != 10 {
+		t.Fatalf("diagram has %d lines:\n%s", got, d)
+	}
+}
+
+func TestPaperWitnessesAreValid(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		res, err := checker.VerifyRecording(types.NewSn(n), SnPaperWitness(n))
+		if err != nil || !res.OK {
+			t.Fatalf("S_%d paper witness: %v %v", n, res, err)
+		}
+	}
+	for n := 4; n <= 6; n++ {
+		res, err := checker.VerifyDiscerning(types.NewTn(n), TnPaperWitness(n))
+		if err != nil || !res.OK {
+			t.Fatalf("T_%d paper witness: %v %v", n, res, err)
+		}
+	}
+	for a := 1; a <= 2; a++ {
+		res, err := checker.VerifyRecording(types.NewCAS(), CASWitness(a, 4))
+		if err != nil || !res.OK {
+			t.Fatalf("CAS witness a=%d: %v %v", a, res, err)
+		}
+	}
+}
+
+func TestOptionsFilled(t *testing.T) {
+	o := Options{}.filled()
+	d := DefaultOptions()
+	if o != d {
+		t.Fatalf("filled zero options = %+v, want defaults %+v", o, d)
+	}
+	o = Options{Seeds: 3, MaxN: 2, Limit: 2}.filled()
+	if o.Seeds != 3 || o.MaxN != 2 || o.Limit != 2 {
+		t.Fatalf("explicit options overridden: %+v", o)
+	}
+}

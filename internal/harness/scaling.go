@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+
+	"rcons/internal/rc"
+	"rcons/internal/sim"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+	"rcons/internal/universal"
+)
+
+// Scaling (E12) is the ablation table a systems reader asks for: how the
+// step cost of each construction grows with the number of processes, and
+// what crash recovery adds. The paper proves solvability, not cost; this
+// experiment documents the cost of OUR constructions so that downstream
+// users can budget:
+//
+//   - cas-consensus: the flat baseline (2 steps per process);
+//   - tournament over S_n: the Figure 2 + Appendix B stack — the price
+//     of using a minimal n-recording type instead of CAS;
+//   - RUniversal per-operation cost (CAS-backed RC instances).
+//
+// Columns report mean steps per execution over the seed sweep, crash-free
+// versus with crash injection (CrashProb 0.25, budget 2n).
+func Scaling(opts Options) (*Report, error) {
+	opts = opts.filled()
+	r := &Report{
+		ID: "E12", Artifact: "scaling", Title: "construction cost scaling",
+		Header: []string{"construction", "n", "steps (no crashes)", "steps (crashes)", "crash events"},
+		Pass:   true,
+	}
+
+	measureRC := func(alg rc.Algorithm, crash bool) (int, int, error) {
+		n := alg.N()
+		inputs := make([]sim.Value, n)
+		for i := range inputs {
+			inputs[i] = fmt.Sprintf("v%d", i)
+		}
+		steps, crashes := 0, 0
+		for seed := 0; seed < opts.Seeds; seed++ {
+			cfg := sim.Config{Seed: int64(seed)}
+			if crash {
+				cfg.CrashProb = 0.25
+				cfg.MaxCrashes = 2 * n
+			}
+			out, err := rc.Run(alg, inputs, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			steps += out.Steps
+			for _, c := range out.Crashes {
+				crashes += c
+			}
+		}
+		return steps / opts.Seeds, crashes, nil
+	}
+
+	for n := 2; n <= opts.MaxN; n++ {
+		alg := rc.NewCASConsensus(n, "e12c")
+		s0, _, err := measureRC(alg, false)
+		if err != nil {
+			return nil, err
+		}
+		s1, c1, err := measureRC(alg, true)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, []string{
+			"cas-consensus", strconv.Itoa(n), strconv.Itoa(s0), strconv.Itoa(s1), strconv.Itoa(c1),
+		})
+	}
+
+	for n := 2; n <= opts.MaxN; n++ {
+		tr, err := rc.NewTournament(types.NewSn(n), SnPaperWitness(n), n, "e12t")
+		if err != nil {
+			return nil, err
+		}
+		s0, _, err := measureRC(tr, false)
+		if err != nil {
+			return nil, err
+		}
+		s1, c1, err := measureRC(tr, true)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, []string{
+			"tournament[S_n]", strconv.Itoa(n), strconv.Itoa(s0), strconv.Itoa(s1), strconv.Itoa(c1),
+		})
+	}
+
+	measureUniversal := func(n int, crash bool) (int, int, error) {
+		steps, crashes := 0, 0
+		const opsEach = 2
+		for seed := 0; seed < opts.Seeds; seed++ {
+			u := universal.New(n, types.NewFetchAdd(100000), "0", "e12u")
+			m := sim.NewMemory()
+			u.Setup(m)
+			bodies := make([]sim.Body, n)
+			for i := range bodies {
+				i := i
+				bodies[i] = func(p *sim.Proc) sim.Value {
+					last := sim.Value("")
+					for k := 0; k < opsEach; k++ {
+						last = sim.Value(u.Invoke(p, i, k, spec.Op("add(1)")))
+					}
+					return last
+				}
+			}
+			cfg := sim.Config{Seed: int64(seed)}
+			if crash {
+				cfg.CrashProb = 0.25
+				cfg.MaxCrashes = 2 * n
+			}
+			out, err := sim.NewRunner(m, bodies, cfg).Run()
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := u.VerifyList(m); err != nil {
+				return 0, 0, err
+			}
+			steps += out.Steps
+			for _, c := range out.Crashes {
+				crashes += c
+			}
+		}
+		return steps / opts.Seeds, crashes, nil
+	}
+	for n := 2; n <= min(4, opts.MaxN); n++ {
+		s0, _, err := measureUniversal(n, false)
+		if err != nil {
+			return nil, err
+		}
+		s1, c1, err := measureUniversal(n, true)
+		if err != nil {
+			return nil, err
+		}
+		r.Rows = append(r.Rows, []string{
+			"RUniversal (2 ops/proc)", strconv.Itoa(n), strconv.Itoa(s0), strconv.Itoa(s1), strconv.Itoa(c1),
+		})
+	}
+
+	r.Notes = append(r.Notes,
+		"steps are shared-memory accesses, the simulator's unit of cost; the paper proves",
+		"solvability only — these numbers characterize this reproduction's constructions")
+	return r, nil
+}

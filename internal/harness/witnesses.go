@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+
+	"rcons/internal/checker"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// SnPaperWitness is the witness from the proof of Proposition 21:
+// q0 = (B,0), team A = {p_1} with opA, team B = {p_2, …, p_n} with opB.
+func SnPaperWitness(n int) checker.Witness {
+	w := checker.Witness{Q0: types.SnInitial, Teams: []int{checker.TeamA}, Ops: []spec.Op{"opA"}}
+	for i := 1; i < n; i++ {
+		w.Teams = append(w.Teams, checker.TeamB)
+		w.Ops = append(w.Ops, "opB")
+	}
+	return w
+}
+
+// TnPaperWitness is the n-discerning witness from the proof of
+// Proposition 19: q0 = (⊥,0,0), team A of size ⌊n/2⌋ with opA, team B of
+// size ⌈n/2⌉ with opB.
+func TnPaperWitness(n int) checker.Witness {
+	w := checker.Witness{Q0: types.TnBottom}
+	for i := 0; i < n/2; i++ {
+		w.Teams = append(w.Teams, checker.TeamA)
+		w.Ops = append(w.Ops, "opA")
+	}
+	for i := 0; i < (n+1)/2; i++ {
+		w.Teams = append(w.Teams, checker.TeamB)
+		w.Ops = append(w.Ops, "opB")
+	}
+	return w
+}
+
+// CASWitness is the canonical n-recording witness for compare&swap:
+// q0 = ⊥, the first a processes form team A, and every process proposes
+// a distinct value.
+func CASWitness(a, n int) checker.Witness {
+	w := checker.Witness{Q0: spec.State(types.Bottom)}
+	for i := 0; i < n; i++ {
+		team := checker.TeamA
+		if i >= a {
+			team = checker.TeamB
+		}
+		w.Teams = append(w.Teams, team)
+		w.Ops = append(w.Ops, spec.FormatOp("cas", types.Bottom, fmt.Sprintf("v%d", i)))
+	}
+	return w
+}
+
+// mark renders a boolean as a table cell.
+func mark(b bool) string {
+	if b {
+		return "✓"
+	}
+	return "✗"
+}

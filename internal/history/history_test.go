@@ -1,0 +1,213 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+func ev(proc, seq int, op spec.Op, resp spec.Response, inv, ret int) OpEvent {
+	return OpEvent{Proc: proc, Seq: seq, Op: op, Resp: resp, Invoke: inv, Return: ret, Completed: true}
+}
+
+func TestLinearizableSequentialHistory(t *testing.T) {
+	q := types.NewQueue(4)
+	hist := []OpEvent{
+		ev(0, 0, "enq(0)", spec.Ack, 0, 1),
+		ev(1, 0, "enq(1)", spec.Ack, 2, 3),
+		ev(0, 1, "deq", "0", 4, 5),
+		ev(1, 1, "deq", "1", 6, 7),
+	}
+	order, ok, err := CheckLinearizable(q, "", hist)
+	if err != nil || !ok {
+		t.Fatalf("sequential history rejected: ok=%v err=%v", ok, err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestLinearizableConcurrentHistory(t *testing.T) {
+	q := types.NewQueue(4)
+	// Two concurrent enqueues followed by two dequeues whose responses
+	// force the enqueue order 1-before-0.
+	hist := []OpEvent{
+		ev(0, 0, "enq(0)", spec.Ack, 0, 10),
+		ev(1, 0, "enq(1)", spec.Ack, 0, 10),
+		ev(0, 1, "deq", "1", 11, 12),
+		ev(1, 1, "deq", "0", 13, 14),
+	}
+	_, ok, err := CheckLinearizable(q, "", hist)
+	if err != nil || !ok {
+		t.Fatalf("linearizable concurrent history rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNonLinearizableResponse(t *testing.T) {
+	q := types.NewQueue(4)
+	// deq returns a value that was never enqueued first.
+	hist := []OpEvent{
+		ev(0, 0, "enq(0)", spec.Ack, 0, 1),
+		ev(1, 0, "deq", "7", 2, 3),
+	}
+	_, ok, err := CheckLinearizable(q, "", hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("impossible dequeue accepted")
+	}
+}
+
+func TestNonLinearizableRealTimeOrder(t *testing.T) {
+	q := types.NewQueue(4)
+	// enq(0) completes before enq(1) begins, yet the dequeues claim the
+	// opposite order — real-time order forbids it.
+	hist := []OpEvent{
+		ev(0, 0, "enq(0)", spec.Ack, 0, 1),
+		ev(1, 0, "enq(1)", spec.Ack, 2, 3),
+		ev(0, 1, "deq", "1", 4, 5),
+		ev(1, 1, "deq", "0", 6, 7),
+	}
+	_, ok, err := CheckLinearizable(q, "", hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("real-time violation accepted")
+	}
+}
+
+func TestIncompleteOpMayBeDropped(t *testing.T) {
+	st := types.NewStack(4)
+	hist := []OpEvent{
+		ev(0, 0, "push(1)", spec.Ack, 0, 1),
+		{Proc: 1, Seq: 0, Op: "push(0)", Invoke: 2, Return: -1}, // crashed, incomplete
+		ev(0, 1, "pop", "1", 3, 4),
+		ev(0, 2, "pop", types.RespEmpty, 5, 6),
+	}
+	_, ok, err := CheckLinearizable(st, "", hist)
+	if err != nil || !ok {
+		t.Fatalf("history with droppable incomplete op rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestIncompleteOpMayTakeEffect(t *testing.T) {
+	st := types.NewStack(4)
+	hist := []OpEvent{
+		{Proc: 1, Seq: 0, Op: "push(9)", Invoke: 0, Return: -1}, // incomplete but observed
+		ev(0, 0, "pop", "9", 1, 2),
+	}
+	_, ok, err := CheckLinearizable(st, "", hist)
+	if err != nil || !ok {
+		t.Fatalf("history needing the incomplete op rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRecorderKeepsEarliestInvoke(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(0, 0, "inc", 5)
+	r.Invoke(0, 0, "inc", 9) // crash retry: must keep Invoke = 5
+	r.Return(0, 0, spec.Ack, 12)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Invoke != 5 || evs[0].Return != 12 || !evs[0].Completed {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestRecorderReturnWithoutInvokePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRecorder().Return(0, 0, spec.Ack, 1)
+}
+
+func TestEventsSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Invoke(1, 0, "inc", 7)
+	r.Return(1, 0, spec.Ack, 8)
+	r.Invoke(0, 0, "inc", 3)
+	r.Return(0, 0, spec.Ack, 4)
+	evs := r.Events()
+	if evs[0].Proc != 0 || evs[1].Proc != 1 {
+		t.Fatalf("events not sorted by invoke time: %v", evs)
+	}
+}
+
+func TestCheckProgramOrder(t *testing.T) {
+	good := []OpEvent{
+		ev(0, 0, "inc", spec.Ack, 0, 1),
+		ev(0, 1, "inc", spec.Ack, 2, 3),
+	}
+	if err := CheckProgramOrder(good); err != nil {
+		t.Fatalf("good history rejected: %v", err)
+	}
+	overlap := []OpEvent{
+		ev(0, 0, "inc", spec.Ack, 0, 5),
+		ev(0, 1, "inc", spec.Ack, 2, 3), // invoked before #0 returned
+	}
+	if err := CheckProgramOrder(overlap); err == nil {
+		t.Fatal("overlapping per-process ops accepted")
+	}
+	gap := []OpEvent{ev(0, 1, "inc", spec.Ack, 0, 1)}
+	if err := CheckProgramOrder(gap); err == nil {
+		t.Fatal("missing op #0 accepted")
+	}
+}
+
+func TestCapacityGuard(t *testing.T) {
+	big := make([]OpEvent, 64)
+	for i := range big {
+		big[i] = ev(0, i, "inc", spec.Ack, i, i)
+	}
+	if _, _, err := CheckLinearizable(types.NewCounter(100), "0", big); err == nil {
+		t.Fatal("oversized history accepted")
+	}
+}
+
+// TestSequentialHistoriesAlwaysLinearize generates random sequential
+// histories (one op at a time, responses from the spec) and checks the
+// checker accepts every one — soundness of CheckLinearizable.
+func TestSequentialHistoriesAlwaysLinearize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := types.NewQueue(6)
+	for trial := 0; trial < 100; trial++ {
+		state := spec.State("")
+		var hist []OpEvent
+		now := 0
+		nOps := 3 + rng.Intn(8)
+		seqs := map[int]int{}
+		for k := 0; k < nOps; k++ {
+			proc := rng.Intn(3)
+			var op spec.Op
+			if rng.Intn(2) == 0 {
+				op = spec.FormatOp("enq", fmt.Sprint(rng.Intn(2)))
+			} else {
+				op = "deq"
+			}
+			ns, resp, err := q.Apply(state, op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			state = ns
+			hist = append(hist, OpEvent{
+				Proc: proc, Seq: seqs[proc], Op: op, Resp: resp,
+				Invoke: now, Return: now + 1, Completed: true,
+			})
+			seqs[proc]++
+			now += 2
+		}
+		_, ok, err := CheckLinearizable(q, "", hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: sequential history rejected:\n%s", trial, FormatHistory(hist))
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package rc
+
+import (
+	"fmt"
+
+	"rcons/internal/sim"
+)
+
+// StableInput implements the input-stabilization transform described in
+// the paper's introduction: RC algorithms (and Golab's original
+// definition) assume a process proposes the *same* input value across
+// all of its runs. When an environment cannot guarantee that — e.g. a
+// recovered process recomputes its proposal and gets a different value —
+// the transform restores the precondition with one register per process:
+// at the start of each run the process reads its input register and, if
+// it is unwritten, writes its current proposal; thereafter it uses the
+// register's value as its input, so all runs of the wrapped algorithm
+// see the first run's proposal.
+//
+// The wrapped body receives its (possibly run-dependent) proposal from
+// the provided generator rather than a fixed value, which is what makes
+// the transform testable: the tests feed a generator that changes its
+// answer every run and check agreement/validity against the set of
+// *first-run* proposals.
+type StableInput struct {
+	// Alg is the wrapped RC algorithm.
+	Alg Algorithm
+	// NS namespaces the input registers.
+	NS string
+}
+
+// NewStableInput wraps alg with the input-stabilization transform.
+func NewStableInput(alg Algorithm, ns string) *StableInput {
+	return &StableInput{Alg: alg, NS: ns}
+}
+
+// Name implements Algorithm.
+func (s *StableInput) Name() string { return "stable-input[" + s.Alg.Name() + "]" }
+
+// N implements Algorithm.
+func (s *StableInput) N() int { return s.Alg.N() }
+
+func (s *StableInput) inReg(i int) string { return fmt.Sprintf("%s/in[%d]", s.NS, i) }
+
+// Setup implements Algorithm.
+func (s *StableInput) Setup(m *sim.Memory) {
+	s.Alg.Setup(m)
+	for i := 0; i < s.N(); i++ {
+		m.AddRegister(s.inReg(i), sim.None)
+	}
+}
+
+// Body implements Algorithm with a fixed input (the common case): the
+// register still guards against hypothetical input drift.
+func (s *StableInput) Body(i int, input sim.Value) sim.Body {
+	return s.BodyFromGenerator(i, func(run int) sim.Value { return input })
+}
+
+// BodyFromGenerator builds process i's code when its proposal may differ
+// between runs: gen is called with the run number (1-based) at the start
+// of every run to obtain that run's proposal, and the transform pins the
+// first successfully registered one.
+func (s *StableInput) BodyFromGenerator(i int, gen func(run int) sim.Value) sim.Body {
+	return func(p *sim.Proc) sim.Value {
+		v := p.Read(s.inReg(i))
+		if v == sim.None {
+			v = gen(p.RunNumber())
+			p.Write(s.inReg(i), v)
+		}
+		return s.Alg.Body(i, v)(p)
+	}
+}

@@ -1,0 +1,155 @@
+package rc
+
+import (
+	"fmt"
+	"testing"
+
+	"rcons/internal/sim"
+	"rcons/internal/types"
+)
+
+func TestStableInputFixedValues(t *testing.T) {
+	alg := NewStableInput(NewCASConsensus(3, "c"), "si")
+	inputs := []sim.Value{"x", "y", "z"}
+	for seed := int64(0); seed < 100; seed++ {
+		if _, err := Run(alg, inputs, sim.Config{Seed: seed, CrashProb: 0.25, MaxCrashes: 6}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestStableInputDriftingGenerator feeds a generator whose proposal
+// changes every run and checks the transform pins the first registered
+// proposal: the decision must be a *registered* value, and all decisions
+// agree, even though un-transformed runs would have proposed different
+// values after each crash.
+func TestStableInputDriftingGenerator(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		alg := NewStableInput(NewCASConsensus(2, "c"), "si")
+		m := sim.NewMemory()
+		alg.Setup(m)
+		bodies := make([]sim.Body, 2)
+		for i := range bodies {
+			i := i
+			bodies[i] = alg.BodyFromGenerator(i, func(run int) sim.Value {
+				return fmt.Sprintf("p%d-run%d", i, run)
+			})
+		}
+		out, err := sim.NewRunner(m, bodies, sim.Config{Seed: seed, CrashProb: 0.35, MaxCrashes: 6}).Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Agreement.
+		if out.Decisions[0] != out.Decisions[1] {
+			t.Fatalf("seed %d: decisions diverge: %v", seed, out.Decisions)
+		}
+		// Validity against the registered (pinned) inputs.
+		valid := false
+		for i := 0; i < 2; i++ {
+			if out.Decisions[0] == m.PeekRegister(fmt.Sprintf("si/in[%d]", i)) {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("seed %d: decision %q is not a registered input (in[0]=%q in[1]=%q)",
+				seed, out.Decisions[0],
+				m.PeekRegister("si/in[0]"), m.PeekRegister("si/in[1]"))
+		}
+	}
+}
+
+// TestStableInputPinsFirstRunProposal forces a crash after the input
+// register write and checks the second run keeps proposing the first
+// run's value.
+func TestStableInputPinsFirstRunProposal(t *testing.T) {
+	alg := NewStableInput(NewCASConsensus(1, "c"), "si")
+	m := sim.NewMemory()
+	alg.Setup(m)
+	body := alg.BodyFromGenerator(0, func(run int) sim.Value {
+		return fmt.Sprintf("run%d", run)
+	})
+	// Steps of run 1: read in[0]=⊥, write in[0]=run1, CRASH. Run 2:
+	// read in[0]=run1, then the CAS consensus (2 steps).
+	script := []sim.Action{
+		sim.Step(0), sim.Step(0), sim.Crash(0),
+	}
+	out, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1, Script: script}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != "run1" {
+		t.Fatalf("decision = %q, want run1 (the pinned first-run proposal)", out.Decisions[0])
+	}
+}
+
+// TestTournamentOverTnAtLevelNMinus2 exercises the other side of
+// Proposition 19: although rcons(T_n) < cons(T_n) = n, the type is
+// (n-2)-recording (Theorem 16), so n-2 processes CAN solve recoverable
+// consensus with it. Executable: a 3-process tournament over T_5.
+func TestTournamentOverTnAtLevelNMinus2(t *testing.T) {
+	tn := types.NewTn(5)
+	// Use the searched (n-2)-recording witness.
+	w, err := searchRecordingForTest(tn, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("T_5 has no 3-recording witness, contradicting Theorem 16")
+	}
+	tr, err := NewTournament(tn, *w, 3, "tn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []sim.Value{"x", "y", "z"}
+	for seed := int64(0); seed < 150; seed++ {
+		if _, err := Run(tr, inputs, sim.Config{Seed: seed, CrashProb: 0.25, MaxCrashes: 6}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTournamentInstanceInputPinning reproduces the Appendix F hazard:
+// re-invoking a named RC instance with a DIFFERENT input after a crash
+// must return the originally decided value. Without the pin registers in
+// TournamentInstance.Decide this test (and the universal-construction
+// crash sweeps) fail with agreement violations.
+func TestTournamentInstanceInputPinning(t *testing.T) {
+	inst, err := NewTournamentInstance(types.NewSn(2), snPaperWitness(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMemory()
+	m.AddRegister("sync", sim.None)
+	var got []sim.Value
+	body0 := func(p *sim.Proc) sim.Value {
+		// First run proposes "old"; after the scripted crash the re-run
+		// proposes "new". The decision must not change.
+		input := sim.Value("old")
+		if p.RunNumber() > 1 {
+			input = "new"
+		}
+		v := inst.Decide(p, "inst", input)
+		got = append(got, v)
+		return v
+	}
+	body1 := func(p *sim.Proc) sim.Value {
+		return inst.Decide(p, "inst", "theirs")
+	}
+	// Run p0 alone until it decides internally, then crash it at its
+	// decide point so it re-runs with the drifted input.
+	cfg := sim.Config{Seed: 3, DecideRequiresStep: true,
+		Script: []sim.Action{
+			sim.Step(0), sim.Step(0), sim.Step(0), sim.Step(0), sim.Step(0),
+			sim.Step(0), sim.Crash(0),
+		}}
+	out, err := sim.NewRunner(m, []sim.Body{body0, body1}, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != out.Decisions[1] {
+		t.Fatalf("instance decisions diverge: %v", out.Decisions)
+	}
+	if out.Decisions[0] == "new" {
+		t.Fatalf("drifted input %q won; pinning failed", out.Decisions[0])
+	}
+}

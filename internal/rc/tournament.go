@@ -1,0 +1,147 @@
+package rc
+
+import (
+	"fmt"
+
+	"rcons/internal/checker"
+	"rcons/internal/sim"
+	"rcons/internal/spec"
+)
+
+// Tournament is the Appendix B construction (Proposition 30): full
+// recoverable consensus for k processes built recursively from
+// recoverable team consensus instances over an n-recording witness
+// (k ≤ n). Each level splits its processes into two groups whose sizes
+// fit inside the witness's teams, solves RC recursively within each
+// group, and feeds the group decisions into a TeamConsensus instance —
+// whose precondition (equal inputs within each team) is guaranteed by the
+// recursive agreement property, including across crash-induced re-runs.
+type Tournament struct {
+	typ     spec.Type
+	witness checker.Witness
+	k       int
+	ns      string
+
+	sub   [2]*Tournament // nil at leaves
+	tc    *TeamConsensus
+	group []int // group (0 or 1) of each of the k processes
+	tcIdx []int // witness process index each process plays in tc
+}
+
+var _ Algorithm = (*Tournament)(nil)
+
+// NewTournament builds a k-process RC algorithm from an n-recording
+// witness for readable type t (k ≤ n; k ≥ 1).
+func NewTournament(t spec.Type, w checker.Witness, k int, ns string) (*Tournament, error) {
+	if k < 1 || k > w.N() {
+		return nil, fmt.Errorf("rc: tournament size %d out of range 1..%d", k, w.N())
+	}
+	tr := &Tournament{typ: t, witness: w, k: k, ns: ns}
+	if k == 1 {
+		return tr, nil
+	}
+
+	// Split k processes into groups of sizes a ≤ |A| and b ≤ |B|.
+	sizeA := w.TeamSize(checker.TeamA)
+	sizeB := w.TeamSize(checker.TeamB)
+	a := min(sizeA, k-1)
+	b := k - a
+	if b > sizeB {
+		return nil, fmt.Errorf("rc: cannot split %d processes into teams of ≤%d and ≤%d", k, sizeA, sizeB)
+	}
+
+	tc, err := NewTeamConsensus(t, w, ns+"/tc")
+	if err != nil {
+		return nil, err
+	}
+	tr.tc = tc
+
+	// Assign the first a processes to group 0 (playing witness team A
+	// members) and the rest to group 1 (playing witness team B members).
+	membersA := w.Members(checker.TeamA)
+	membersB := w.Members(checker.TeamB)
+	tr.group = make([]int, k)
+	tr.tcIdx = make([]int, k)
+	for i := 0; i < a; i++ {
+		tr.group[i] = 0
+		tr.tcIdx[i] = membersA[i]
+	}
+	for i := a; i < k; i++ {
+		tr.group[i] = 1
+		tr.tcIdx[i] = membersB[i-a]
+	}
+
+	sub0, err := NewTournament(t, w, a, ns+"/0")
+	if err != nil {
+		return nil, err
+	}
+	sub1, err := NewTournament(t, w, b, ns+"/1")
+	if err != nil {
+		return nil, err
+	}
+	tr.sub = [2]*Tournament{sub0, sub1}
+	return tr, nil
+}
+
+// Name implements Algorithm.
+func (tr *Tournament) Name() string {
+	return fmt.Sprintf("tournament[%s,k=%d]", tr.typ.Name(), tr.k)
+}
+
+// N implements Algorithm.
+func (tr *Tournament) N() int { return tr.k }
+
+// Setup implements Algorithm: recursively creates every level's cells.
+func (tr *Tournament) Setup(m *sim.Memory) {
+	if tr.k == 1 {
+		return
+	}
+	tr.tc.Setup(m)
+	tr.sub[0].Setup(m)
+	tr.sub[1].Setup(m)
+}
+
+// EnsureCells lazily creates every level's shared cells from inside a
+// body (idempotent); see TeamConsensus.EnsureCells.
+func (tr *Tournament) EnsureCells(p *sim.Proc) {
+	if tr.k == 1 {
+		return
+	}
+	tr.tc.EnsureCells(p)
+	tr.sub[0].EnsureCells(p)
+	tr.sub[1].EnsureCells(p)
+}
+
+// Body implements Algorithm. Process i (0 ≤ i < k) first agrees within
+// its group, then plays its assigned witness process in the top-level
+// team consensus. On a crash the whole chain re-runs; the sub-level's
+// agreement property makes the team-consensus input identical across
+// runs, which is exactly the argument in the proof of Proposition 30.
+func (tr *Tournament) Body(i int, input sim.Value) sim.Body {
+	if tr.k == 1 {
+		return func(*sim.Proc) sim.Value { return input }
+	}
+	g := tr.group[i]
+	// Index of process i within its group.
+	idx := 0
+	for j := 0; j < i; j++ {
+		if tr.group[j] == g {
+			idx++
+		}
+	}
+	subBody := tr.sub[g].Body(idx, input)
+	tcRole := tr.tcIdx[i]
+	return func(p *sim.Proc) sim.Value {
+		groupValue := subBody(p)
+		return tr.tc.Body(tcRole, groupValue)(p)
+	}
+}
+
+// TCWitnessRoleB exposes whether witness process idx plays role B in the
+// top-level team consensus (after any q0 ∈ Q_B swap); used by tests.
+func (tr *Tournament) TCWitnessRoleB(i int) bool {
+	if tr.k == 1 {
+		return false
+	}
+	return tr.tc.RoleTeams()[tr.tcIdx[i]]
+}

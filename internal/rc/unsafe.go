@@ -1,0 +1,51 @@
+package rc
+
+// This file implements deliberately *incorrect* variants of the Figure 2
+// algorithm. Section 3.1 of the paper justifies the two halves of the
+// line 19 guard ("if |B| = 1 and R_A ≠ ⊥ then return R_A") by describing
+// explicit schedules on which algorithms missing either half violate
+// agreement. The variants below exist solely so the test suite and the
+// examples/adversary program can replay those schedules and watch the
+// violation happen — an executable form of the paper's necessity
+// arguments. Never use them to actually solve consensus.
+
+// Variant selects which (if any) guard of Figure 2 line 19 is removed.
+type Variant int
+
+const (
+	// VariantPaper is the correct algorithm exactly as in Figure 2.
+	VariantPaper Variant = iota
+	// VariantNoYield removes lines 19–20 entirely: the lone team-B
+	// process never defers to team A. Unsafe when q0 ∈ Q_A: after a
+	// crash it can update O a second time from q0 and flip the winner
+	// (the paper's first "bad scenario", defeated in the real algorithm
+	// by Lemma 7 plus the yield rule).
+	VariantNoYield
+	// VariantYieldAlways drops the |B| = 1 test: every team-B process
+	// defers when it sees R_A written. Unsafe when |B| > 1: one team-B
+	// process can defer to A while another team-B process goes on to be
+	// the first updater (the paper's second "bad scenario").
+	VariantYieldAlways
+)
+
+// NewTeamConsensusVariant is NewTeamConsensus with a variant selector.
+// Variants other than VariantPaper intentionally violate agreement on
+// adversarial schedules; see the Variant constants.
+func NewTeamConsensusVariant(tc *TeamConsensus, v Variant) *TeamConsensus {
+	clone := *tc
+	clone.variant = v
+	return &clone
+}
+
+// yieldApplies reports whether this body should execute the line 19–20
+// yield under the configured variant.
+func (tc *TeamConsensus) yieldApplies() bool {
+	switch tc.variant {
+	case VariantNoYield:
+		return false
+	case VariantYieldAlways:
+		return true
+	default:
+		return tc.sizeB == 1
+	}
+}

@@ -1,0 +1,235 @@
+// Package recoverable provides typed, crash-recoverable shared data
+// structures — queue, stack, counter and last-writer register — built on
+// the paper's recoverable universal construction (Section 4, Figure 7).
+// It is the "downstream user" payoff of the paper's universality result:
+// any algorithm written against these objects runs correctly in the
+// independent-crash model, with every operation taking effect exactly
+// once and its response recoverable after a crash (detectability).
+//
+// Usage pattern: construct the object and call Setup once, then inside
+// each process body obtain a Handle and call the typed operations. A
+// handle counts the process's operations; because bodies restart from
+// the beginning after a crash, a fresh handle re-walks the same
+// operation indices and the construction's persistent announce slots
+// return the already-applied operations' responses instead of applying
+// them twice. A body must perform the same operation sequence on every
+// re-run up to its crash point — which it does automatically if its
+// control flow depends only on shared state and handle responses.
+package recoverable
+
+import (
+	"fmt"
+	"strconv"
+
+	"rcons/internal/history"
+	"rcons/internal/sim"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+	"rcons/internal/universal"
+)
+
+// object wraps a universal construction with per-handle op counting.
+type object struct {
+	u *universal.Universal
+}
+
+func newObject(n int, t spec.Type, q0 spec.State, ns string) *object {
+	u := universal.New(n, t, q0, ns)
+	u.Rec = history.NewRecorder()
+	return &object{u: u}
+}
+
+// handle tracks one process's position in its operation sequence.
+type handle struct {
+	obj  *object
+	p    *sim.Proc
+	next int
+}
+
+func (h *handle) invoke(op spec.Op) spec.Response {
+	k := h.next
+	h.next++
+	return h.obj.u.Invoke(h.p, h.p.ID(), k, op)
+}
+
+// Queue is a crash-recoverable FIFO queue shared by n processes.
+type Queue struct {
+	o   *object
+	cap int
+}
+
+// NewQueue returns a recoverable queue of the given capacity for n
+// processes, namespaced by ns.
+func NewQueue(n, capacity int, ns string) *Queue {
+	return &Queue{o: newObject(n, types.NewQueue(capacity), "", ns), cap: capacity}
+}
+
+// Setup installs the queue's cells into m (call once, before running).
+func (q *Queue) Setup(m *sim.Memory) { q.o.u.Setup(m) }
+
+// Universal exposes the underlying construction for verification.
+func (q *Queue) Universal() *universal.Universal { return q.o.u }
+
+// QueueHandle is a process's session with the queue.
+type QueueHandle struct{ h handle }
+
+// Handle binds the queue to the calling process; call inside the body.
+func (q *Queue) Handle(p *sim.Proc) *QueueHandle {
+	return &QueueHandle{h: handle{obj: q.o, p: p}}
+}
+
+// Enqueue appends v; it reports false when the queue was full.
+func (h *QueueHandle) Enqueue(v string) bool {
+	return h.h.invoke(spec.FormatOp("enq", v)) != types.RespFull
+}
+
+// Dequeue removes and returns the front item; ok is false when empty.
+func (h *QueueHandle) Dequeue() (v string, ok bool) {
+	r := h.h.invoke("deq")
+	if r == types.RespEmpty {
+		return "", false
+	}
+	return string(r), true
+}
+
+// Stack is a crash-recoverable LIFO stack shared by n processes.
+type Stack struct {
+	o *object
+}
+
+// NewStack returns a recoverable stack of the given capacity.
+func NewStack(n, capacity int, ns string) *Stack {
+	return &Stack{o: newObject(n, types.NewStack(capacity), "", ns)}
+}
+
+// Setup installs the stack's cells into m.
+func (s *Stack) Setup(m *sim.Memory) { s.o.u.Setup(m) }
+
+// Universal exposes the underlying construction for verification.
+func (s *Stack) Universal() *universal.Universal { return s.o.u }
+
+// StackHandle is a process's session with the stack.
+type StackHandle struct{ h handle }
+
+// Handle binds the stack to the calling process.
+func (s *Stack) Handle(p *sim.Proc) *StackHandle {
+	return &StackHandle{h: handle{obj: s.o, p: p}}
+}
+
+// Push appends v; it reports false when the stack was full.
+func (h *StackHandle) Push(v string) bool {
+	return h.h.invoke(spec.FormatOp("push", v)) != types.RespFull
+}
+
+// Pop removes and returns the top item; ok is false when empty.
+func (h *StackHandle) Pop() (v string, ok bool) {
+	r := h.h.invoke("pop")
+	if r == types.RespEmpty {
+		return "", false
+	}
+	return string(r), true
+}
+
+// Counter is a crash-recoverable fetch&add counter.
+type Counter struct {
+	o   *object
+	mod int
+}
+
+// NewCounter returns a recoverable counter modulo mod.
+func NewCounter(n, mod int, ns string) *Counter {
+	return &Counter{o: newObject(n, types.NewFetchAdd(mod), "0", ns), mod: mod}
+}
+
+// Setup installs the counter's cells into m.
+func (c *Counter) Setup(m *sim.Memory) { c.o.u.Setup(m) }
+
+// Universal exposes the underlying construction for verification.
+func (c *Counter) Universal() *universal.Universal { return c.o.u }
+
+// CounterHandle is a process's session with the counter.
+type CounterHandle struct{ h handle }
+
+// Handle binds the counter to the calling process.
+func (c *Counter) Handle(p *sim.Proc) *CounterHandle {
+	return &CounterHandle{h: handle{obj: c.o, p: p}}
+}
+
+// Add atomically adds k and returns the previous value.
+func (h *CounterHandle) Add(k int) int {
+	r := h.h.invoke(spec.FormatOp("add", strconv.Itoa(k)))
+	v, err := strconv.Atoi(string(r))
+	if err != nil {
+		panic(fmt.Sprintf("recoverable: corrupt counter response %q", r))
+	}
+	return v
+}
+
+// Increment is Add(1).
+func (h *CounterHandle) Increment() int { return h.Add(1) }
+
+// Register is a crash-recoverable read/write register. Both writes and
+// reads are first-class operations of the underlying readableRegister
+// type, so Get responses are linearized through the construction's list
+// like any other operation.
+type Register struct {
+	o *object
+}
+
+// readableRegister extends the plain register with an explicit "get"
+// update operation that leaves the state unchanged and responds with the
+// current value — making reads first-class list entries in the
+// universal construction (and hence trivially linearizable).
+type readableRegister struct{}
+
+var _ spec.Type = readableRegister{}
+
+func (readableRegister) Name() string { return "rw-register" }
+
+func (readableRegister) InitialStates() []spec.State { return []spec.State{spec.State(types.Bottom)} }
+
+func (readableRegister) Ops() []spec.Op { return []spec.Op{"get", "write(0)", "write(1)"} }
+
+func (readableRegister) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	switch {
+	case name == "get" && len(args) == 0:
+		return s, spec.Response(s), nil
+	case name == "write" && len(args) == 1:
+		return spec.State(args[0]), spec.Ack, nil
+	default:
+		return "", "", fmt.Errorf("%w: rw-register does not support %q", spec.ErrBadOp, op)
+	}
+}
+
+// NewRegister returns a recoverable read/write register.
+func NewRegister(n int, ns string) *Register {
+	return &Register{o: newObject(n, readableRegister{}, spec.State(types.Bottom), ns)}
+}
+
+// Setup installs the register's cells into m.
+func (r *Register) Setup(m *sim.Memory) { r.o.u.Setup(m) }
+
+// Universal exposes the underlying construction for verification.
+func (r *Register) Universal() *universal.Universal { return r.o.u }
+
+// RegisterHandle is a process's session with the register.
+type RegisterHandle struct{ h handle }
+
+// Handle binds the register to the calling process.
+func (r *Register) Handle(p *sim.Proc) *RegisterHandle {
+	return &RegisterHandle{h: handle{obj: r.o, p: p}}
+}
+
+// Set writes v.
+func (h *RegisterHandle) Set(v string) {
+	h.h.invoke(spec.FormatOp("write", v))
+}
+
+// Get returns the current value (types.Bottom when unwritten).
+func (h *RegisterHandle) Get() string {
+	return string(h.h.invoke("get"))
+}

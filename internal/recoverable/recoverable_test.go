@@ -1,0 +1,257 @@
+package recoverable
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"rcons/internal/history"
+	"rcons/internal/sim"
+	"rcons/internal/types"
+)
+
+func TestCounterTotalViaList(t *testing.T) {
+	const n, incsEach = 3, 3
+	for seed := int64(0); seed < 60; seed++ {
+		c := NewCounter(n, 1_000_000, "cnt")
+		m := sim.NewMemory()
+		c.Setup(m)
+		bodies := make([]sim.Body, n)
+		for i := range bodies {
+			bodies[i] = func(p *sim.Proc) sim.Value {
+				h := c.Handle(p)
+				for k := 0; k < incsEach; k++ {
+					h.Increment()
+				}
+				return "done"
+			}
+		}
+		if _, err := sim.NewRunner(m, bodies, sim.Config{Seed: seed, CrashProb: 0.3, MaxCrashes: 9}).Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.Universal().VerifyList(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		list, err := c.Universal().ListOrder(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list) != n*incsEach {
+			t.Fatalf("seed %d: %d increments applied, want %d", seed, len(list), n*incsEach)
+		}
+		final := list[len(list)-1].State
+		if string(final) != strconv.Itoa(n*incsEach) {
+			t.Fatalf("seed %d: final counter %q, want %d", seed, final, n*incsEach)
+		}
+	}
+}
+
+func TestCounterResponsesAreDistinctPositions(t *testing.T) {
+	// fetch&add responses are unique positions; across all processes the
+	// multiset of responses must be exactly {0, 1, …, total-1}.
+	const n, incsEach = 2, 3
+	c := NewCounter(n, 1_000_000, "cnt")
+	m := sim.NewMemory()
+	c.Setup(m)
+	var got []int
+	bodies := make([]sim.Body, n)
+	for i := range bodies {
+		bodies[i] = func(p *sim.Proc) sim.Value {
+			h := c.Handle(p)
+			var mine []int
+			for k := 0; k < incsEach; k++ {
+				mine = append(mine, h.Increment())
+			}
+			got = append(got, mine...) // post-crash duplicates excluded: body returns only on success
+			return "done"
+		}
+	}
+	// No crashes here so the in-memory `got` slice is exact.
+	if _, err := sim.NewRunner(m, bodies, sim.Config{Seed: 4}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate fetch&add response %d in %v", v, got)
+		}
+		seen[v] = true
+	}
+	for want := 0; want < n*incsEach; want++ {
+		if !seen[want] {
+			t.Fatalf("missing fetch&add response %d in %v", want, got)
+		}
+	}
+}
+
+func TestQueueFIFOAcrossCrashes(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		q := NewQueue(2, 16, "q")
+		m := sim.NewMemory()
+		q.Setup(m)
+		bodies := []sim.Body{
+			func(p *sim.Proc) sim.Value {
+				h := q.Handle(p)
+				h.Enqueue("a")
+				h.Enqueue("b")
+				return "done"
+			},
+			func(p *sim.Proc) sim.Value {
+				h := q.Handle(p)
+				v1, ok1 := h.Dequeue()
+				v2, ok2 := h.Dequeue()
+				return fmt.Sprintf("%s/%v %s/%v", v1, ok1, v2, ok2)
+			},
+		}
+		if _, err := sim.NewRunner(m, bodies, sim.Config{Seed: seed, CrashProb: 0.25, MaxCrashes: 6}).Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := q.Universal().VerifyList(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Client history must linearize against the queue spec.
+		hist := q.Universal().Rec.Events()
+		_, ok, err := history.CheckLinearizable(types.NewQueue(16), "", hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: non-linearizable:\n%s", seed, history.FormatHistory(hist))
+		}
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	s := NewStack(1, 8, "s")
+	m := sim.NewMemory()
+	s.Setup(m)
+	body := func(p *sim.Proc) sim.Value {
+		h := s.Handle(p)
+		h.Push("1")
+		h.Push("2")
+		v1, _ := h.Pop()
+		v2, _ := h.Pop()
+		_, ok := h.Pop()
+		return fmt.Sprintf("%s%s empty=%v", v1, v2, !ok)
+	}
+	out, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != "21 empty=true" {
+		t.Fatalf("decision = %q", out.Decisions[0])
+	}
+}
+
+func TestStackCapacity(t *testing.T) {
+	s := NewStack(1, 1, "s")
+	m := sim.NewMemory()
+	s.Setup(m)
+	body := func(p *sim.Proc) sim.Value {
+		h := s.Handle(p)
+		ok1 := h.Push("1")
+		ok2 := h.Push("2") // over capacity
+		return fmt.Sprintf("%v %v", ok1, ok2)
+	}
+	out, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != "true false" {
+		t.Fatalf("decision = %q", out.Decisions[0])
+	}
+}
+
+func TestRegisterLastWriterWins(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := NewRegister(2, "r")
+		m := sim.NewMemory()
+		r.Setup(m)
+		bodies := []sim.Body{
+			func(p *sim.Proc) sim.Value {
+				h := r.Handle(p)
+				h.Set("zero")
+				return h.Get()
+			},
+			func(p *sim.Proc) sim.Value {
+				h := r.Handle(p)
+				h.Set("one")
+				return h.Get()
+			},
+		}
+		if _, err := sim.NewRunner(m, bodies, sim.Config{Seed: seed, CrashProb: 0.2, MaxCrashes: 4}).Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := r.Universal().VerifyList(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Final state must be the value of the last write in the list.
+		list, err := r.Universal().ListOrder(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastWrite := ""
+		for _, nd := range list {
+			if nd.Op != "get" {
+				lastWrite = string(nd.State)
+			}
+		}
+		if final := string(list[len(list)-1].State); final != lastWrite {
+			t.Fatalf("seed %d: final state %q, last write %q", seed, final, lastWrite)
+		}
+	}
+}
+
+func TestRegisterGetSeesPriorSet(t *testing.T) {
+	r := NewRegister(1, "r")
+	m := sim.NewMemory()
+	r.Setup(m)
+	body := func(p *sim.Proc) sim.Value {
+		h := r.Handle(p)
+		before := h.Get()
+		h.Set("v")
+		after := h.Get()
+		return before + "|" + after
+	}
+	out, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != types.Bottom+"|v" {
+		t.Fatalf("decision = %q", out.Decisions[0])
+	}
+}
+
+func TestHandleReplayAfterScriptedCrash(t *testing.T) {
+	// Crash a process between its two increments; the re-run's fresh
+	// handle must replay increment #0 from the persisted response rather
+	// than applying it again.
+	c := NewCounter(1, 100, "cnt")
+	m := sim.NewMemory()
+	c.Setup(m)
+	var responses [][]int
+	body := func(p *sim.Proc) sim.Value {
+		h := c.Handle(p)
+		a := h.Increment()
+		b := h.Increment()
+		responses = append(responses, []int{a, b})
+		return fmt.Sprintf("%d,%d", a, b)
+	}
+	script := []sim.Action{
+		sim.Step(0), sim.Step(0), sim.Step(0), sim.Step(0), sim.Step(0), sim.Crash(0),
+	}
+	out, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1, Script: script}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != "0,1" {
+		t.Fatalf("decision = %q, want 0,1 (idempotent replay)", out.Decisions[0])
+	}
+	list, err := c.Universal().ListOrder(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("%d increments applied, want 2", len(list))
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim simulates the paper's system model: an asynchronous
+// shared-memory system with *non-volatile* shared memory in which
+// processes may crash and recover *independently* (or simultaneously),
+// losing all local state — including their program counter — and
+// restarting their code from the beginning.
+//
+// Processes are Go closures (Body) whose local variables play the role of
+// volatile local memory: on a crash the closure is aborted (via a private
+// panic sentinel) and simply invoked again, so locals vanish exactly as
+// the model prescribes. All shared state lives in a Memory, which the
+// crash machinery never touches — that is the non-volatile heap.
+//
+// Every shared-memory access is a *scheduling point*: the calling
+// goroutine parks until the scheduler grants it a step, which makes
+// executions fully deterministic for a fixed seed or script, lets
+// adversarial schedules from the paper be replayed exactly, and
+// serializes all memory accesses (at most one process runs between a
+// grant and its next scheduling point).
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"rcons/internal/spec"
+)
+
+// Value is the content of a shared register and the type of process
+// inputs and decisions.
+type Value = string
+
+// None is the distinguished "unwritten" register value ⊥.
+const None Value = "_"
+
+// Memory is the non-volatile shared heap: named atomic registers and
+// named atomic objects of arbitrary spec types. It survives all crashes.
+//
+// Memory is not safe for direct concurrent use; the Runner serializes all
+// access. Bodies may allocate new cells at any time (allocation models
+// preparing a node in shared memory before publishing a pointer to it).
+type Memory struct {
+	regs map[string]Value
+	objs map[string]*spec.Object
+
+	nextID int // allocation counter for fresh names (non-volatile)
+}
+
+// NewMemory returns an empty non-volatile heap.
+func NewMemory() *Memory {
+	return &Memory{regs: map[string]Value{}, objs: map[string]*spec.Object{}}
+}
+
+// AddRegister creates register name with the given initial value. It
+// panics if the name is taken: memory layout mistakes are programming
+// errors in experiment setup code.
+func (m *Memory) AddRegister(name string, init Value) {
+	if _, dup := m.regs[name]; dup {
+		panic(fmt.Sprintf("sim: register %q already exists", name))
+	}
+	m.regs[name] = init
+}
+
+// AddObject creates an object cell of type t initialized to q0.
+func (m *Memory) AddObject(name string, t spec.Type, q0 spec.State) {
+	if _, dup := m.objs[name]; dup {
+		panic(fmt.Sprintf("sim: object %q already exists", name))
+	}
+	m.objs[name] = spec.NewObject(t, q0)
+}
+
+// FreshName mints a unique cell name with the given prefix. The counter
+// is non-volatile, so names are unique across crashes.
+func (m *Memory) FreshName(prefix string) string {
+	m.nextID++
+	return prefix + "#" + strconv.Itoa(m.nextID)
+}
+
+// HasRegister reports whether register name exists.
+func (m *Memory) HasRegister(name string) bool {
+	_, ok := m.regs[name]
+	return ok
+}
+
+// HasObject reports whether object name exists.
+func (m *Memory) HasObject(name string) bool {
+	_, ok := m.objs[name]
+	return ok
+}
+
+// Object returns the named object for post-execution inspection by tests.
+func (m *Memory) Object(name string) *spec.Object {
+	o, ok := m.objs[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown object %q", name))
+	}
+	return o
+}
+
+// PeekRegister returns the named register's value for post-execution
+// inspection by tests.
+func (m *Memory) PeekRegister(name string) Value {
+	v, ok := m.regs[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown register %q", name))
+	}
+	return v
+}
+
+// RegisterNames returns all register names, sorted (for deterministic
+// diagnostics).
+func (m *Memory) RegisterNames() []string {
+	out := make([]string, 0, len(m.regs))
+	for name := range m.regs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *Memory) read(name string) Value {
+	v, ok := m.regs[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: read of unknown register %q", name))
+	}
+	return v
+}
+
+func (m *Memory) write(name string, v Value) {
+	if _, ok := m.regs[name]; !ok {
+		panic(fmt.Sprintf("sim: write to unknown register %q", name))
+	}
+	m.regs[name] = v
+}
+
+func (m *Memory) apply(name string, op spec.Op) spec.Response {
+	o, ok := m.objs[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: apply to unknown object %q", name))
+	}
+	r, err := o.Apply(op)
+	if err != nil {
+		panic(fmt.Sprintf("sim: apply %s to %q: %v", op, name, err))
+	}
+	return r
+}
+
+func (m *Memory) readObj(name string) spec.State {
+	o, ok := m.objs[name]
+	if !ok {
+		panic(fmt.Sprintf("sim: read of unknown object %q", name))
+	}
+	return o.Read()
+}

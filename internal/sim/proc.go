@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+
+	"rcons/internal/spec"
+)
+
+// grantMsg is the scheduler's reply to a parked process.
+type grantMsg struct {
+	crash bool
+	stop  bool
+}
+
+// attemptStatus reports how one run of a body ended.
+type attemptStatus int
+
+const (
+	attemptDecided attemptStatus = iota + 1
+	attemptCrashed
+	attemptStopped
+)
+
+// Proc is a process's handle to the simulated system. All shared-memory
+// accessors are scheduling points; everything between two scheduling
+// points executes atomically with respect to other processes.
+type Proc struct {
+	id     int
+	runner *Runner
+	grant  chan grantMsg
+
+	runs     int // 1 + number of crashes while undecided
+	crashes  int
+	runSteps int // steps taken by the current run
+}
+
+// ID returns the process index (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// RunNumber returns which run of the body is executing (1 for the first
+// attempt, incremented after every crash). Algorithms must not base
+// decisions on it — local memory is volatile in the model — but tests and
+// diagnostics may.
+func (p *Proc) RunNumber() int { return p.runs }
+
+// Now returns the total number of shared-memory steps granted so far in
+// the execution — a logical clock usable for history timestamps. It is
+// not a scheduling point.
+func (p *Proc) Now() int { return p.runner.stepCount }
+
+// attempt executes one run of body, converting the crash sentinel into a
+// status. Any other panic is a bug in the body (e.g. accessing an unknown
+// cell); it is captured as an execution failure so that Run returns an
+// error instead of tearing down the whole program from a goroutine.
+func (p *Proc) attempt(body Body) (out Value, status attemptStatus) {
+	defer func() {
+		if e := recover(); e != nil {
+			switch e.(type) {
+			case crashSignal:
+				status = attemptCrashed
+			case stopSignal:
+				status = attemptStopped
+			default:
+				if p.runner.failure == nil {
+					p.runner.failure = fmt.Errorf("sim: process %d panicked: %v", p.id, e)
+				}
+				status = attemptStopped
+			}
+		}
+	}()
+	out = body(p)
+	return out, attemptDecided
+}
+
+// step parks until the scheduler grants a shared-memory step, panicking
+// with the crash sentinel when the grant is a crash.
+func (p *Proc) step() {
+	p.runSteps++
+	if p.runSteps > p.runner.cfg.MaxStepsPerRun {
+		p.runner.failure = ErrRunBudget
+		panic(stopSignal{})
+	}
+	p.runner.events <- procEvent{proc: p.id, kind: evParked}
+	g := <-p.grant
+	if g.stop {
+		panic(stopSignal{})
+	}
+	if g.crash {
+		panic(crashSignal{})
+	}
+}
+
+// commit takes the extra decide scheduling point enabled by
+// Config.DecideRequiresStep, converting its crash/stop panics back into
+// statuses for procLoop.
+func (p *Proc) commit() (st attemptStatus) {
+	defer func() {
+		if e := recover(); e != nil {
+			switch e.(type) {
+			case crashSignal:
+				st = attemptCrashed
+			case stopSignal:
+				st = attemptStopped
+			default:
+				panic(e)
+			}
+		}
+	}()
+	p.step()
+	return attemptDecided
+}
+
+// Read atomically reads a shared register (one step).
+func (p *Proc) Read(reg string) Value {
+	p.step()
+	v := p.runner.mem.read(reg)
+	p.runner.traceEvent(TraceEvent{Kind: TraceRead, Proc: p.id, Cell: reg, Detail: v})
+	return v
+}
+
+// Write atomically writes a shared register (one step).
+func (p *Proc) Write(reg string, v Value) {
+	p.step()
+	p.runner.mem.write(reg, v)
+	p.runner.traceEvent(TraceEvent{Kind: TraceWrite, Proc: p.id, Cell: reg, Detail: v})
+}
+
+// Apply atomically applies an update operation to a shared object (one
+// step) and returns its response.
+func (p *Proc) Apply(obj string, op spec.Op) spec.Response {
+	p.step()
+	resp := p.runner.mem.apply(obj, op)
+	p.runner.traceEvent(TraceEvent{
+		Kind: TraceApply, Proc: p.id, Cell: obj,
+		Detail: string(op) + "->" + string(resp),
+	})
+	return resp
+}
+
+// ReadObject atomically reads a shared object's entire state (one step) —
+// the Read operation of the paper's readable types. Algorithms
+// reproducing results about non-readable types must not call it.
+func (p *Proc) ReadObject(obj string) spec.State {
+	p.step()
+	s := p.runner.mem.readObj(obj)
+	p.runner.traceEvent(TraceEvent{Kind: TraceReadObj, Proc: p.id, Cell: obj, Detail: string(s)})
+	return s
+}
+
+// The allocation helpers below are NOT scheduling points: preparing fresh
+// cells models initializing a node in non-volatile memory before any
+// pointer to it is published, which no other process can observe. They
+// may only be called from a body (i.e. inside a grant window).
+
+// AllocRegister creates a fresh register with a unique name and the given
+// initial value, returning its name.
+func (p *Proc) AllocRegister(prefix string, init Value) string {
+	name := p.runner.mem.FreshName(prefix)
+	p.runner.mem.AddRegister(name, init)
+	return name
+}
+
+// AllocObject creates a fresh object cell, returning its name.
+func (p *Proc) AllocObject(prefix string, t spec.Type, q0 spec.State) string {
+	name := p.runner.mem.FreshName(prefix)
+	p.runner.mem.AddObject(name, t, q0)
+	return name
+}
+
+// EnsureRegister creates the named register if it does not exist yet
+// (idempotent, for lazily-extended unbounded arrays like D[1..∞] in the
+// paper's Figure 4). Returns the name.
+func (p *Proc) EnsureRegister(name string, init Value) string {
+	if !p.runner.mem.HasRegister(name) {
+		p.runner.mem.AddRegister(name, init)
+	}
+	return name
+}
+
+// EnsureObject creates the named object if it does not exist yet.
+func (p *Proc) EnsureObject(name string, t spec.Type, q0 spec.State) string {
+	if !p.runner.mem.HasObject(name) {
+		p.runner.mem.AddObject(name, t, q0)
+	}
+	return name
+}

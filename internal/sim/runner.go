@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Body is the code of one process: it computes a decision value using the
+// shared memory reachable through p. A body must access shared state only
+// through p's methods; its Go locals model volatile local memory. After a
+// crash the body is invoked again from the beginning (the paper's
+// restart-on-recovery assumption), so bodies must be written to tolerate
+// re-execution — which is precisely the recoverable-algorithm design
+// problem this repository studies.
+type Body func(p *Proc) Value
+
+// crashSignal is the private panic sentinel used to abort a run.
+type crashSignal struct{}
+
+// stopSignal aborts a run because the whole execution is being torn down
+// (step budget exceeded); distinct from a crash so it is not retried.
+type stopSignal struct{}
+
+// ErrStepBudget is returned by Run when the execution exceeds
+// Config.MaxSteps, which for the wait-free algorithms in this repository
+// indicates a bug (a livelock or an unfair script).
+var ErrStepBudget = errors.New("sim: step budget exhausted before all processes decided")
+
+// ErrRunBudget is returned when a single run of some body exceeds
+// Config.MaxStepsPerRun: recoverable wait-freedom demands every run
+// decides (or crashes) within a bounded number of its own steps.
+var ErrRunBudget = errors.New("sim: a single run exceeded its step budget (recoverable wait-freedom violation?)")
+
+// FailureModel selects which crash events the adversary may inject.
+type FailureModel int
+
+const (
+	// Independent lets each process crash and recover individually (the
+	// paper's main model, introduced for recoverable mutual exclusion).
+	Independent FailureModel = iota + 1
+	// Simultaneous crashes all processes together (the system-wide
+	// failures model of Section 2).
+	Simultaneous
+)
+
+// Config parameterizes an execution.
+type Config struct {
+	// Seed drives the random scheduler and crash injection.
+	Seed int64
+	// Model selects the failure model; default Independent.
+	Model FailureModel
+	// CrashProb is the per-step probability that the adversary crashes
+	// the chosen process (Independent) or everyone (Simultaneous)
+	// instead of granting the step, while crash budget remains.
+	CrashProb float64
+	// MaxCrashes bounds the total number of crash events injected by the
+	// random adversary (scripted crashes are not counted against it).
+	MaxCrashes int
+	// Script, when non-empty, is executed before random scheduling
+	// begins: an exact adversarial prefix. Scripted actions referring to
+	// processes that already decided are rejected as script bugs.
+	Script []Action
+	// MaxSteps bounds the total number of scheduling events; default
+	// 1_000_000.
+	MaxSteps int
+	// MaxStepsPerRun bounds the steps of any single run of any body;
+	// default 100_000. Exceeding it fails the execution with ErrRunBudget.
+	MaxStepsPerRun int
+	// HaltAtScriptEnd stops the execution (without error) once the
+	// script is exhausted instead of continuing with random scheduling.
+	// Package explore uses it to enumerate schedule prefixes; undecided
+	// processes simply have Decided[i] == false in the outcome.
+	HaltAtScriptEnd bool
+	// DecideRequiresStep inserts one extra scheduling point between a
+	// body's return and the recording of its decision, so the adversary
+	// can crash a process AFTER its last shared-memory access but BEFORE
+	// it outputs — the window that breaks non-recoverable algorithms
+	// like test&set consensus (their lost responses cannot be
+	// reconstructed). Off by default to keep scripted step counts
+	// simple; package explore always enables it, making its bounded
+	// exhaustive adversary strictly stronger.
+	DecideRequiresStep bool
+}
+
+// ActionKind discriminates scripted scheduler actions.
+type ActionKind int
+
+const (
+	// ActStep grants one shared-memory step to Proc.
+	ActStep ActionKind = iota + 1
+	// ActCrash crashes Proc (Independent model).
+	ActCrash
+	// ActCrashAll crashes every live process (Simultaneous model, but
+	// also usable under Independent as n individual crashes).
+	ActCrashAll
+)
+
+// Action is one scripted scheduler decision.
+type Action struct {
+	Kind ActionKind
+	Proc int
+}
+
+// Step returns a scripted step grant for process p.
+func Step(p int) Action { return Action{Kind: ActStep, Proc: p} }
+
+// Crash returns a scripted crash of process p.
+func Crash(p int) Action { return Action{Kind: ActCrash, Proc: p} }
+
+// CrashAll returns a scripted simultaneous crash.
+func CrashAll() Action { return Action{Kind: ActCrashAll} }
+
+// Outcome summarizes a finished execution.
+type Outcome struct {
+	// Decisions holds each process's output; Decided reports whether the
+	// process produced one (with a finite crash budget and fair
+	// scheduling every process decides).
+	Decisions []Value
+	Decided   []bool
+	// Crashes counts the crash events delivered to each process.
+	Crashes []int
+	// Runs counts how many runs (1 + crashes while undecided) each
+	// process executed.
+	Runs []int
+	// Steps is the total number of shared-memory steps granted.
+	Steps int
+	// Trace is the full event log (nil unless Config recording enabled
+	// via Runner.RecordTrace).
+	Trace []TraceEvent
+}
+
+// procState tracks the scheduler's view of one process.
+type procState struct {
+	proc    *Proc
+	body    Body
+	parked  bool
+	decided bool
+}
+
+// Runner executes a set of bodies over a shared memory under a schedule.
+type Runner struct {
+	mem    *Memory
+	cfg    Config
+	rng    *rand.Rand
+	procs  []*procState
+	events chan procEvent
+
+	trace       []TraceEvent
+	recordTrace bool
+
+	stepCount   int
+	crashBudget int
+	failure     error // sticky ErrRunBudget etc.
+}
+
+type procEventKind int
+
+const (
+	evParked procEventKind = iota + 1
+	evDone
+)
+
+type procEvent struct {
+	proc int
+	kind procEventKind
+	out  Value
+}
+
+// NewRunner prepares an execution of the given bodies (one per process)
+// over mem. The runner owns mem for the duration of Run.
+func NewRunner(mem *Memory, bodies []Body, cfg Config) *Runner {
+	if cfg.Model == 0 {
+		cfg.Model = Independent
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	if cfg.MaxStepsPerRun == 0 {
+		cfg.MaxStepsPerRun = 100_000
+	}
+	r := &Runner{
+		mem:         mem,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		events:      make(chan procEvent),
+		crashBudget: cfg.MaxCrashes,
+	}
+	for i, body := range bodies {
+		p := &Proc{id: i, runner: r, grant: make(chan grantMsg)}
+		r.procs = append(r.procs, &procState{proc: p, body: body})
+	}
+	return r
+}
+
+// RecordTrace enables trace capture (off by default to keep stress tests
+// allocation-light).
+func (r *Runner) RecordTrace() { r.recordTrace = true }
+
+// Run executes until every process decides, the script and budgets are
+// exhausted, or an invariant fails.
+func (r *Runner) Run() (*Outcome, error) {
+	live := 0
+	for _, ps := range r.procs {
+		go r.procLoop(ps)
+		live++
+	}
+	outstanding := live // every process will report in without a grant
+
+	out := &Outcome{
+		Decisions: make([]Value, len(r.procs)),
+		Decided:   make([]bool, len(r.procs)),
+		Crashes:   make([]int, len(r.procs)),
+		Runs:      make([]int, len(r.procs)),
+	}
+
+	finish := func(err error) (*Outcome, error) {
+		// Tear down parked processes so no goroutine leaks.
+		for _, ps := range r.procs {
+			if ps.parked {
+				ps.proc.grant <- grantMsg{stop: true}
+				<-r.events // the stop acknowledgement (evDone)
+			}
+		}
+		for i, ps := range r.procs {
+			out.Crashes[i] = ps.proc.crashes
+			out.Runs[i] = ps.proc.runs
+		}
+		out.Steps = r.stepCount
+		out.Trace = r.trace
+		if err == nil {
+			err = r.failure
+		}
+		return out, err
+	}
+
+	scriptPos := 0
+	for {
+		for outstanding > 0 {
+			ev := <-r.events
+			outstanding--
+			ps := r.procs[ev.proc]
+			switch ev.kind {
+			case evParked:
+				ps.parked = true
+			case evDone:
+				ps.decided = true
+				out.Decided[ev.proc] = true
+				out.Decisions[ev.proc] = ev.out
+				live--
+				r.traceEvent(TraceEvent{Kind: TraceDecide, Proc: ev.proc, Detail: ev.out})
+			}
+		}
+		if r.failure != nil {
+			return finish(nil)
+		}
+		if live == 0 {
+			return finish(nil)
+		}
+		if r.stepCount >= r.cfg.MaxSteps {
+			return finish(ErrStepBudget)
+		}
+
+		var act Action
+		if scriptPos < len(r.cfg.Script) {
+			act = r.cfg.Script[scriptPos]
+			scriptPos++
+			if err := r.validateAction(act); err != nil {
+				return finish(err)
+			}
+		} else if r.cfg.HaltAtScriptEnd {
+			return finish(nil)
+		} else {
+			act = r.randomAction()
+		}
+
+		switch act.Kind {
+		case ActStep:
+			r.stepCount++
+			r.grant(act.Proc, false)
+			outstanding = 1
+		case ActCrash:
+			r.grant(act.Proc, true)
+			outstanding = 1
+		case ActCrashAll:
+			for id, ps := range r.procs {
+				if ps.parked && !ps.decided {
+					r.grant(id, true)
+					// Wait for this process to re-park (or decide)
+					// before crashing the next one, so the crash is
+					// atomic with respect to steps.
+					ev := <-r.events
+					ps2 := r.procs[ev.proc]
+					switch ev.kind {
+					case evParked:
+						ps2.parked = true
+					case evDone:
+						ps2.decided = true
+						out.Decided[ev.proc] = true
+						out.Decisions[ev.proc] = ev.out
+						live--
+					}
+				}
+			}
+			outstanding = 0
+		}
+	}
+}
+
+func (r *Runner) validateAction(act Action) error {
+	switch act.Kind {
+	case ActStep, ActCrash:
+		if act.Proc < 0 || act.Proc >= len(r.procs) {
+			return fmt.Errorf("sim: script refers to unknown process %d", act.Proc)
+		}
+		ps := r.procs[act.Proc]
+		if ps.decided {
+			return fmt.Errorf("sim: script schedules process %d after it decided", act.Proc)
+		}
+		if act.Kind == ActCrash && r.cfg.Model == Simultaneous {
+			return errors.New("sim: individual crash scripted under the simultaneous model")
+		}
+	case ActCrashAll:
+		// always valid
+	default:
+		return fmt.Errorf("sim: unknown script action kind %d", act.Kind)
+	}
+	return nil
+}
+
+// randomAction picks the next scheduling decision from the seeded RNG:
+// a uniformly random live process, crashed with probability CrashProb
+// while budget remains.
+func (r *Runner) randomAction() Action {
+	var liveIDs []int
+	for id, ps := range r.procs {
+		if ps.parked && !ps.decided {
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	id := liveIDs[r.rng.Intn(len(liveIDs))]
+	if r.crashBudget > 0 && r.cfg.CrashProb > 0 && r.rng.Float64() < r.cfg.CrashProb {
+		r.crashBudget--
+		if r.cfg.Model == Simultaneous {
+			return Action{Kind: ActCrashAll}
+		}
+		return Action{Kind: ActCrash, Proc: id}
+	}
+	return Action{Kind: ActStep, Proc: id}
+}
+
+func (r *Runner) grant(id int, crash bool) {
+	ps := r.procs[id]
+	ps.parked = false
+	if crash {
+		ps.proc.crashes++
+		r.traceEvent(TraceEvent{Kind: TraceCrash, Proc: id})
+	}
+	ps.proc.grant <- grantMsg{crash: crash}
+}
+
+// procLoop runs one process: body attempts separated by crash recoveries.
+func (r *Runner) procLoop(ps *procState) {
+	p := ps.proc
+	for {
+		p.runs++
+		p.runSteps = 0
+		out, status := p.attempt(ps.body)
+		if status == attemptDecided && r.cfg.DecideRequiresStep {
+			status = p.commit()
+		}
+		switch status {
+		case attemptDecided:
+			r.events <- procEvent{proc: p.id, kind: evDone, out: out}
+			return
+		case attemptCrashed:
+			continue // restart from the beginning: locals are gone
+		case attemptStopped:
+			r.events <- procEvent{proc: p.id, kind: evDone, out: None}
+			return
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+func newTestMemory() *Memory {
+	m := NewMemory()
+	m.AddRegister("R", None)
+	m.AddRegister("S", None)
+	m.AddObject("O", types.NewCAS(), spec.State(types.Bottom))
+	return m
+}
+
+func TestTwoProcessesRunToCompletion(t *testing.T) {
+	m := newTestMemory()
+	bodies := []Body{
+		func(p *Proc) Value { p.Write("R", "a"); return p.Read("R") },
+		func(p *Proc) Value { p.Write("S", "b"); return p.Read("S") },
+	}
+	out, err := NewRunner(m, bodies, Config{Seed: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decided[0] || !out.Decided[1] {
+		t.Fatalf("not all processes decided: %+v", out)
+	}
+	if out.Decisions[0] != "a" || out.Decisions[1] != "b" {
+		t.Fatalf("decisions = %v", out.Decisions)
+	}
+	if out.Steps != 4 {
+		t.Fatalf("steps = %d, want 4", out.Steps)
+	}
+}
+
+func TestDeterminismForFixedSeed(t *testing.T) {
+	run := func() []TraceEvent {
+		m := newTestMemory()
+		bodies := []Body{
+			func(p *Proc) Value { p.Write("R", "x"); return p.Read("S") },
+			func(p *Proc) Value { p.Write("S", "y"); return p.Read("R") },
+			func(p *Proc) Value { p.Apply("O", "cas(_,3)"); return Value(p.ReadObject("O")) },
+		}
+		r := NewRunner(m, bodies, Config{Seed: 42, CrashProb: 0.3, MaxCrashes: 5})
+		r.RecordTrace()
+		out, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Trace
+	}
+	t1, t2 := run(), run()
+	if FormatTrace(t1) != FormatTrace(t2) {
+		t.Fatalf("same seed produced different traces:\n%s\nvs\n%s", FormatTrace(t1), FormatTrace(t2))
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	trace := func(seed int64) string {
+		m := newTestMemory()
+		bodies := []Body{
+			func(p *Proc) Value { p.Write("R", "x"); p.Write("R", "y"); return p.Read("R") },
+			func(p *Proc) Value { p.Write("R", "z"); p.Write("R", "w"); return p.Read("R") },
+		}
+		r := NewRunner(m, bodies, Config{Seed: seed})
+		r.RecordTrace()
+		out, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTrace(out.Trace)
+	}
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		distinct[trace(seed)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("20 seeds all produced the same interleaving; scheduler is not randomizing")
+	}
+}
+
+func TestCrashRestartsBodyAndPreservesSharedMemory(t *testing.T) {
+	m := newTestMemory()
+	attempts := 0
+	body := func(p *Proc) Value {
+		attempts++ // volatile state proxy: counts runs
+		v := p.Read("R")
+		if v == None {
+			p.Write("R", "once")
+		}
+		return p.Read("R")
+	}
+	cfg := Config{
+		// Run to the write, crash, then run again to completion.
+		Script: []Action{Step(0), Step(0), Crash(0), Step(0), Step(0)},
+	}
+	out, err := NewRunner(m, []Body{body}, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("body ran %d times, want 2", attempts)
+	}
+	if out.Crashes[0] != 1 || out.Runs[0] != 2 {
+		t.Fatalf("crashes=%v runs=%v", out.Crashes, out.Runs)
+	}
+	if out.Decisions[0] != "once" {
+		t.Fatalf("decision = %q, want once (shared write must survive the crash)", out.Decisions[0])
+	}
+}
+
+func TestCrashBeforeWriteLosesNothingShared(t *testing.T) {
+	m := newTestMemory()
+	body := func(p *Proc) Value {
+		if p.Read("R") == None {
+			p.Write("R", "v")
+		}
+		return p.Read("R")
+	}
+	// Crash after the read but before the write: the register must still
+	// be unwritten on restart.
+	cfg := Config{Script: []Action{Step(0), Crash(0)}}
+	out, err := NewRunner(m, []Body{body}, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != "v" {
+		t.Fatalf("decision = %q", out.Decisions[0])
+	}
+	if out.Runs[0] != 2 {
+		t.Fatalf("runs = %d, want 2", out.Runs[0])
+	}
+}
+
+func TestScriptedInterleavingIsExact(t *testing.T) {
+	m := newTestMemory()
+	bodies := []Body{
+		func(p *Proc) Value { p.Write("R", "first"); return p.Read("R") },
+		func(p *Proc) Value { p.Write("R", "second"); return p.Read("R") },
+	}
+	cfg := Config{Script: []Action{Step(1), Step(0), Step(0), Step(1)}}
+	r := NewRunner(m, bodies, cfg)
+	r.RecordTrace()
+	out, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 writes, then p0 overwrites; both read "first".
+	if out.Decisions[0] != "first" || out.Decisions[1] != "first" {
+		t.Fatalf("decisions = %v\ntrace:\n%s", out.Decisions, FormatTrace(out.Trace))
+	}
+}
+
+func TestScriptRejectsDecidedProcess(t *testing.T) {
+	m := newTestMemory()
+	bodies := []Body{
+		func(p *Proc) Value { return p.Read("R") },
+		func(p *Proc) Value { return p.Read("S") },
+	}
+	cfg := Config{Script: []Action{Step(0), Step(0)}}
+	_, err := NewRunner(m, bodies, cfg).Run()
+	if err == nil {
+		t.Fatal("script scheduling a decided process was accepted")
+	}
+}
+
+func TestScriptRejectsUnknownProcess(t *testing.T) {
+	m := newTestMemory()
+	bodies := []Body{func(p *Proc) Value { return p.Read("R") }}
+	_, err := NewRunner(m, bodies, Config{Script: []Action{Step(7)}}).Run()
+	if err == nil {
+		t.Fatal("script with unknown process was accepted")
+	}
+}
+
+func TestSimultaneousCrashAll(t *testing.T) {
+	m := newTestMemory()
+	mkBody := func(reg string) Body {
+		return func(p *Proc) Value {
+			if p.Read(reg) == None {
+				p.Write(reg, "w")
+			}
+			return p.Read(reg)
+		}
+	}
+	cfg := Config{
+		Model:  Simultaneous,
+		Script: []Action{Step(0), Step(1), CrashAll()},
+	}
+	out, err := NewRunner(m, []Body{mkBody("R"), mkBody("S")}, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Crashes[0] != 1 || out.Crashes[1] != 1 {
+		t.Fatalf("crashes = %v, want one each", out.Crashes)
+	}
+	if out.Decisions[0] != "w" || out.Decisions[1] != "w" {
+		t.Fatalf("decisions = %v", out.Decisions)
+	}
+}
+
+func TestSimultaneousModelRejectsIndividualCrash(t *testing.T) {
+	m := newTestMemory()
+	bodies := []Body{func(p *Proc) Value { return p.Read("R") }}
+	cfg := Config{Model: Simultaneous, Script: []Action{Crash(0)}}
+	if _, err := NewRunner(m, bodies, cfg).Run(); err == nil {
+		t.Fatal("individual crash accepted under the simultaneous model")
+	}
+}
+
+func TestRandomCrashesRespectBudget(t *testing.T) {
+	m := newTestMemory()
+	bodies := []Body{
+		func(p *Proc) Value {
+			if p.Read("R") == None {
+				p.Write("R", "v")
+			}
+			return p.Read("R")
+		},
+		func(p *Proc) Value {
+			if p.Read("S") == None {
+				p.Write("S", "v")
+			}
+			return p.Read("S")
+		},
+	}
+	out, err := NewRunner(m, bodies, Config{Seed: 7, CrashProb: 0.9, MaxCrashes: 3}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := out.Crashes[0] + out.Crashes[1]
+	if total > 3 {
+		t.Fatalf("crash budget exceeded: %d", total)
+	}
+	if !out.Decided[0] || !out.Decided[1] {
+		t.Fatal("processes failed to decide despite finite crash budget")
+	}
+}
+
+func TestRunBudgetViolationDetected(t *testing.T) {
+	m := newTestMemory()
+	spin := func(p *Proc) Value {
+		for {
+			p.Read("R") // never decides: not recoverable wait-free
+		}
+	}
+	cfg := Config{Seed: 1, MaxStepsPerRun: 100}
+	_, err := NewRunner(m, []Body{spin}, cfg).Run()
+	if !errors.Is(err, ErrRunBudget) {
+		t.Fatalf("err = %v, want ErrRunBudget", err)
+	}
+}
+
+func TestStepBudgetExhaustion(t *testing.T) {
+	m := newTestMemory()
+	// Two processes ping-ponging forever on a register they keep
+	// resetting: each individual run is short (decides quickly), but we
+	// give the execution a tiny global budget.
+	bodies := []Body{
+		func(p *Proc) Value { p.Read("R"); p.Read("R"); p.Read("R"); return "x" },
+	}
+	cfg := Config{Seed: 1, MaxSteps: 2}
+	_, err := NewRunner(m, bodies, cfg).Run()
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestObjectOpsThroughProc(t *testing.T) {
+	m := newTestMemory()
+	bodies := []Body{
+		func(p *Proc) Value {
+			r := p.Apply("O", "cas(_,7)")
+			if r != "true" {
+				return "lost"
+			}
+			return Value(p.ReadObject("O"))
+		},
+		func(p *Proc) Value {
+			r := p.Apply("O", "cas(_,9)")
+			if r != "true" {
+				return "lost"
+			}
+			return Value(p.ReadObject("O"))
+		},
+	}
+	out, err := NewRunner(m, bodies, Config{Seed: 3}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	winners := 0
+	for i := range bodies {
+		if out.Decisions[i] != "lost" {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("CAS produced %d winners: %v", winners, out.Decisions)
+	}
+}
+
+func TestAllocAndEnsureHelpers(t *testing.T) {
+	m := newTestMemory()
+	body := func(p *Proc) Value {
+		name := p.AllocRegister("node", "init")
+		p.Write(name, "v1")
+		same := p.EnsureRegister("lazy[3]", None)
+		p.EnsureRegister("lazy[3]", "ignored") // idempotent
+		p.Write(same, "v2")
+		obj := p.AllocObject("cons", types.NewCAS(), spec.State(types.Bottom))
+		p.Apply(obj, "cas(_,1)")
+		return p.Read(name) + "/" + p.Read(same) + "/" + Value(p.ReadObject(obj))
+	}
+	out, err := NewRunner(m, []Body{body}, Config{Seed: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != "v1/v2/1" {
+		t.Fatalf("decision = %q", out.Decisions[0])
+	}
+}
+
+func TestFreshNamesUniqueAcrossCrashes(t *testing.T) {
+	m := newTestMemory()
+	var names []string
+	body := func(p *Proc) Value {
+		names = append(names, p.AllocRegister("n", None))
+		p.Read("R")
+		return "done"
+	}
+	cfg := Config{Script: []Action{Crash(0), Crash(0)}}
+	if _, err := NewRunner(m, []Body{body}, cfg).Run(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("allocation reused name %q after a crash", n)
+		}
+		seen[n] = true
+	}
+	if len(names) != 3 {
+		t.Fatalf("allocations = %d, want 3 (two crashed runs + one complete)", len(names))
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	m := newTestMemory()
+	body := func(p *Proc) Value { p.Write("R", "1"); return p.Read("R") }
+	r := NewRunner(m, []Body{body}, Config{Seed: 1})
+	r.RecordTrace()
+	out, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Trace) != 3 { // write, read, decide
+		t.Fatalf("trace has %d events:\n%s", len(out.Trace), FormatTrace(out.Trace))
+	}
+	if out.Trace[0].Kind != TraceWrite || out.Trace[2].Kind != TraceDecide {
+		t.Fatalf("unexpected trace:\n%s", FormatTrace(out.Trace))
+	}
+}
+
+func TestManySeedsStress(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		m := newTestMemory()
+		bodies := make([]Body, 4)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(p *Proc) Value {
+				reg := fmt.Sprintf("cell%d", i)
+				p.EnsureRegister(reg, None)
+				p.Write(reg, "mine")
+				p.Apply("O", spec.Op(fmt.Sprintf("cas(_,%d)", i)))
+				return Value(p.ReadObject("O"))
+			}
+		}
+		out, err := NewRunner(m, bodies, Config{Seed: seed, CrashProb: 0.2, MaxCrashes: 6}).Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// All processes must agree on the CAS winner they observed at the
+		// end (the object is write-once).
+		first := out.Decisions[0]
+		for i, d := range out.Decisions {
+			if d != first {
+				t.Fatalf("seed %d: divergent reads %d=%q vs 0=%q", seed, i, d, first)
+			}
+		}
+	}
+}

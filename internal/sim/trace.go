@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceKind discriminates execution trace events.
+type TraceKind int
+
+const (
+	// TraceRead is a register read; Detail holds the value read.
+	TraceRead TraceKind = iota + 1
+	// TraceWrite is a register write; Detail holds the value written.
+	TraceWrite
+	// TraceApply is an object update; Detail holds "op->response".
+	TraceApply
+	// TraceReadObj is an object state read; Detail holds the state.
+	TraceReadObj
+	// TraceCrash is a crash delivery.
+	TraceCrash
+	// TraceDecide is a process producing its output; Detail holds it.
+	TraceDecide
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRead:
+		return "read"
+	case TraceWrite:
+		return "write"
+	case TraceApply:
+		return "apply"
+	case TraceReadObj:
+		return "readobj"
+	case TraceCrash:
+		return "crash"
+	case TraceDecide:
+		return "decide"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one entry in an execution log.
+type TraceEvent struct {
+	Kind   TraceKind
+	Proc   int
+	Cell   string // register or object name; empty for crash/decide
+	Detail string
+}
+
+// String renders the event compactly, e.g. "p2 write R_A=5".
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TraceCrash:
+		return fmt.Sprintf("p%d CRASH", e.Proc)
+	case TraceDecide:
+		return fmt.Sprintf("p%d decide %s", e.Proc, e.Detail)
+	case TraceWrite:
+		return fmt.Sprintf("p%d write %s=%s", e.Proc, e.Cell, e.Detail)
+	case TraceRead:
+		return fmt.Sprintf("p%d read %s=%s", e.Proc, e.Cell, e.Detail)
+	case TraceApply:
+		return fmt.Sprintf("p%d apply %s.%s", e.Proc, e.Cell, e.Detail)
+	case TraceReadObj:
+		return fmt.Sprintf("p%d readobj %s=%s", e.Proc, e.Cell, e.Detail)
+	default:
+		return fmt.Sprintf("p%d %s %s %s", e.Proc, e.Kind, e.Cell, e.Detail)
+	}
+}
+
+// FormatTrace renders a trace one event per line, for test failure
+// diagnostics.
+func FormatTrace(events []TraceEvent) string {
+	var b strings.Builder
+	for i, e := range events {
+		fmt.Fprintf(&b, "%4d  %s\n", i, e)
+	}
+	return b.String()
+}
+
+func (r *Runner) traceEvent(e TraceEvent) {
+	if r.recordTrace {
+		r.trace = append(r.trace, e)
+	}
+}

@@ -1,0 +1,65 @@
+package spec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Object is an atomic shared object: an instance of a Type holding a
+// current state. Its methods are linearizable (each method call is a
+// single atomic step); the simulator in package sim serializes access, and
+// the mutex additionally makes Object safe for direct concurrent use in
+// examples and benchmarks.
+type Object struct {
+	mu    sync.Mutex
+	typ   Type
+	state State
+
+	ops int // number of update operations applied
+}
+
+// NewObject creates an object of type t initialized to state q0.
+func NewObject(t Type, q0 State) *Object {
+	return &Object{typ: t, state: q0}
+}
+
+// Type returns the object's sequential specification.
+func (o *Object) Type() Type { return o.typ }
+
+// Apply atomically applies an update operation and returns its response.
+func (o *Object) Apply(op Op) (Response, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	ns, r, err := o.typ.Apply(o.state, op)
+	if err != nil {
+		return "", fmt.Errorf("object %s: %w", o.typ.Name(), err)
+	}
+	o.state = ns
+	o.ops++
+	return r, nil
+}
+
+// Read atomically returns the object's entire current state without
+// changing it (the paper's Read operation on readable types).
+func (o *Object) Read() State {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.state
+}
+
+// UpdateCount returns the number of update operations applied so far.
+// It is used by tests and by the execution tracer.
+func (o *Object) UpdateCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ops
+}
+
+// Reset restores the object to state q0 and clears the update counter.
+func (o *Object) Reset(q0 State) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.state = q0
+	o.ops = 0
+}

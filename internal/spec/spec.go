@@ -1,0 +1,200 @@
+// Package spec provides a framework for deterministic sequential
+// specifications of shared object types, as used throughout the paper
+// "When Is Recoverable Consensus Harder Than Consensus?" (PODC 2022).
+//
+// A type is defined by its set of states, its update operations, and a
+// deterministic transition function Apply that maps a (state, operation)
+// pair to a (new state, response) pair. Types in this package are
+// "readable" in the paper's sense: an object of any type can additionally
+// be read, returning its entire current state without changing it.
+//
+// States, operations and responses are represented as canonical strings so
+// that they are comparable, hashable and printable. Each concrete type
+// (see package types) documents its encoding.
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is the canonical, comparable encoding of an object state.
+type State string
+
+// Op identifies an update operation together with its arguments,
+// for example "write(3)" or "opA".
+type Op string
+
+// Response is the canonical encoding of an operation's response.
+type Response string
+
+// Ack is the response of operations that return no information.
+const Ack Response = "ack"
+
+// ErrBadState is wrapped by Apply implementations when given a state that
+// is not a valid encoding for the type.
+var ErrBadState = errors.New("invalid state encoding")
+
+// ErrBadOp is wrapped by Apply implementations when given an operation the
+// type does not support.
+var ErrBadOp = errors.New("unsupported operation")
+
+// Type is a deterministic sequential specification of a shared object type.
+//
+// Implementations must be deterministic: Apply must return the same
+// (state, response) for the same input every time, with no hidden state.
+type Type interface {
+	// Name returns a short human-readable identifier, e.g. "stack(cap=4)".
+	Name() string
+
+	// InitialStates returns the candidate initial states considered when
+	// searching for n-recording / n-discerning witnesses. It must be
+	// non-empty, and for exhaustive impossibility arguments it should
+	// cover all states that are not equivalent (up to symmetry) to a
+	// listed one.
+	InitialStates() []State
+
+	// Ops returns the update operations considered when searching for
+	// witnesses. Operations here carry concrete arguments. Types whose
+	// natural operation alphabet depends on the number of processes
+	// should also implement OpsForN.
+	Ops() []Op
+
+	// Apply applies op to an object in state s, returning the new state
+	// and the operation's response. It returns an error wrapping
+	// ErrBadState or ErrBadOp for invalid inputs.
+	Apply(s State, op Op) (State, Response, error)
+}
+
+// OpsForN is implemented by types whose useful operation alphabet grows
+// with the number of processes n (for example, registers need n distinct
+// written values to be maximally discerning).
+type OpsForN interface {
+	// OpsFor returns the candidate operations for witness searches among
+	// n processes.
+	OpsFor(n int) []Op
+}
+
+// CandidateOps returns the candidate operation alphabet of t for n
+// processes: t.OpsFor(n) when available, t.Ops() otherwise.
+func CandidateOps(t Type, n int) []Op {
+	if g, ok := t.(OpsForN); ok {
+		return g.OpsFor(n)
+	}
+	return t.Ops()
+}
+
+// MustApply applies op to s and panics on error. It is intended for test
+// code and for algorithm bodies where the operation set is fixed by
+// construction and an error indicates a programming mistake.
+func MustApply(t Type, s State, op Op) (State, Response) {
+	ns, r, err := t.Apply(s, op)
+	if err != nil {
+		panic(fmt.Sprintf("spec: apply %s to %q of %s: %v", op, s, t.Name(), err))
+	}
+	return ns, r
+}
+
+// Reachable returns all states reachable from q0 by applying any sequence
+// of operations from ops (operations may repeat). The result includes q0
+// and is sorted for determinism. limit bounds the number of states
+// explored; Reachable returns an error if the limit is exceeded, which
+// signals an unexpectedly infinite or huge state space.
+func Reachable(t Type, q0 State, ops []Op, limit int) ([]State, error) {
+	seen := map[State]bool{q0: true}
+	frontier := []State{q0}
+	for len(frontier) > 0 {
+		next := frontier[0]
+		frontier = frontier[1:]
+		for _, op := range ops {
+			ns, _, err := t.Apply(next, op)
+			if err != nil {
+				return nil, fmt.Errorf("reachable from %q: %w", q0, err)
+			}
+			if !seen[ns] {
+				if len(seen) >= limit {
+					return nil, fmt.Errorf("reachable: state space exceeds limit %d", limit)
+				}
+				seen[ns] = true
+				frontier = append(frontier, ns)
+			}
+		}
+	}
+	out := make([]State, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Commute reports whether op1 and op2 commute from state q0: the sequences
+// (op1, op2) and (op2, op1) leave the object in the same state
+// (Herlihy's definition, used in Appendix D and H of the paper).
+func Commute(t Type, q0 State, op1, op2 Op) (bool, error) {
+	s1, _, err := t.Apply(q0, op1)
+	if err != nil {
+		return false, err
+	}
+	s12, _, err := t.Apply(s1, op2)
+	if err != nil {
+		return false, err
+	}
+	s2, _, err := t.Apply(q0, op2)
+	if err != nil {
+		return false, err
+	}
+	s21, _, err := t.Apply(s2, op1)
+	if err != nil {
+		return false, err
+	}
+	return s12 == s21, nil
+}
+
+// Overwrites reports whether op1 overwrites op2 from q0: the sequences
+// (op1) and (op2, op1) take the object from q0 to the same state.
+func Overwrites(t Type, q0 State, op1, op2 Op) (bool, error) {
+	s1, _, err := t.Apply(q0, op1)
+	if err != nil {
+		return false, err
+	}
+	s2, _, err := t.Apply(q0, op2)
+	if err != nil {
+		return false, err
+	}
+	s21, _, err := t.Apply(s2, op1)
+	if err != nil {
+		return false, err
+	}
+	return s1 == s21, nil
+}
+
+// FormatOp builds an operation string "name(arg1,arg2,...)".
+func FormatOp(name string, args ...string) Op {
+	if len(args) == 0 {
+		return Op(name)
+	}
+	return Op(name + "(" + strings.Join(args, ",") + ")")
+}
+
+// ParseOp splits an operation into its name and argument list. Operations
+// without parentheses have no arguments. Malformed encodings yield an
+// error wrapping ErrBadOp.
+func ParseOp(op Op) (name string, args []string, err error) {
+	s := string(op)
+	i := strings.IndexByte(s, '(')
+	if i < 0 {
+		return s, nil, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("%w: %q", ErrBadOp, op)
+	}
+	name = s[:i]
+	inner := s[i+1 : len(s)-1]
+	if inner == "" {
+		return name, nil, nil
+	}
+	return name, strings.Split(inner, ","), nil
+}

@@ -1,0 +1,187 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// toggle is a minimal two-state test type: "flip" swaps between "0" and
+// "1", responding with the pre-flip state.
+type toggle struct{}
+
+func (toggle) Name() string           { return "toggle" }
+func (toggle) InitialStates() []State { return []State{"0", "1"} }
+func (toggle) Ops() []Op              { return []Op{"flip"} }
+func (toggle) Apply(s State, op Op) (State, Response, error) {
+	if op != "flip" {
+		return "", "", fmt.Errorf("%w: %q", ErrBadOp, op)
+	}
+	switch s {
+	case "0":
+		return "1", "0", nil
+	case "1":
+		return "0", "1", nil
+	default:
+		return "", "", fmt.Errorf("%w: %q", ErrBadState, s)
+	}
+}
+
+func TestMustApply(t *testing.T) {
+	ns, r := MustApply(toggle{}, "0", "flip")
+	if ns != "1" || r != "0" {
+		t.Fatalf("MustApply = (%q, %q), want (1, 0)", ns, r)
+	}
+}
+
+func TestMustApplyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustApply did not panic on a bad op")
+		}
+	}()
+	MustApply(toggle{}, "0", "bogus")
+}
+
+func TestApplyErrors(t *testing.T) {
+	if _, _, err := (toggle{}).Apply("0", "bogus"); !errors.Is(err, ErrBadOp) {
+		t.Errorf("bad op error = %v, want ErrBadOp", err)
+	}
+	if _, _, err := (toggle{}).Apply("zzz", "flip"); !errors.Is(err, ErrBadState) {
+		t.Errorf("bad state error = %v, want ErrBadState", err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	states, err := Reachable(toggle{}, "0", []Op{"flip"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 || states[0] != "0" || states[1] != "1" {
+		t.Fatalf("Reachable = %v, want [0 1]", states)
+	}
+}
+
+func TestReachableLimit(t *testing.T) {
+	if _, err := Reachable(toggle{}, "0", []Op{"flip"}, 1); err == nil {
+		t.Fatal("Reachable did not report exceeding the state limit")
+	}
+}
+
+func TestCommuteAndOverwrite(t *testing.T) {
+	// flip then flip returns to the start in both orders: it commutes
+	// with itself trivially.
+	ok, err := Commute(toggle{}, "0", "flip", "flip")
+	if err != nil || !ok {
+		t.Fatalf("Commute(flip, flip) = %v, %v; want true", ok, err)
+	}
+	// flip does not overwrite flip: flip != flip∘flip.
+	ok, err = Overwrites(toggle{}, "0", "flip", "flip")
+	if err != nil || ok {
+		t.Fatalf("Overwrites(flip, flip) = %v, %v; want false", ok, err)
+	}
+}
+
+func TestObjectApplyAndRead(t *testing.T) {
+	o := NewObject(toggle{}, "0")
+	if got := o.Read(); got != "0" {
+		t.Fatalf("initial Read = %q, want 0", got)
+	}
+	r, err := o.Apply("flip")
+	if err != nil || r != "0" {
+		t.Fatalf("Apply = (%q, %v), want (0, nil)", r, err)
+	}
+	if got := o.Read(); got != "1" {
+		t.Fatalf("Read after flip = %q, want 1", got)
+	}
+	if got := o.UpdateCount(); got != 1 {
+		t.Fatalf("UpdateCount = %d, want 1", got)
+	}
+	o.Reset("0")
+	if o.Read() != "0" || o.UpdateCount() != 0 {
+		t.Fatal("Reset did not restore the initial state")
+	}
+}
+
+func TestObjectApplyError(t *testing.T) {
+	o := NewObject(toggle{}, "0")
+	if _, err := o.Apply("bogus"); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("Apply(bogus) error = %v, want ErrBadOp", err)
+	}
+	if got := o.Read(); got != "0" {
+		t.Fatalf("failed Apply changed state to %q", got)
+	}
+}
+
+func TestFormatParseOpRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"deq", nil},
+		{"write", []string{"7"}},
+		{"cas", []string{"_", "42"}},
+	}
+	for _, c := range cases {
+		op := FormatOp(c.name, c.args...)
+		name, args, err := ParseOp(op)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op, err)
+		}
+		if name != c.name || len(args) != len(c.args) {
+			t.Fatalf("round trip of %q: got (%q, %v)", op, name, args)
+		}
+		for i := range args {
+			if args[i] != c.args[i] {
+				t.Fatalf("round trip of %q: arg %d = %q, want %q", op, i, args[i], c.args[i])
+			}
+		}
+	}
+}
+
+func TestParseOpMalformed(t *testing.T) {
+	if _, _, err := ParseOp("write(3"); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("ParseOp(\"write(3\") error = %v, want ErrBadOp", err)
+	}
+}
+
+func TestParseOpEmptyArgs(t *testing.T) {
+	name, args, err := ParseOp("deq()")
+	if err != nil || name != "deq" || len(args) != 0 {
+		t.Fatalf("ParseOp(\"deq()\") = (%q, %v, %v)", name, args, err)
+	}
+}
+
+// TestFormatOpParseOpProperty checks the round-trip property on random
+// argument-free names (names drawn from a safe alphabet).
+func TestFormatOpParseOpProperty(t *testing.T) {
+	prop := func(raw uint32, nargs uint8) bool {
+		name := fmt.Sprintf("op%d", raw)
+		n := int(nargs % 4)
+		args := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			args = append(args, fmt.Sprintf("a%d", i))
+		}
+		op := FormatOp(name, args...)
+		gname, gargs, err := ParseOp(op)
+		if err != nil || gname != name || len(gargs) != len(args) {
+			return false
+		}
+		for i := range args {
+			if gargs[i] != args[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCandidateOps(t *testing.T) {
+	if got := CandidateOps(toggle{}, 5); len(got) != 1 || got[0] != "flip" {
+		t.Fatalf("CandidateOps(toggle) = %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package types
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"rcons/internal/spec"
+)
+
+// Custom is a user-defined deterministic type given by an explicit
+// transition table, loadable from JSON. It lets downstream users ask
+// "where does MY type sit in the recoverable consensus hierarchy?"
+// through cmd/rcons without writing Go:
+//
+//	{
+//	  "name": "my-type",
+//	  "initial": ["q0"],
+//	  "transitions": {
+//	    "q0": {"opA": {"next": "q1", "resp": "A"},
+//	           "opB": {"next": "q2", "resp": "B"}},
+//	    "q1": {"opA": {"next": "q1", "resp": "A"},
+//	           "opB": {"next": "q1", "resp": "A"}},
+//	    "q2": {"opA": {"next": "q2", "resp": "B"},
+//	           "opB": {"next": "q2", "resp": "B"}}
+//	  }
+//	}
+//
+// Every state must define every operation (the table must be total), and
+// all successor states must themselves have rows — Validate checks both,
+// so checker searches can never fall off the table.
+type Custom struct {
+	// TypeName is the display name.
+	TypeName string `json:"name"`
+	// Initial lists the candidate initial states for witness searches;
+	// when empty, all states are candidates.
+	Initial []string `json:"initial"`
+	// Transitions maps state → operation → (next state, response).
+	Transitions map[string]map[string]CustomEdge `json:"transitions"`
+	// ReadableFlag marks the type readable (default true via
+	// NewCustomFromJSON; Theorems 3/8 require it).
+	ReadableFlag *bool `json:"readable"`
+}
+
+// CustomEdge is one transition of a Custom type.
+type CustomEdge struct {
+	Next string `json:"next"`
+	Resp string `json:"resp"`
+}
+
+var (
+	_ spec.Type   = (*Custom)(nil)
+	_ NonReadable = (*Custom)(nil)
+)
+
+// NewCustomFromJSON parses and validates a JSON transition table.
+func NewCustomFromJSON(data []byte) (*Custom, error) {
+	var c Custom
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("types: parse custom type: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks the table is non-empty, total, and closed.
+func (c *Custom) Validate() error {
+	if c.TypeName == "" {
+		return fmt.Errorf("types: custom type needs a name")
+	}
+	if len(c.Transitions) == 0 {
+		return fmt.Errorf("types: custom type %q has no states", c.TypeName)
+	}
+	ops := c.opSet()
+	if len(ops) == 0 {
+		return fmt.Errorf("types: custom type %q has no operations", c.TypeName)
+	}
+	for state, row := range c.Transitions {
+		for _, op := range ops {
+			edge, ok := row[op]
+			if !ok {
+				return fmt.Errorf("types: custom type %q: state %q missing operation %q (the table must be total)",
+					c.TypeName, state, op)
+			}
+			if _, ok := c.Transitions[edge.Next]; !ok {
+				return fmt.Errorf("types: custom type %q: state %q op %q leads to unknown state %q",
+					c.TypeName, state, op, edge.Next)
+			}
+		}
+		if len(row) != len(ops) {
+			return fmt.Errorf("types: custom type %q: state %q defines %d ops, others define %d",
+				c.TypeName, state, len(row), len(ops))
+		}
+	}
+	for _, init := range c.Initial {
+		if _, ok := c.Transitions[init]; !ok {
+			return fmt.Errorf("types: custom type %q: initial state %q not in the table", c.TypeName, init)
+		}
+	}
+	return nil
+}
+
+// opSet returns the operation alphabet (from an arbitrary row; Validate
+// enforces totality).
+func (c *Custom) opSet() []string {
+	for _, row := range c.Transitions {
+		ops := make([]string, 0, len(row))
+		for op := range row {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		return ops
+	}
+	return nil
+}
+
+// Name implements spec.Type.
+func (c *Custom) Name() string { return c.TypeName }
+
+// NonReadable implements the marker; Readable() consults ReadableFlag.
+func (c *Custom) NonReadable() {}
+
+// IsReadable reports the declared readability (default true).
+func (c *Custom) IsReadable() bool { return c.ReadableFlag == nil || *c.ReadableFlag }
+
+// InitialStates implements spec.Type.
+func (c *Custom) InitialStates() []spec.State {
+	names := c.Initial
+	if len(names) == 0 {
+		names = make([]string, 0, len(c.Transitions))
+		for s := range c.Transitions {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+	}
+	out := make([]spec.State, len(names))
+	for i, s := range names {
+		out[i] = spec.State(s)
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (c *Custom) Ops() []spec.Op {
+	ops := c.opSet()
+	out := make([]spec.Op, len(ops))
+	for i, o := range ops {
+		out[i] = spec.Op(o)
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (c *Custom) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	row, ok := c.Transitions[string(s)]
+	if !ok {
+		return "", "", fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	edge, ok := row[string(op)]
+	if !ok {
+		return "", "", fmt.Errorf("%w: %s does not support %q", spec.ErrBadOp, c.TypeName, op)
+	}
+	return spec.State(edge.Next), spec.Response(edge.Resp), nil
+}

@@ -1,0 +1,61 @@
+// Package types implements the zoo of deterministic shared object types
+// used by the paper "When Is Recoverable Consensus Harder Than Consensus?"
+// (PODC 2022) and its reproduction:
+//
+//   - classical types referenced by the paper: read/write register,
+//     test&set, fetch&add, swap, compare&swap, sticky register, counter,
+//     max-register, bounded FIFO queue and LIFO stack, and a consensus
+//     object;
+//   - the separating families the paper constructs: T_n (Figure 5,
+//     Proposition 19: n-discerning but not (n-1)-recording) and S_n
+//     (Figure 6, Proposition 21: rcons = cons = n), plus the read-only
+//     type S_1;
+//
+// Every type implements spec.Type with canonical string state encodings.
+// All types are "readable" in the paper's sense (an object's full state
+// can be read atomically) except those marked with the NonReadable
+// interface: the plain queue and plain stack of Appendix H, whose
+// consensus power comes only from their update operations' responses.
+package types
+
+import (
+	"strconv"
+
+	"rcons/internal/spec"
+)
+
+// NonReadable marks types whose objects must NOT be read as a whole for
+// the paper's classification results to apply (Appendix H analyses the
+// plain, non-readable stack and queue). The simulator still allows Read
+// on such objects, but algorithms reproducing paper results must not use
+// it, and the checkers report readability so callers can interpret
+// results correctly (Theorem 8 requires readability; Theorem 14 does not).
+type NonReadable interface {
+	NonReadable()
+}
+
+// Readable reports whether t is readable in the paper's sense. The queue
+// and stack honour their AllowRead flag; every other type is readable
+// unless it implements NonReadable.
+func Readable(t spec.Type) bool {
+	switch v := t.(type) {
+	case *Queue:
+		return v.AllowRead
+	case *Stack:
+		return v.AllowRead
+	case *Custom:
+		return v.IsReadable()
+	default:
+		_, nr := t.(NonReadable)
+		return !nr
+	}
+}
+
+// itoa is shorthand used by state encoders throughout the package.
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// atoi parses a decimal integer, reporting ok=false on malformed input.
+func atoi(s string) (int, bool) {
+	v, err := strconv.Atoi(s)
+	return v, err == nil
+}

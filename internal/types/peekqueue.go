@@ -1,0 +1,98 @@
+package types
+
+import (
+	"fmt"
+
+	"rcons/internal/spec"
+)
+
+// PeekQueue is a bounded FIFO queue augmented with a peek operation that
+// returns the front item without removing it. Unlike the plain queue
+// (cons = 2), a queue with peek has consensus number ∞ — the first
+// enqueued item stays observable at the front forever (until dequeued),
+// so processes can always discover who enqueued first — and the same
+// reasoning makes enq-only witnesses n-recording for every n, so
+// rcons(peek-queue) = ∞ as well. The type rounds out the zoo with a
+// "classically infinite" object whose power, like compare&swap's,
+// survives crashes; it also illustrates the paper's footnote 3: peek is
+// a partial read, and partial readability is all Figure 2 needs when the
+// witness separates teams by the front element.
+//
+// State encoding: comma-separated items, front first ("" when empty).
+// Operations: enq(v) → Ack/RespFull, deq → front/RespEmpty, and
+// peek → front/RespEmpty (no state change).
+type PeekQueue struct {
+	// Cap bounds the number of stored items; must be at least 2.
+	Cap int
+	// Values is the candidate enqueue alphabet for witness searches.
+	Values []string
+}
+
+var (
+	_ spec.Type    = (*PeekQueue)(nil)
+	_ spec.OpsForN = (*PeekQueue)(nil)
+)
+
+// NewPeekQueue returns a peek-queue with alphabet {"0", "1"}.
+func NewPeekQueue(capacity int) *PeekQueue {
+	return &PeekQueue{Cap: capacity, Values: []string{"0", "1"}}
+}
+
+// Name implements spec.Type.
+func (q *PeekQueue) Name() string { return fmt.Sprintf("peek-queue(cap=%d)", q.Cap) }
+
+// InitialStates implements spec.Type.
+func (q *PeekQueue) InitialStates() []spec.State {
+	out := []spec.State{""}
+	for _, v := range q.Values {
+		out = append(out, seqEncode([]string{v}))
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (q *PeekQueue) Ops() []spec.Op {
+	out := []spec.Op{"deq", "peek"}
+	for _, v := range q.Values {
+		out = append(out, spec.FormatOp("enq", v))
+	}
+	return out
+}
+
+// OpsFor implements spec.OpsForN: n distinct enqueue values plus deq and
+// peek.
+func (q *PeekQueue) OpsFor(n int) []spec.Op {
+	out := []spec.Op{"deq", "peek"}
+	for i := 0; i < n; i++ {
+		out = append(out, spec.FormatOp("enq", itoa(i)))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (q *PeekQueue) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	items := seqDecode(s)
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	switch {
+	case name == "enq" && len(args) == 1:
+		if len(items) >= q.Cap {
+			return s, RespFull, nil
+		}
+		return seqEncode(append(items, args[0])), spec.Ack, nil
+	case name == "deq" && len(args) == 0:
+		if len(items) == 0 {
+			return s, RespEmpty, nil
+		}
+		return seqEncode(items[1:]), spec.Response(items[0]), nil
+	case name == "peek" && len(args) == 0:
+		if len(items) == 0 {
+			return s, RespEmpty, nil
+		}
+		return s, spec.Response(items[0]), nil
+	default:
+		return "", "", fmt.Errorf("%w: peek-queue does not support %q", spec.ErrBadOp, op)
+	}
+}

@@ -1,0 +1,262 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"rcons/internal/spec"
+)
+
+const (
+	// RespEmpty is returned by deq/pop on an empty container.
+	RespEmpty = "empty"
+	// RespFull is returned by enq/push on a full container (the bounded
+	// containers reject, rather than silently drop, overflowing items so
+	// that the specification stays deterministic and finite-state).
+	RespFull = "full"
+)
+
+// seqState encodes a bounded sequence of values as a comma-separated
+// string; the empty sequence is "".
+func seqEncode(items []string) spec.State {
+	return spec.State(strings.Join(items, ","))
+}
+
+func seqDecode(s spec.State) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(string(s), ",")
+}
+
+// Queue is a bounded FIFO queue over a small value alphabet. The paper's
+// Appendix H discusses the plain (non-readable) queue, whose consensus
+// number is 2 and whose independent-crash RC number is 1.
+//
+// State encoding: comma-separated items, front first ("" when empty).
+// Operations: enq(v) responding Ack (or RespFull), and deq responding with
+// the removed front item (or RespEmpty).
+//
+// A Queue is NonReadable by default, matching Appendix H; set
+// AllowRead to model the much stronger readable variant, whose full state
+// records the order of the first enqueues forever (the checker shows the
+// readable queue is n-recording for every n).
+type Queue struct {
+	// Cap bounds the number of stored items; must be at least 2.
+	Cap int
+	// Values is the candidate enqueue alphabet for witness searches.
+	Values []string
+	// AllowRead, if set, marks the queue readable.
+	AllowRead bool
+}
+
+var (
+	_ spec.Type   = (*Queue)(nil)
+	_ NonReadable = (*Queue)(nil)
+)
+
+// NewQueue returns a non-readable bounded queue with alphabet {"0", "1"}.
+func NewQueue(capacity int) *Queue {
+	return &Queue{Cap: capacity, Values: []string{"0", "1"}}
+}
+
+// Name implements spec.Type.
+func (q *Queue) Name() string {
+	if q.AllowRead {
+		return fmt.Sprintf("readable-queue(cap=%d)", q.Cap)
+	}
+	return fmt.Sprintf("queue(cap=%d)", q.Cap)
+}
+
+// NonReadable implements the NonReadable marker; Readable() honours
+// AllowRead through the types.Readable helper.
+func (q *Queue) NonReadable() {}
+
+// InitialStates implements spec.Type: the empty queue and queues holding
+// one or two alphabet items (used by impossibility searches).
+func (q *Queue) InitialStates() []spec.State {
+	out := []spec.State{""}
+	for _, v := range q.Values {
+		out = append(out, seqEncode([]string{v}))
+	}
+	if len(q.Values) >= 2 {
+		out = append(out, seqEncode([]string{q.Values[0], q.Values[1]}))
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (q *Queue) Ops() []spec.Op {
+	out := []spec.Op{"deq"}
+	for _, v := range q.Values {
+		out = append(out, spec.FormatOp("enq", v))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (q *Queue) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	items := seqDecode(s)
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	switch {
+	case name == "enq" && len(args) == 1:
+		if len(items) >= q.Cap {
+			return s, RespFull, nil
+		}
+		return seqEncode(append(items, args[0])), spec.Ack, nil
+	case name == "deq" && len(args) == 0:
+		if len(items) == 0 {
+			return s, RespEmpty, nil
+		}
+		return seqEncode(items[1:]), spec.Response(items[0]), nil
+	default:
+		return "", "", fmt.Errorf("%w: queue does not support %q", spec.ErrBadOp, op)
+	}
+}
+
+// Stack is a bounded LIFO stack over a small value alphabet — the central
+// example of the paper's Appendix H, which proves rcons(stack) = 1 while
+// cons(stack) = 2.
+//
+// State encoding: comma-separated items, bottom first ("" when empty).
+// Operations: push(v) responding Ack (or RespFull), and pop responding
+// with the removed top item (or RespEmpty).
+//
+// A Stack is NonReadable by default; set AllowRead for the readable
+// variant (which the checker shows to be n-recording for every n,
+// illustrating how essential non-readability is to Appendix H).
+type Stack struct {
+	// Cap bounds the number of stored items; must be at least 2.
+	Cap int
+	// Values is the candidate push alphabet for witness searches.
+	Values []string
+	// AllowRead, if set, marks the stack readable.
+	AllowRead bool
+}
+
+var (
+	_ spec.Type   = (*Stack)(nil)
+	_ NonReadable = (*Stack)(nil)
+)
+
+// NewStack returns a non-readable bounded stack with alphabet {"0", "1"}.
+func NewStack(capacity int) *Stack {
+	return &Stack{Cap: capacity, Values: []string{"0", "1"}}
+}
+
+// Name implements spec.Type.
+func (st *Stack) Name() string {
+	if st.AllowRead {
+		return fmt.Sprintf("readable-stack(cap=%d)", st.Cap)
+	}
+	return fmt.Sprintf("stack(cap=%d)", st.Cap)
+}
+
+// NonReadable implements the NonReadable marker.
+func (st *Stack) NonReadable() {}
+
+// InitialStates implements spec.Type.
+func (st *Stack) InitialStates() []spec.State {
+	out := []spec.State{""}
+	for _, v := range st.Values {
+		out = append(out, seqEncode([]string{v}))
+	}
+	if len(st.Values) >= 2 {
+		out = append(out, seqEncode([]string{st.Values[0], st.Values[1]}))
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (st *Stack) Ops() []spec.Op {
+	out := []spec.Op{"pop"}
+	for _, v := range st.Values {
+		out = append(out, spec.FormatOp("push", v))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (st *Stack) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	items := seqDecode(s)
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	switch {
+	case name == "push" && len(args) == 1:
+		if len(items) >= st.Cap {
+			return s, RespFull, nil
+		}
+		return seqEncode(append(items, args[0])), spec.Ack, nil
+	case name == "pop" && len(args) == 0:
+		if len(items) == 0 {
+			return s, RespEmpty, nil
+		}
+		top := items[len(items)-1]
+		return seqEncode(items[:len(items)-1]), spec.Response(top), nil
+	default:
+		return "", "", fmt.Errorf("%w: stack does not support %q", spec.ErrBadOp, op)
+	}
+}
+
+// Consensus is a consensus object: propose(v) installs v if the object is
+// undecided and responds with the decided value either way.
+// State encoding: decided value, Bottom when undecided.
+//
+// Classification: cons = rcons = ∞; it is the strongest type in the zoo
+// and serves as a sanity anchor for the checkers.
+type Consensus struct {
+	// Values is the candidate proposal alphabet for witness searches.
+	Values []string
+}
+
+var (
+	_ spec.Type    = (*Consensus)(nil)
+	_ spec.OpsForN = (*Consensus)(nil)
+)
+
+// NewConsensus returns a consensus object with the default alphabet.
+func NewConsensus() *Consensus { return &Consensus{Values: []string{"0", "1"}} }
+
+// Name implements spec.Type.
+func (c *Consensus) Name() string { return "consensus-object" }
+
+// InitialStates implements spec.Type.
+func (c *Consensus) InitialStates() []spec.State { return []spec.State{Bottom} }
+
+// Ops implements spec.Type.
+func (c *Consensus) Ops() []spec.Op {
+	out := make([]spec.Op, 0, len(c.Values))
+	for _, v := range c.Values {
+		out = append(out, spec.FormatOp("propose", v))
+	}
+	return out
+}
+
+// OpsFor implements spec.OpsForN: n distinct proposals.
+func (c *Consensus) OpsFor(n int) []spec.Op {
+	out := make([]spec.Op, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, spec.FormatOp("propose", itoa(i)))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (c *Consensus) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	if name != "propose" || len(args) != 1 {
+		return "", "", fmt.Errorf("%w: consensus object does not support %q", spec.ErrBadOp, op)
+	}
+	if s == Bottom {
+		return spec.State(args[0]), spec.Response(args[0]), nil
+	}
+	return s, spec.Response(s), nil
+}

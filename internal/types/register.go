@@ -1,0 +1,74 @@
+package types
+
+import (
+	"fmt"
+
+	"rcons/internal/spec"
+)
+
+// Bottom encodes the distinguished "unwritten" value ⊥ used by several
+// types' initial states.
+const Bottom = "_"
+
+// Register is a read/write register over an arbitrary value alphabet.
+// State encoding: the current value (Bottom when unwritten).
+// Operations: write(v) with response Ack.
+//
+// Classification (paper §1, folklore): cons(register) = 1 and
+// rcons(register) = 1; any two writes commute or overwrite, so the
+// checker finds it not even 2-discerning.
+type Register struct {
+	// Values is the candidate alphabet offered to witness searches when
+	// OpsFor is not used. Defaults (via NewRegister) to {"0", "1"}.
+	Values []string
+}
+
+var (
+	_ spec.Type    = (*Register)(nil)
+	_ spec.OpsForN = (*Register)(nil)
+)
+
+// NewRegister returns a register with the default two-value alphabet.
+func NewRegister() *Register { return &Register{Values: []string{"0", "1"}} }
+
+// Name implements spec.Type.
+func (r *Register) Name() string { return "register" }
+
+// InitialStates implements spec.Type.
+func (r *Register) InitialStates() []spec.State {
+	out := []spec.State{Bottom}
+	for _, v := range r.Values {
+		out = append(out, spec.State(v))
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (r *Register) Ops() []spec.Op {
+	out := make([]spec.Op, 0, len(r.Values))
+	for _, v := range r.Values {
+		out = append(out, spec.FormatOp("write", v))
+	}
+	return out
+}
+
+// OpsFor implements spec.OpsForN: n distinct written values.
+func (r *Register) OpsFor(n int) []spec.Op {
+	out := make([]spec.Op, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, spec.FormatOp("write", itoa(i)))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (r *Register) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	if name != "write" || len(args) != 1 {
+		return "", "", fmt.Errorf("%w: register does not support %q", spec.ErrBadOp, op)
+	}
+	return spec.State(args[0]), spec.Ack, nil
+}

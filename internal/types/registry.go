@@ -1,0 +1,96 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rcons/internal/spec"
+)
+
+// Zoo returns one representative instance of every type in the package,
+// with parameters sized so that checker searches complete quickly.
+func Zoo() []spec.Type {
+	return []spec.Type{
+		NewRegister(),
+		TestAndSet{},
+		NewFetchAdd(8),
+		NewSwap(),
+		NewCAS(),
+		NewSticky(),
+		NewCounter(8),
+		NewMaxRegister(),
+		NewQueue(4),
+		NewStack(4),
+		NewPeekQueue(4),
+		&Queue{Cap: 4, Values: []string{"0", "1"}, AllowRead: true},
+		&Stack{Cap: 4, Values: []string{"0", "1"}, AllowRead: true},
+		NewConsensus(),
+		ReadOnly{},
+		NewTn(4),
+		NewTn(5),
+		NewTn(6),
+		NewSn(2),
+		NewSn(3),
+		NewSn(4),
+		NewSn(5),
+	}
+}
+
+// ByName resolves a type by the name syntax used by the CLI tools:
+// plain names ("register", "cas", "test&set", "tas", "fetch&add", "swap",
+// "sticky", "counter", "max-register", "queue", "stack",
+// "readable-queue", "readable-stack", "consensus", "read-only") and
+// parameterized family members ("T_5", "S_3").
+func ByName(name string) (spec.Type, error) {
+	switch strings.ToLower(name) {
+	case "register":
+		return NewRegister(), nil
+	case "test&set", "tas":
+		return TestAndSet{}, nil
+	case "fetch&add", "faa":
+		return NewFetchAdd(8), nil
+	case "swap":
+		return NewSwap(), nil
+	case "cas", "compare&swap":
+		return NewCAS(), nil
+	case "sticky":
+		return NewSticky(), nil
+	case "counter":
+		return NewCounter(8), nil
+	case "max-register", "maxreg":
+		return NewMaxRegister(), nil
+	case "queue":
+		return NewQueue(4), nil
+	case "stack":
+		return NewStack(4), nil
+	case "peek-queue", "peekqueue":
+		return NewPeekQueue(4), nil
+	case "readable-queue":
+		return &Queue{Cap: 4, Values: []string{"0", "1"}, AllowRead: true}, nil
+	case "readable-stack":
+		return &Stack{Cap: 4, Values: []string{"0", "1"}, AllowRead: true}, nil
+	case "consensus", "consensus-object":
+		return NewConsensus(), nil
+	case "read-only", "readonly":
+		return ReadOnly{}, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "T_"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 4 {
+			return nil, fmt.Errorf("types: bad T_n parameter %q (need integer ≥ 4)", rest)
+		}
+		return NewTn(n), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "S_"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("types: bad S_n parameter %q (need integer ≥ 1)", rest)
+		}
+		if n == 1 {
+			return ReadOnly{}, nil
+		}
+		return NewSn(n), nil
+	}
+	return nil, fmt.Errorf("types: unknown type %q", name)
+}

@@ -1,0 +1,287 @@
+package types
+
+import (
+	"fmt"
+
+	"rcons/internal/spec"
+)
+
+// TestAndSet is a one-shot bit with the classical test&set operation.
+// State encoding: "0" (clear) or "1" (set).
+// Operations: tas, which sets the bit and responds with the old value.
+//
+// Classification: cons(test&set) = 2 (Herlihy); the checker shows it is
+// 2-discerning but not 2-recording, so rcons ∈ {1, 2} by the paper's
+// bounds (the exact value is outside the paper's scope).
+type TestAndSet struct{}
+
+var _ spec.Type = TestAndSet{}
+
+// Name implements spec.Type.
+func (TestAndSet) Name() string { return "test&set" }
+
+// InitialStates implements spec.Type.
+func (TestAndSet) InitialStates() []spec.State { return []spec.State{"0", "1"} }
+
+// Ops implements spec.Type.
+func (TestAndSet) Ops() []spec.Op { return []spec.Op{"tas"} }
+
+// Apply implements spec.Type.
+func (TestAndSet) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	if op != "tas" {
+		return "", "", fmt.Errorf("%w: test&set does not support %q", spec.ErrBadOp, op)
+	}
+	switch s {
+	case "0":
+		return "1", "0", nil
+	case "1":
+		return "1", "1", nil
+	default:
+		return "", "", fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+}
+
+// FetchAdd is a fetch&add object over the integers modulo Mod (bounding
+// the state space keeps checker searches finite; Mod ≥ 2n suffices for
+// all classification results at n processes).
+// State encoding: decimal value. Operations: add(k), responding with the
+// value before the addition.
+//
+// Classification: cons(fetch&add) = 2.
+type FetchAdd struct {
+	// Mod is the modulus of the counter; it must be at least 2.
+	Mod int
+	// Addends are the candidate increments offered to witness searches.
+	Addends []int
+}
+
+var _ spec.Type = (*FetchAdd)(nil)
+
+// NewFetchAdd returns a fetch&add object modulo mod with increments {1, 2}.
+func NewFetchAdd(mod int) *FetchAdd { return &FetchAdd{Mod: mod, Addends: []int{1, 2}} }
+
+// Name implements spec.Type.
+func (f *FetchAdd) Name() string { return fmt.Sprintf("fetch&add(mod=%d)", f.Mod) }
+
+// InitialStates implements spec.Type.
+func (f *FetchAdd) InitialStates() []spec.State { return []spec.State{"0"} }
+
+// Ops implements spec.Type.
+func (f *FetchAdd) Ops() []spec.Op {
+	out := make([]spec.Op, 0, len(f.Addends))
+	for _, k := range f.Addends {
+		out = append(out, spec.FormatOp("add", itoa(k)))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (f *FetchAdd) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	if name != "add" || len(args) != 1 {
+		return "", "", fmt.Errorf("%w: fetch&add does not support %q", spec.ErrBadOp, op)
+	}
+	k, ok := atoi(args[0])
+	if !ok {
+		return "", "", fmt.Errorf("%w: bad addend in %q", spec.ErrBadOp, op)
+	}
+	v, ok := atoi(string(s))
+	if !ok || v < 0 || v >= f.Mod {
+		return "", "", fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	return spec.State(itoa(((v+k)%f.Mod + f.Mod) % f.Mod)), spec.Response(itoa(v)), nil
+}
+
+// Swap is a register with an atomic swap operation.
+// State encoding: current value (Bottom when unwritten).
+// Operations: swap(v), responding with the old value.
+//
+// Classification: cons(swap) = 2.
+type Swap struct {
+	// Values is the candidate alphabet for witness searches.
+	Values []string
+}
+
+var (
+	_ spec.Type    = (*Swap)(nil)
+	_ spec.OpsForN = (*Swap)(nil)
+)
+
+// NewSwap returns a swap register with the default two-value alphabet.
+func NewSwap() *Swap { return &Swap{Values: []string{"0", "1"}} }
+
+// Name implements spec.Type.
+func (s *Swap) Name() string { return "swap" }
+
+// InitialStates implements spec.Type.
+func (s *Swap) InitialStates() []spec.State {
+	out := []spec.State{Bottom}
+	for _, v := range s.Values {
+		out = append(out, spec.State(v))
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (s *Swap) Ops() []spec.Op {
+	out := make([]spec.Op, 0, len(s.Values))
+	for _, v := range s.Values {
+		out = append(out, spec.FormatOp("swap", v))
+	}
+	return out
+}
+
+// OpsFor implements spec.OpsForN: n distinct swapped values.
+func (s *Swap) OpsFor(n int) []spec.Op {
+	out := make([]spec.Op, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, spec.FormatOp("swap", itoa(i)))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (s *Swap) Apply(st spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	if name != "swap" || len(args) != 1 {
+		return "", "", fmt.Errorf("%w: swap does not support %q", spec.ErrBadOp, op)
+	}
+	return spec.State(args[0]), spec.Response(st), nil
+}
+
+// CompareAndSwap is a compare&swap register.
+// State encoding: current value (Bottom when unwritten).
+// Operations: cas(old,new), responding with "true" and installing new when
+// the state equals old, and with "false" (no change) otherwise.
+//
+// Classification: cons(CAS) = ∞ (Herlihy); the checker shows CAS is
+// n-recording for every n, so rcons(CAS) = ∞ as well — CAS loses none of
+// its power under crash/recovery, which is why it anchors the recoverable
+// universal construction in package universal.
+type CompareAndSwap struct {
+	// Values is the candidate alphabet for witness searches.
+	Values []string
+}
+
+var (
+	_ spec.Type    = (*CompareAndSwap)(nil)
+	_ spec.OpsForN = (*CompareAndSwap)(nil)
+)
+
+// NewCAS returns a compare&swap register with the default two-value alphabet.
+func NewCAS() *CompareAndSwap { return &CompareAndSwap{Values: []string{"0", "1"}} }
+
+// Name implements spec.Type.
+func (c *CompareAndSwap) Name() string { return "compare&swap" }
+
+// InitialStates implements spec.Type.
+func (c *CompareAndSwap) InitialStates() []spec.State {
+	out := []spec.State{Bottom}
+	for _, v := range c.Values {
+		out = append(out, spec.State(v))
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (c *CompareAndSwap) Ops() []spec.Op {
+	out := make([]spec.Op, 0, len(c.Values))
+	for _, v := range c.Values {
+		out = append(out, spec.FormatOp("cas", Bottom, v))
+	}
+	return out
+}
+
+// OpsFor implements spec.OpsForN: cas(⊥, i) for n distinct values i.
+func (c *CompareAndSwap) OpsFor(n int) []spec.Op {
+	out := make([]spec.Op, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, spec.FormatOp("cas", Bottom, itoa(i)))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (c *CompareAndSwap) Apply(st spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	if name != "cas" || len(args) != 2 {
+		return "", "", fmt.Errorf("%w: compare&swap does not support %q", spec.ErrBadOp, op)
+	}
+	if string(st) == args[0] {
+		return spec.State(args[1]), "true", nil
+	}
+	return st, "false", nil
+}
+
+// Sticky is a sticky register: the first write sticks forever.
+// State encoding: current value (Bottom when unwritten).
+// Operations: put(v), responding with the (post-operation) stuck value.
+//
+// Classification: cons(sticky) = ∞ and rcons(sticky) = ∞; a sticky
+// register is essentially a consensus object.
+type Sticky struct {
+	// Values is the candidate alphabet for witness searches.
+	Values []string
+}
+
+var (
+	_ spec.Type    = (*Sticky)(nil)
+	_ spec.OpsForN = (*Sticky)(nil)
+)
+
+// NewSticky returns a sticky register with the default two-value alphabet.
+func NewSticky() *Sticky { return &Sticky{Values: []string{"0", "1"}} }
+
+// Name implements spec.Type.
+func (s *Sticky) Name() string { return "sticky" }
+
+// InitialStates implements spec.Type.
+func (s *Sticky) InitialStates() []spec.State {
+	out := []spec.State{Bottom}
+	for _, v := range s.Values {
+		out = append(out, spec.State(v))
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (s *Sticky) Ops() []spec.Op {
+	out := make([]spec.Op, 0, len(s.Values))
+	for _, v := range s.Values {
+		out = append(out, spec.FormatOp("put", v))
+	}
+	return out
+}
+
+// OpsFor implements spec.OpsForN: n distinct put values.
+func (s *Sticky) OpsFor(n int) []spec.Op {
+	out := make([]spec.Op, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, spec.FormatOp("put", itoa(i)))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (s *Sticky) Apply(st spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	if name != "put" || len(args) != 1 {
+		return "", "", fmt.Errorf("%w: sticky does not support %q", spec.ErrBadOp, op)
+	}
+	if st == Bottom {
+		return spec.State(args[0]), spec.Response(args[0]), nil
+	}
+	return st, spec.Response(st), nil
+}

@@ -1,0 +1,100 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"rcons/internal/spec"
+)
+
+// Sn is the family of Proposition 21 / Figure 6 of the paper: for every
+// n ≥ 2, S_n satisfies rcons(S_n) = cons(S_n) = n — it is n-recording but
+// not (n+1)-discerning. The family shows every level of the RC hierarchy
+// is populated.
+//
+// State encoding: "winner,row" with winner ∈ {A, B} and 0 ≤ row < n.
+//
+// Operations (Figure 6 pseudocode, executed atomically):
+//
+//	opA: if (winner,row) = (B,0) { winner ← A } else { winner ← B; row ← 0 }
+//	     return ack
+//	opB: row ← (row+1) mod n; if row = 0 { winner ← B }
+//	     return ack
+//
+// winner records whether the first update was opA; row counts opB
+// applications. Applying opA more than once, or opB more than n−1 times,
+// makes the object "forget" by returning to (B, 0).
+type Sn struct {
+	// N is the family parameter; it must be at least 2.
+	N int
+}
+
+var _ spec.Type = Sn{}
+
+// NewSn returns the type S_n.
+func NewSn(n int) Sn { return Sn{N: n} }
+
+// Name implements spec.Type.
+func (t Sn) Name() string { return fmt.Sprintf("S_%d", t.N) }
+
+// SnInitial is the initial state (B, 0) used by the paper's witness.
+const SnInitial spec.State = "B,0"
+
+// InitialStates implements spec.Type: the full state space.
+func (t Sn) InitialStates() []spec.State {
+	out := make([]spec.State, 0, 2*t.N)
+	for _, w := range []string{"A", "B"} {
+		for row := 0; row < t.N; row++ {
+			out = append(out, snEncode(w, row))
+		}
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (t Sn) Ops() []spec.Op { return []spec.Op{"opA", "opB"} }
+
+func snEncode(winner string, row int) spec.State {
+	return spec.State(fmt.Sprintf("%s,%d", winner, row))
+}
+
+func snDecode(s spec.State) (winner string, row int, err error) {
+	parts := strings.Split(string(s), ",")
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	row, ok := atoi(parts[1])
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	if parts[0] != "A" && parts[0] != "B" {
+		return "", 0, fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	return parts[0], row, nil
+}
+
+// Apply implements spec.Type, transcribing Figure 6 verbatim.
+func (t Sn) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	winner, row, err := snDecode(s)
+	if err != nil {
+		return "", "", err
+	}
+	if row < 0 || row >= t.N {
+		return "", "", fmt.Errorf("%w: %q out of range for %s", spec.ErrBadState, s, t.Name())
+	}
+	switch op {
+	case "opA":
+		if winner == "B" && row == 0 {
+			return snEncode("A", row), spec.Ack, nil
+		}
+		return snEncode("B", 0), spec.Ack, nil
+	case "opB":
+		row = (row + 1) % t.N
+		if row == 0 {
+			winner = "B"
+		}
+		return snEncode(winner, row), spec.Ack, nil
+	default:
+		return "", "", fmt.Errorf("%w: %s does not support %q", spec.ErrBadOp, t.Name(), op)
+	}
+}

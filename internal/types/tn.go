@@ -1,0 +1,128 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"rcons/internal/spec"
+)
+
+// Tn is the separating family of Proposition 19 / Figure 5 of the paper:
+// for every n ≥ 4, T_n is n-discerning (so cons(T_n) = n) but NOT
+// (n-1)-recording (so rcons(T_n) < cons(T_n)).
+//
+// State encoding: "winner,row,col" with winner ∈ {A, B, _}, where "_"
+// stands for the paper's ⊥; 0 ≤ row < ⌈n/2⌉ and 0 ≤ col < ⌊n/2⌋, and the
+// only reachable state with winner = "_" is "_,0,0".
+//
+// Operations (Figure 5 pseudocode, executed atomically):
+//
+//	opA: if winner = ⊥ { winner ← A; return A }
+//	     else { r ← winner; col ← (col+1) mod ⌊n/2⌋;
+//	            if col = 0 { winner ← ⊥; row ← 0 }; return r }
+//	opB: if winner = ⊥ { winner ← B; return B }
+//	     else { r ← winner; row ← (row+1) mod ⌈n/2⌉;
+//	            if row = 0 { winner ← ⊥; col ← 0 }; return r }
+//
+// Intuitively winner records which operation was applied first, col counts
+// opA applications and row counts opB applications; after ⌊n/2⌋ further
+// opA's (or ⌈n/2⌉ further opB's) the object "forgets" everything by
+// returning to ⊥ — which is exactly what defeats the (n-1)-recording
+// property while leaving n-discerning intact.
+type Tn struct {
+	// N is the family parameter; it must be at least 4.
+	N int
+}
+
+var _ spec.Type = Tn{}
+
+// NewTn returns the type T_n.
+func NewTn(n int) Tn { return Tn{N: n} }
+
+// Name implements spec.Type.
+func (t Tn) Name() string { return fmt.Sprintf("T_%d", t.N) }
+
+// rows returns ⌈n/2⌉, the modulus of the row counter.
+func (t Tn) rows() int { return (t.N + 1) / 2 }
+
+// cols returns ⌊n/2⌋, the modulus of the col counter.
+func (t Tn) cols() int { return t.N / 2 }
+
+// TnBottom is the encoding of T_n's distinguished state (⊥, 0, 0).
+const TnBottom spec.State = "_,0,0"
+
+// InitialStates implements spec.Type: the full state space, so that
+// exhaustive impossibility searches consider every possible q0.
+func (t Tn) InitialStates() []spec.State {
+	out := []spec.State{TnBottom}
+	for _, w := range []string{"A", "B"} {
+		for row := 0; row < t.rows(); row++ {
+			for col := 0; col < t.cols(); col++ {
+				out = append(out, tnEncode(w, row, col))
+			}
+		}
+	}
+	return out
+}
+
+// Ops implements spec.Type.
+func (t Tn) Ops() []spec.Op { return []spec.Op{"opA", "opB"} }
+
+func tnEncode(winner string, row, col int) spec.State {
+	return spec.State(fmt.Sprintf("%s,%d,%d", winner, row, col))
+}
+
+func tnDecode(s spec.State) (winner string, row, col int, err error) {
+	parts := strings.Split(string(s), ",")
+	if len(parts) != 3 {
+		return "", 0, 0, fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	row, ok1 := atoi(parts[1])
+	col, ok2 := atoi(parts[2])
+	if !ok1 || !ok2 {
+		return "", 0, 0, fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	switch parts[0] {
+	case "A", "B", "_":
+		return parts[0], row, col, nil
+	default:
+		return "", 0, 0, fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+}
+
+// Apply implements spec.Type, transcribing Figure 5 verbatim.
+func (t Tn) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	winner, row, col, err := tnDecode(s)
+	if err != nil {
+		return "", "", err
+	}
+	if row < 0 || row >= t.rows() || col < 0 || col >= t.cols() {
+		return "", "", fmt.Errorf("%w: %q out of range for %s", spec.ErrBadState, s, t.Name())
+	}
+	switch op {
+	case "opA":
+		if winner == "_" {
+			return tnEncode("A", row, col), "A", nil
+		}
+		result := winner
+		col = (col + 1) % t.cols()
+		if col == 0 {
+			winner = "_"
+			row = 0
+		}
+		return tnEncode(winner, row, col), spec.Response(result), nil
+	case "opB":
+		if winner == "_" {
+			return tnEncode("B", row, col), "B", nil
+		}
+		result := winner
+		row = (row + 1) % t.rows()
+		if row == 0 {
+			winner = "_"
+			col = 0
+		}
+		return tnEncode(winner, row, col), spec.Response(result), nil
+	default:
+		return "", "", fmt.Errorf("%w: %s does not support %q", spec.ErrBadOp, t.Name(), op)
+	}
+}

@@ -1,0 +1,386 @@
+package types
+
+import (
+	"errors"
+	"testing"
+
+	"rcons/internal/spec"
+)
+
+// applyAll folds a sequence of operations over q0 and returns the final
+// state and the sequence of responses.
+func applyAll(t *testing.T, typ spec.Type, q0 spec.State, ops ...spec.Op) (spec.State, []spec.Response) {
+	t.Helper()
+	s := q0
+	var rs []spec.Response
+	for _, op := range ops {
+		ns, r, err := typ.Apply(s, op)
+		if err != nil {
+			t.Fatalf("%s: apply %s to %q: %v", typ.Name(), op, s, err)
+		}
+		s, rs = ns, append(rs, r)
+	}
+	return s, rs
+}
+
+func TestRegisterSemantics(t *testing.T) {
+	r := NewRegister()
+	s, rs := applyAll(t, r, spec.State(Bottom), "write(0)", "write(1)")
+	if s != "1" {
+		t.Errorf("final state = %q, want 1", s)
+	}
+	for _, resp := range rs {
+		if resp != spec.Ack {
+			t.Errorf("write response = %q, want ack", resp)
+		}
+	}
+	if _, _, err := r.Apply("0", "deq"); !errors.Is(err, spec.ErrBadOp) {
+		t.Errorf("register accepted deq: %v", err)
+	}
+}
+
+func TestRegisterOpsFor(t *testing.T) {
+	r := NewRegister()
+	ops := r.OpsFor(3)
+	if len(ops) != 3 || ops[2] != "write(2)" {
+		t.Errorf("OpsFor(3) = %v", ops)
+	}
+}
+
+func TestTestAndSetSemantics(t *testing.T) {
+	s, rs := applyAll(t, TestAndSet{}, "0", "tas", "tas")
+	if s != "1" || rs[0] != "0" || rs[1] != "1" {
+		t.Errorf("tas trace = state %q responses %v", s, rs)
+	}
+	if _, _, err := (TestAndSet{}).Apply("2", "tas"); !errors.Is(err, spec.ErrBadState) {
+		t.Errorf("tas accepted bad state: %v", err)
+	}
+}
+
+func TestFetchAddSemantics(t *testing.T) {
+	f := NewFetchAdd(5)
+	s, rs := applyAll(t, f, "0", "add(2)", "add(2)", "add(2)")
+	if s != "1" { // 6 mod 5
+		t.Errorf("final state = %q, want 1", s)
+	}
+	want := []spec.Response{"0", "2", "4"}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("response %d = %q, want %q", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestSwapSemantics(t *testing.T) {
+	sw := NewSwap()
+	s, rs := applyAll(t, sw, spec.State(Bottom), "swap(0)", "swap(1)")
+	if s != "1" || rs[0] != spec.Response(Bottom) || rs[1] != "0" {
+		t.Errorf("swap trace = state %q responses %v", s, rs)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	c := NewCAS()
+	s, rs := applyAll(t, c, spec.State(Bottom), "cas(_,0)", "cas(_,1)", "cas(0,1)")
+	if s != "1" {
+		t.Errorf("final state = %q, want 1", s)
+	}
+	want := []spec.Response{"true", "false", "true"}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("response %d = %q, want %q", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestStickySemantics(t *testing.T) {
+	st := NewSticky()
+	s, rs := applyAll(t, st, spec.State(Bottom), "put(1)", "put(0)")
+	if s != "1" || rs[0] != "1" || rs[1] != "1" {
+		t.Errorf("sticky trace = state %q responses %v", s, rs)
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	c := NewCounter(3)
+	s, _ := applyAll(t, c, "0", "inc", "inc", "inc")
+	if s != "0" {
+		t.Errorf("counter mod 3 after 3 incs = %q, want 0", s)
+	}
+}
+
+func TestMaxRegisterSemantics(t *testing.T) {
+	m := NewMaxRegister()
+	s, _ := applyAll(t, m, "0", "writeMax(2)", "writeMax(1)", "writeMax(3)")
+	if s != "3" {
+		t.Errorf("max-register = %q, want 3", s)
+	}
+}
+
+func TestReadOnlyRejectsEverything(t *testing.T) {
+	if _, _, err := (ReadOnly{}).Apply("0", "inc"); !errors.Is(err, spec.ErrBadOp) {
+		t.Errorf("read-only accepted an op: %v", err)
+	}
+	if got := len(ReadOnly{}.Ops()); got != 0 {
+		t.Errorf("read-only has %d ops, want 0", got)
+	}
+}
+
+func TestQueueSemantics(t *testing.T) {
+	q := NewQueue(2)
+	s, rs := applyAll(t, q, "", "enq(0)", "enq(1)", "enq(0)", "deq", "deq", "deq")
+	if s != "" {
+		t.Errorf("final state = %q, want empty", s)
+	}
+	want := []spec.Response{spec.Ack, spec.Ack, RespFull, "0", "1", RespEmpty}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("response %d = %q, want %q", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestStackSemantics(t *testing.T) {
+	st := NewStack(3)
+	s, rs := applyAll(t, st, "", "push(0)", "push(1)", "pop", "pop", "pop")
+	if s != "" {
+		t.Errorf("final state = %q, want empty", s)
+	}
+	want := []spec.Response{spec.Ack, spec.Ack, "1", "0", RespEmpty}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("response %d = %q, want %q", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestStackLIFOvsQueueFIFO(t *testing.T) {
+	st, q := NewStack(4), NewQueue(4)
+	sSt, rsSt := applyAll(t, st, "", "push(0)", "push(1)", "pop")
+	sQ, rsQ := applyAll(t, q, "", "enq(0)", "enq(1)", "deq")
+	if rsSt[2] != "1" || rsQ[2] != "0" {
+		t.Errorf("LIFO/FIFO mismatch: pop=%q deq=%q", rsSt[2], rsQ[2])
+	}
+	if sSt != "0" || sQ != "1" {
+		t.Errorf("states: stack=%q queue=%q", sSt, sQ)
+	}
+}
+
+func TestConsensusObjectSemantics(t *testing.T) {
+	c := NewConsensus()
+	s, rs := applyAll(t, c, spec.State(Bottom), "propose(1)", "propose(0)")
+	if s != "1" || rs[0] != "1" || rs[1] != "1" {
+		t.Errorf("consensus trace = state %q responses %v", s, rs)
+	}
+}
+
+func TestTnFigure5Trace(t *testing.T) {
+	// Reproduce the Proposition 19 argument for n = 6: one opB followed
+	// by ⌊6/2⌋ = 3 opA's returns the object from q0 to q0.
+	tn := NewTn(6)
+	s, rs := applyAll(t, tn, TnBottom, "opB", "opA", "opA", "opA")
+	if s != TnBottom {
+		t.Errorf("after opB + 3×opA state = %q, want %q", s, TnBottom)
+	}
+	// Every operation after the first must report the first team (B).
+	for i, r := range rs {
+		want := spec.Response("B")
+		if r != want {
+			t.Errorf("response %d = %q, want %q", i, r, want)
+		}
+	}
+}
+
+func TestTnForgetsAfterEnoughOpBs(t *testing.T) {
+	// Symmetric direction: one opA then ⌈6/2⌉ = 3 opB's returns to q0.
+	tn := NewTn(6)
+	s, _ := applyAll(t, tn, TnBottom, "opA", "opB", "opB", "opB")
+	if s != TnBottom {
+		t.Errorf("after opA + 3×opB state = %q, want %q", s, TnBottom)
+	}
+}
+
+func TestTnWinnerRecordsFirstUpdate(t *testing.T) {
+	tn := NewTn(5)
+	s, rs := applyAll(t, tn, TnBottom, "opA", "opB")
+	if rs[0] != "A" || rs[1] != "A" {
+		t.Errorf("responses = %v, want all A", rs)
+	}
+	if s != "A,1,0" {
+		t.Errorf("state = %q, want A,1,0", s)
+	}
+}
+
+func TestTnStateSpaceSize(t *testing.T) {
+	tn := NewTn(6)
+	states, err := spec.Reachable(tn, TnBottom, tn.Ops(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 bottom state + 2 winners × ⌈6/2⌉ rows × ⌊6/2⌋ cols = 19.
+	if len(states) != 19 {
+		t.Errorf("reachable states = %d, want 19", len(states))
+	}
+	if got := len(tn.InitialStates()); got != 19 {
+		t.Errorf("InitialStates = %d, want 19", got)
+	}
+}
+
+func TestSnFigure6Trace(t *testing.T) {
+	sn := NewSn(3)
+	// opA from (B,0) sets the winner to A.
+	s, _ := applyAll(t, sn, SnInitial, "opA")
+	if s != "A,0" {
+		t.Errorf("opA from initial = %q, want A,0", s)
+	}
+	// Subsequent opB's count rows without clearing the winner …
+	s, _ = applyAll(t, sn, "A,0", "opB", "opB")
+	if s != "A,2" {
+		t.Errorf("two opB = %q, want A,2", s)
+	}
+	// … until the n-th opB wraps and forgets.
+	s, _ = applyAll(t, sn, "A,2", "opB")
+	if s != SnInitial {
+		t.Errorf("third opB = %q, want %q (forgotten)", s, SnInitial)
+	}
+}
+
+func TestSnSecondOpAForgets(t *testing.T) {
+	sn := NewSn(3)
+	s, _ := applyAll(t, sn, SnInitial, "opA", "opA")
+	if s != SnInitial {
+		t.Errorf("double opA = %q, want %q", s, SnInitial)
+	}
+}
+
+func TestSnOpBFirstKeepsWinnerB(t *testing.T) {
+	sn := NewSn(4)
+	s, _ := applyAll(t, sn, SnInitial, "opB", "opA")
+	if s != SnInitial {
+		t.Errorf("opB then opA = %q, want %q", s, SnInitial)
+	}
+	// And no sequence of ≤ n−1 opB's then one opA reaches an A-state.
+	s, _ = applyAll(t, sn, SnInitial, "opB", "opB", "opB", "opA")
+	if s != SnInitial {
+		t.Errorf("3×opB then opA = %q, want %q", s, SnInitial)
+	}
+}
+
+func TestReadableFlag(t *testing.T) {
+	if Readable(NewQueue(4)) {
+		t.Error("plain queue reported readable")
+	}
+	if Readable(NewStack(4)) {
+		t.Error("plain stack reported readable")
+	}
+	if !Readable(&Stack{Cap: 4, Values: []string{"0"}, AllowRead: true}) {
+		t.Error("readable stack reported non-readable")
+	}
+	if !Readable(NewRegister()) || !Readable(NewTn(5)) {
+		t.Error("readable types reported non-readable")
+	}
+}
+
+func TestZooAllApplyTotalOnReachableStates(t *testing.T) {
+	// Determinism/totality smoke test: every op applies successfully to
+	// every reachable state of every zoo type.
+	for _, typ := range Zoo() {
+		ops := spec.CandidateOps(typ, 4)
+		for _, q0 := range typ.InitialStates() {
+			states, err := spec.Reachable(typ, q0, ops, 100000)
+			if err != nil {
+				t.Fatalf("%s: %v", typ.Name(), err)
+			}
+			for _, s := range states {
+				for _, op := range ops {
+					if _, _, err := typ.Apply(s, op); err != nil {
+						t.Fatalf("%s: apply %s to %q: %v", typ.Name(), op, s, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestZooDeterminism(t *testing.T) {
+	for _, typ := range Zoo() {
+		for _, q0 := range typ.InitialStates() {
+			for _, op := range spec.CandidateOps(typ, 4) {
+				s1, r1, err1 := typ.Apply(q0, op)
+				s2, r2, err2 := typ.Apply(q0, op)
+				if s1 != s2 || r1 != r2 || (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s: nondeterministic Apply(%q, %s)", typ.Name(), q0, op)
+				}
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{
+		"register", "tas", "faa", "swap", "cas", "sticky", "counter",
+		"maxreg", "queue", "stack", "readable-queue", "readable-stack",
+		"consensus", "read-only", "T_5", "S_3", "S_1",
+	} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"bogus", "T_3", "T_x", "S_0"} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) unexpectedly succeeded", name)
+		}
+	}
+}
+
+func TestHerlihyCommuteOverwriteFacts(t *testing.T) {
+	// Classical facts the impossibility arguments rely on.
+	reg := NewRegister()
+	ok, err := spec.Overwrites(reg, spec.State(Bottom), "write(1)", "write(0)")
+	if err != nil || !ok {
+		t.Errorf("write(1) should overwrite write(0): %v %v", ok, err)
+	}
+	cnt := NewCounter(8)
+	ok, err = spec.Commute(cnt, "0", "inc", "inc")
+	if err != nil || !ok {
+		t.Errorf("increments should commute: %v %v", ok, err)
+	}
+	st := NewStack(4)
+	ok, err = spec.Commute(st, "", "pop", "pop")
+	if err != nil || !ok {
+		t.Errorf("pops on an empty stack should commute: %v %v", ok, err)
+	}
+	ok, err = spec.Overwrites(st, "", "push(1)", "pop")
+	if err != nil || !ok {
+		t.Errorf("push should overwrite pop from the empty stack: %v %v", ok, err)
+	}
+}
+
+func TestPeekQueueSemantics(t *testing.T) {
+	q := NewPeekQueue(2)
+	s, rs := applyAll(t, q, "", "peek", "enq(0)", "peek", "enq(1)", "enq(1)", "peek", "deq", "peek")
+	if s != "1" {
+		t.Errorf("final state = %q, want 1", s)
+	}
+	want := []spec.Response{RespEmpty, spec.Ack, "0", spec.Ack, RespFull, "0", "0", "1"}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("response %d = %q, want %q", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestPeekQueueIsReadable(t *testing.T) {
+	if !Readable(NewPeekQueue(4)) {
+		t.Error("peek-queue reported non-readable")
+	}
+}
+
+func TestPeekQueuePeekDoesNotMutate(t *testing.T) {
+	q := NewPeekQueue(4)
+	s0 := spec.State("0,1")
+	s1, _, err := q.Apply(s0, "peek")
+	if err != nil || s1 != s0 {
+		t.Errorf("peek mutated state: %q -> %q (%v)", s0, s1, err)
+	}
+}

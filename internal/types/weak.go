@@ -1,0 +1,119 @@
+package types
+
+import (
+	"fmt"
+
+	"rcons/internal/spec"
+)
+
+// Counter is an increment-only counter modulo Mod.
+// State encoding: decimal value. Operations: inc with response Ack.
+//
+// Classification: cons(counter) = 1; increments commute, so the counter
+// is not 2-discerning.
+type Counter struct {
+	// Mod is the modulus; it must be at least 2.
+	Mod int
+}
+
+var _ spec.Type = (*Counter)(nil)
+
+// NewCounter returns a counter modulo mod.
+func NewCounter(mod int) *Counter { return &Counter{Mod: mod} }
+
+// Name implements spec.Type.
+func (c *Counter) Name() string { return fmt.Sprintf("counter(mod=%d)", c.Mod) }
+
+// InitialStates implements spec.Type.
+func (c *Counter) InitialStates() []spec.State { return []spec.State{"0"} }
+
+// Ops implements spec.Type.
+func (c *Counter) Ops() []spec.Op { return []spec.Op{"inc"} }
+
+// Apply implements spec.Type.
+func (c *Counter) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	if op != "inc" {
+		return "", "", fmt.Errorf("%w: counter does not support %q", spec.ErrBadOp, op)
+	}
+	v, ok := atoi(string(s))
+	if !ok || v < 0 || v >= c.Mod {
+		return "", "", fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	return spec.State(itoa((v + 1) % c.Mod)), spec.Ack, nil
+}
+
+// MaxRegister is a register that only grows: writeMax(v) replaces the
+// state with v if v is larger.
+// State encoding: decimal value. Operations: writeMax(v) with response Ack.
+//
+// Classification: cons(max-register) = 1; writeMax operations commute or
+// overwrite from every state.
+type MaxRegister struct {
+	// Values are the candidate arguments for witness searches.
+	Values []int
+}
+
+var _ spec.Type = (*MaxRegister)(nil)
+
+// NewMaxRegister returns a max-register with candidate values {1, 2, 3}.
+func NewMaxRegister() *MaxRegister { return &MaxRegister{Values: []int{1, 2, 3}} }
+
+// Name implements spec.Type.
+func (m *MaxRegister) Name() string { return "max-register" }
+
+// InitialStates implements spec.Type.
+func (m *MaxRegister) InitialStates() []spec.State { return []spec.State{"0"} }
+
+// Ops implements spec.Type.
+func (m *MaxRegister) Ops() []spec.Op {
+	out := make([]spec.Op, 0, len(m.Values))
+	for _, v := range m.Values {
+		out = append(out, spec.FormatOp("writeMax", itoa(v)))
+	}
+	return out
+}
+
+// Apply implements spec.Type.
+func (m *MaxRegister) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	name, args, err := spec.ParseOp(op)
+	if err != nil {
+		return "", "", err
+	}
+	if name != "writeMax" || len(args) != 1 {
+		return "", "", fmt.Errorf("%w: max-register does not support %q", spec.ErrBadOp, op)
+	}
+	v, ok := atoi(args[0])
+	if !ok {
+		return "", "", fmt.Errorf("%w: bad value in %q", spec.ErrBadOp, op)
+	}
+	cur, ok := atoi(string(s))
+	if !ok {
+		return "", "", fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	if v > cur {
+		return spec.State(itoa(v)), spec.Ack, nil
+	}
+	return s, spec.Ack, nil
+}
+
+// ReadOnly is the trivial type S_1 of Proposition 21: it supports no
+// update operations at all, so its objects never change state.
+//
+// Classification: rcons(S_1) = cons(S_1) = 1.
+type ReadOnly struct{}
+
+var _ spec.Type = ReadOnly{}
+
+// Name implements spec.Type.
+func (ReadOnly) Name() string { return "read-only" }
+
+// InitialStates implements spec.Type.
+func (ReadOnly) InitialStates() []spec.State { return []spec.State{"0"} }
+
+// Ops implements spec.Type.
+func (ReadOnly) Ops() []spec.Op { return nil }
+
+// Apply implements spec.Type.
+func (ReadOnly) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	return "", "", fmt.Errorf("%w: read-only type has no update operations (got %q)", spec.ErrBadOp, op)
+}

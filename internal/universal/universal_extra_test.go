@@ -1,0 +1,231 @@
+package universal
+
+import (
+	"strconv"
+	"testing"
+
+	"rcons/internal/checker"
+	"rcons/internal/history"
+	"rcons/internal/rc"
+	"rcons/internal/sim"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// TestTwoUniversalObjectsShareMemory runs two independent constructions
+// (a counter and a queue) in one memory, composed inside the same
+// bodies, under crashes — operations on both must stay exactly-once.
+func TestTwoUniversalObjectsShareMemory(t *testing.T) {
+	const n = 2
+	for seed := int64(0); seed < 40; seed++ {
+		uc := New(n, types.NewFetchAdd(1000), "0", "cnt")
+		uq := New(n, types.NewQueue(8), "", "q")
+		m := sim.NewMemory()
+		uc.Setup(m)
+		uq.Setup(m)
+		bodies := make([]sim.Body, n)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(p *sim.Proc) sim.Value {
+				pos := uc.Invoke(p, i, 0, "add(1)")
+				uq.Invoke(p, i, 1, spec.FormatOp("enq", string(pos)))
+				uc.Invoke(p, i, 2, "add(1)")
+				return sim.Value(pos)
+			}
+		}
+		if _, err := sim.NewRunner(m, bodies, sim.Config{Seed: seed, CrashProb: 0.25, MaxCrashes: 6}).Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := uc.VerifyList(m); err != nil {
+			t.Fatalf("seed %d: counter: %v", seed, err)
+		}
+		if err := uq.VerifyList(m); err != nil {
+			t.Fatalf("seed %d: queue: %v", seed, err)
+		}
+		cl, _ := uc.ListOrder(m)
+		ql, _ := uq.ListOrder(m)
+		if len(cl) != 2*n || len(ql) != n {
+			t.Fatalf("seed %d: counter %d ops (want %d), queue %d ops (want %d)",
+				seed, len(cl), 2*n, len(ql), n)
+		}
+	}
+}
+
+// TestUniversalOverS3Tournament raises the tournament-RC integration to
+// three processes over S_3 — the paper's full positive machinery at
+// level 3 driving the universal construction.
+func TestUniversalOverS3Tournament(t *testing.T) {
+	n := 3
+	w := checker.Witness{
+		Q0:    types.SnInitial,
+		Teams: []int{checker.TeamA, checker.TeamB, checker.TeamB},
+		Ops:   []spec.Op{"opA", "opB", "opB"},
+	}
+	inst, err := rc.NewTournamentInstance(types.NewSn(n), w, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		u := New(n, types.NewFetchAdd(1000), "0", "u")
+		u.RC = inst
+		m := sim.NewMemory()
+		u.Setup(m)
+		bodies := make([]sim.Body, n)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(p *sim.Proc) sim.Value {
+				return sim.Value(u.Invoke(p, i, 0, "add(1)"))
+			}
+		}
+		if _, err := sim.NewRunner(m, bodies, sim.Config{Seed: seed, CrashProb: 0.1, MaxCrashes: 3}).Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := u.VerifyList(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		list, _ := u.ListOrder(m)
+		if len(list) != n {
+			t.Fatalf("seed %d: %d ops, want %d", seed, len(list), n)
+		}
+	}
+}
+
+// TestLongSoloRun checks a single process performing many operations
+// (list growth, sequence numbers, head advancement).
+func TestLongSoloRun(t *testing.T) {
+	const ops = 40
+	u := New(1, types.NewFetchAdd(10000), "0", "u")
+	m := sim.NewMemory()
+	u.Setup(m)
+	body := func(p *sim.Proc) sim.Value {
+		last := sim.Value("")
+		for k := 0; k < ops; k++ {
+			last = sim.Value(u.Invoke(p, 0, k, "add(1)"))
+		}
+		return last
+	}
+	out, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != strconv.Itoa(ops-1) {
+		t.Fatalf("last response = %q, want %d", out.Decisions[0], ops-1)
+	}
+	if err := u.VerifyList(m); err != nil {
+		t.Fatal(err)
+	}
+	list, _ := u.ListOrder(m)
+	if len(list) != ops {
+		t.Fatalf("list has %d ops, want %d", len(list), ops)
+	}
+	// Sequence numbers must be 2..ops+1 (dummy is 1).
+	for i, nd := range list {
+		if nd.Seq != i+2 {
+			t.Fatalf("node %d has seq %d", i, nd.Seq)
+		}
+	}
+}
+
+// TestHistoryRecorderTimestamps checks invocation/return times are
+// plausible: invoke ≤ return, and both bounded by total steps.
+func TestHistoryRecorderTimestamps(t *testing.T) {
+	u := New(2, types.NewCounter(100), "0", "u")
+	u.Rec = history.NewRecorder()
+	m := sim.NewMemory()
+	u.Setup(m)
+	bodies := []sim.Body{
+		func(p *sim.Proc) sim.Value { return sim.Value(u.Invoke(p, 0, 0, "inc")) },
+		func(p *sim.Proc) sim.Value { return sim.Value(u.Invoke(p, 1, 0, "inc")) },
+	}
+	out, err := sim.NewRunner(m, bodies, sim.Config{Seed: 3, CrashProb: 0.3, MaxCrashes: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range u.Rec.Events() {
+		if !e.Completed {
+			t.Fatalf("incomplete event %v despite all processes deciding", e)
+		}
+		if e.Invoke > e.Return || e.Return > out.Steps {
+			t.Fatalf("implausible timestamps: %v (total steps %d)", e, out.Steps)
+		}
+	}
+}
+
+// TestSlotSurvivesCrashBeforeAnnounce pins the recovery subtlety: a
+// crash after the slot write but before the announce write must still
+// resume the SAME node on re-run.
+func TestSlotSurvivesCrashBeforeAnnounce(t *testing.T) {
+	u := New(1, types.NewFetchAdd(100), "0", "u")
+	m := sim.NewMemory()
+	u.Setup(m)
+	body := func(p *sim.Proc) sim.Value {
+		return sim.Value(u.Invoke(p, 0, 0, "add(1)"))
+	}
+	// Steps of run 1: read slot (⊥), write slot, CRASH (before the
+	// announce write). Run 2 must read the slot and reuse the node.
+	script := []sim.Action{sim.Step(0), sim.Step(0), sim.Crash(0)}
+	out, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1, Script: script}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0] != "0" {
+		t.Fatalf("decision = %q, want 0", out.Decisions[0])
+	}
+	list, _ := u.ListOrder(m)
+	if len(list) != 1 {
+		t.Fatalf("%d nodes appended, want 1", len(list))
+	}
+}
+
+// TestTournamentRCHeavyCrashStress is the regression lock for a bug the
+// benchmark crash sweep found: without the Appendix F input pinning
+// inside rc.TournamentInstance, a recovered helper could re-enter a
+// next-pointer RC instance with a drifted input, flip the decided
+// pointer, and double-append a node (two list entries with the same
+// sequence number). The parameters below — a tournament instance SHARED
+// across executions, four operations per process, crash probability
+// 0.1 — reproduce the original failure at seed 776 when the pinning is
+// removed.
+func TestTournamentRCHeavyCrashStress(t *testing.T) {
+	w := checker.Witness{
+		Q0:    types.SnInitial,
+		Teams: []int{checker.TeamA, checker.TeamB},
+		Ops:   []spec.Op{"opA", "opB"},
+	}
+	inst, err := rc.NewTournamentInstance(types.NewSn(2), w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const opsEach = 4
+	for seed := int64(0); seed < 1000; seed++ {
+		u := New(2, types.NewFetchAdd(1_000_000), "0", "u")
+		u.RC = inst
+		m := sim.NewMemory()
+		u.Setup(m)
+		bodies := make([]sim.Body, 2)
+		for pi := 0; pi < 2; pi++ {
+			pi := pi
+			bodies[pi] = func(p *sim.Proc) sim.Value {
+				last := sim.Value("")
+				for k := 0; k < opsEach; k++ {
+					last = sim.Value(u.Invoke(p, pi, k, "add(1)"))
+				}
+				return last
+			}
+		}
+		cfg := sim.Config{Seed: seed, CrashProb: 0.1, MaxCrashes: 4}
+		if _, err := sim.NewRunner(m, bodies, cfg).Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := u.VerifyList(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		list, err := u.ListOrder(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list) != 2*opsEach {
+			t.Fatalf("seed %d: %d ops appended, want %d", seed, len(list), 2*opsEach)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Tests for the public facade: everything a downstream user touches must
+// work through package rcons alone (plus the harness witnesses).
+package rcons_test
+
+import (
+	"strings"
+	"testing"
+
+	"rcons"
+	"rcons/internal/harness"
+)
+
+func TestTypeByNameAndZoo(t *testing.T) {
+	if len(rcons.Zoo()) < 15 {
+		t.Fatalf("zoo has only %d types", len(rcons.Zoo()))
+	}
+	for _, name := range []string{"register", "cas", "stack", "T_4", "S_2", "peek-queue"} {
+		typ, err := rcons.TypeByName(name)
+		if err != nil {
+			t.Fatalf("TypeByName(%q): %v", name, err)
+		}
+		if typ.Name() == "" {
+			t.Fatalf("type %q has empty name", name)
+		}
+	}
+	if _, err := rcons.TypeByName("no-such-type"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestClassifyHeadlineNumbers(t *testing.T) {
+	cases := []struct {
+		name        string
+		cons, rcons string
+	}{
+		{"register", "1", "1"},
+		{"S_3", "3", "3"},
+		{"T_4", "4", "2–3"},
+		{"test&set", "2", "1–2"},
+	}
+	for _, c := range cases {
+		typ, err := rcons.TypeByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := rcons.Classify(typ, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.ConsBand() != c.cons || cl.RconsBand() != c.rcons {
+			t.Errorf("%s: cons %s rcons %s, want %s %s",
+				c.name, cl.ConsBand(), cl.RconsBand(), c.cons, c.rcons)
+		}
+	}
+}
+
+func TestReadableFlagThroughFacade(t *testing.T) {
+	st, _ := rcons.TypeByName("stack")
+	if rcons.Readable(st) {
+		t.Error("stack readable through facade")
+	}
+	reg, _ := rcons.TypeByName("register")
+	if !rcons.Readable(reg) {
+		t.Error("register non-readable through facade")
+	}
+}
+
+func TestSearchAndSolveEndToEnd(t *testing.T) {
+	typ, err := rcons.TypeByName("S_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rcons.SearchRecording(typ, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("no 2-recording witness for S_2")
+	}
+	tc, err := rcons.NewTeamConsensus(typ, *w, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := tc.TeamInputs("a", "b")
+	for seed := int64(0); seed < 50; seed++ {
+		if _, err := rcons.RunRC(tc, inputs, rcons.Config{Seed: seed, CrashProb: 0.3, MaxCrashes: 4}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTournamentThroughFacade(t *testing.T) {
+	typ, _ := rcons.TypeByName("cas")
+	tr, err := rcons.NewTournament(typ, harness.CASWitness(2, 4), 4, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []rcons.Value{"p", "q", "r", "s"}
+	if _, err := rcons.RunRC(tr, inputs, rcons.Config{Seed: 3, CrashProb: 0.2, MaxCrashes: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimultaneousThroughFacade(t *testing.T) {
+	alg := rcons.NewSimultaneousRC(3, "api")
+	inputs := []rcons.Value{"x", "y", "z"}
+	cfg := rcons.Config{Seed: 5, Model: rcons.SimultaneousCrashes, CrashProb: 0.1, MaxCrashes: 2}
+	if _, err := rcons.RunRC(alg, inputs, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniversalThroughFacade(t *testing.T) {
+	typ, _ := rcons.TypeByName("counter")
+	u := rcons.NewUniversal(2, typ, "0", "api")
+	m := rcons.NewMemory()
+	u.Setup(m)
+	bodies := []rcons.Body{
+		func(p *rcons.Proc) rcons.Value { return rcons.Value(u.Invoke(p, 0, 0, "inc")) },
+		func(p *rcons.Proc) rcons.Value { return rcons.Value(u.Invoke(p, 1, 0, "inc")) },
+	}
+	out, err := rcons.NewRunner(m, bodies, rcons.Config{Seed: 9, CrashProb: 0.2, MaxCrashes: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decided[0] || !out.Decided[1] {
+		t.Fatal("processes did not finish")
+	}
+	if err := u.VerifyList(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentsThroughFacade(t *testing.T) {
+	reps, err := rcons.RunExperiments(rcons.ExperimentOptions{Seeds: 5, MaxN: 3, Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) < 10 {
+		t.Fatalf("only %d experiment reports", len(reps))
+	}
+	for _, r := range reps {
+		if !r.Pass {
+			t.Errorf("experiment %s failed:\n%s", r.ID, r)
+		}
+		if !strings.HasPrefix(r.ID, "E") {
+			t.Errorf("unexpected experiment id %q", r.ID)
+		}
+	}
+}
+
+func TestCASConsensusThroughFacade(t *testing.T) {
+	alg := rcons.NewCASConsensus(2, "api")
+	if _, err := rcons.RunRC(alg, []rcons.Value{"l", "r"}, rcons.Config{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLevelsThroughFacade(t *testing.T) {
+	typ, _ := rcons.TypeByName("S_3")
+	rec, err := rcons.MaxRecording(typ, 5)
+	if err != nil || rec.Max != 3 {
+		t.Fatalf("MaxRecording(S_3) = %v (%v)", rec, err)
+	}
+	disc, err := rcons.MaxDiscerning(typ, 5)
+	if err != nil || disc.Max != 3 {
+		t.Fatalf("MaxDiscerning(S_3) = %v (%v)", disc, err)
+	}
+	if w, err := rcons.SearchDiscerning(typ, 4); err != nil || w != nil {
+		t.Fatalf("SearchDiscerning(S_3, 4) = %v (%v), want nil", w, err)
+	}
+}
