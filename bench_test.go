@@ -1,5 +1,5 @@
 // Benchmarks regenerating every figure-level artifact of the paper (one
-// benchmark per experiment in DESIGN.md §5), plus micro-benchmarks and
+// benchmark per experiment in harness.All), plus micro-benchmarks and
 // ablations for the core machinery. The paper reports no wall-clock
 // numbers — it is a solvability paper — so the benches measure this
 // reproduction's own cost of (a) mechanically re-verifying each claim
@@ -9,10 +9,12 @@
 package rcons_test
 
 import (
+	"context"
 	"testing"
 
 	"rcons"
 	"rcons/internal/checker"
+	"rcons/internal/engine"
 	"rcons/internal/harness"
 	"rcons/internal/history"
 	"rcons/internal/rc"
@@ -154,6 +156,73 @@ func BenchmarkClassifyZoo(b *testing.B) {
 			if _, err := checker.Classify(t, 5, nil); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// ---- Parallel classification engine (internal/engine) benchmarks. ----
+
+// classifyBenchCases are the separating family members whose exhaustive
+// searches dominate classification cost — the paper's hard instances.
+func classifyBenchCases() []spec.Type {
+	return []spec.Type{types.NewTn(5), types.NewSn(4)}
+}
+
+// BenchmarkClassifySequential is the single-core baseline: sequential
+// checker.Classify of T_5 and S_4 at limit 5.
+func BenchmarkClassifySequential(b *testing.B) {
+	for _, t := range classifyBenchCases() {
+		b.Run(t.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := checker.Classify(t, 5, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyParallel is the sharded worker-pool counterpart
+// (compare against BenchmarkClassifySequential; the ratio is the
+// engine's speedup on this machine). A fresh engine per iteration keeps
+// the cache cold, so this measures the parallel search itself.
+func BenchmarkClassifyParallel(b *testing.B) {
+	for _, t := range classifyBenchCases() {
+		b.Run(t.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(engine.Options{})
+				if _, err := eng.Classify(context.Background(), t, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyParallelCached shares one engine across iterations —
+// the rcserve steady state, where repeated queries hit the memoization
+// cache instead of re-searching.
+func BenchmarkClassifyParallelCached(b *testing.B) {
+	eng := engine.New(engine.Options{})
+	for _, t := range classifyBenchCases() {
+		b.Run(t.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Classify(context.Background(), t, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyZooParallel is the batch counterpart of
+// BenchmarkClassifyZoo: the whole zoo at limit 5 through engine.Scan,
+// cache cold each iteration.
+func BenchmarkClassifyZooParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{})
+		if _, err := eng.Scan(context.Background(), 5); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

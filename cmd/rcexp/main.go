@@ -1,6 +1,6 @@
 // Command rcexp runs the paper-reproduction experiments (one per figure
 // of "When Is Recoverable Consensus Harder Than Consensus?", PODC 2022)
-// and prints their reports. See DESIGN.md §5 for the experiment index.
+// and prints their reports. See harness.All for the experiment index.
 //
 // Usage:
 //
@@ -29,7 +29,7 @@ func run(args []string) error {
 	maxn := fs.Int("maxn", 5, "maximum process count swept")
 	limit := fs.Int("limit", 6, "checker scan limit")
 	only := fs.String("only", "", "run a single experiment by id (e.g. E4)")
-	markdown := fs.Bool("markdown", false, "emit Markdown tables (for EXPERIMENTS.md)")
+	markdown := fs.Bool("markdown", false, "emit Markdown tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

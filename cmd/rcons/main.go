@@ -6,17 +6,19 @@
 //
 // Usage:
 //
-//	rcons -type S_3 [-limit 6] [-witness] [-diagram]
+//	rcons -type S_3 [-limit 6] [-parallel 0] [-witness] [-diagram]
 //	rcons -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"rcons/internal/checker"
+	"rcons/internal/engine"
 	"rcons/internal/harness"
 	"rcons/internal/spec"
 	"rcons/internal/types"
@@ -34,6 +36,7 @@ func run(args []string) error {
 	typeName := fs.String("type", "", "type to classify (e.g. register, cas, stack, T_5, S_3)")
 	specFile := fs.String("spec", "", "classify a custom type from a JSON transition table instead of a built-in")
 	limit := fs.Int("limit", 6, "scan the properties for n = 2..limit")
+	parallel := fs.Int("parallel", 0, "classify on the sharded engine with this many workers (-1 = all CPUs, 0 = sequential)")
 	witness := fs.Bool("witness", false, "print the maximal recording/discerning witnesses")
 	diagram := fs.Bool("diagram", false, "print the type's transition diagram")
 	list := fs.Bool("list", false, "list the built-in type zoo and exit")
@@ -72,7 +75,18 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("missing -type or -spec (or use -list); try: rcons -type S_3")
 	}
-	c, err := checker.Classify(t, *limit, nil)
+	var c checker.Classification
+	var err error
+	if *parallel != 0 {
+		workers := *parallel
+		if workers < 0 {
+			workers = 0 // engine default: all CPUs
+		}
+		eng := engine.New(engine.Options{Workers: workers})
+		c, err = eng.Classify(context.Background(), t, *limit)
+	} else {
+		c, err = checker.Classify(t, *limit, nil)
+	}
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,15 @@ func TestRunClassify(t *testing.T) {
 	}
 }
 
+func TestRunClassifyParallel(t *testing.T) {
+	if err := run([]string{"-type", "S_2", "-limit", "4", "-parallel", "-1", "-witness"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-type", "T_4", "-limit", "4", "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunDiagram(t *testing.T) {
 	if err := run([]string{"-type", "T_4", "-limit", "4", "-diagram"}); err != nil {
 		t.Fatal(err)

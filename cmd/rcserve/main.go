@@ -1,0 +1,384 @@
+// Command rcserve exposes the parallel classification engine
+// (internal/engine) as an HTTP JSON service, turning the paper's
+// decision procedures into a queryable recoverable-consensus hierarchy:
+//
+//	GET  /v1/classify?type=S_3&limit=6   classify a built-in type
+//	POST /v1/classify?limit=6            classify a custom JSON transition table
+//	GET  /v1/search?type=T_5&property=recording&n=3
+//	GET  /v1/zoo?limit=5                 classify the whole built-in zoo
+//	GET  /healthz                        liveness + cache statistics
+//
+// One engine (and therefore one memoization cache) is shared by all
+// requests, so repeated and overlapping queries are served from cache.
+// Requests are bounded: limits/levels are capped, request bodies are
+// size-limited, each request gets a deadline, and an in-flight cap sheds
+// load with 503 instead of queueing unboundedly.
+//
+// Usage:
+//
+//	rcserve [-addr :8372] [-workers 0] [-max-limit 6] [-cache 4096]
+//	        [-timeout 30s] [-max-inflight 64]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"rcons/internal/checker"
+	"rcons/internal/engine"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rcserve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr        string
+	workers     int
+	maxLimit    int
+	cacheSize   int
+	timeout     time.Duration
+	maxInflight int
+	maxBody     int64
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("rcserve", flag.ContinueOnError)
+	cfg := config{maxBody: 1 << 20}
+	fs.StringVar(&cfg.addr, "addr", ":8372", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "shard-verification workers per search (0 = all CPUs)")
+	fs.IntVar(&cfg.maxLimit, "max-limit", 6, "cap on the limit/n request parameters")
+	fs.IntVar(&cfg.cacheSize, "cache", 4096, "memoized search results to keep (negative disables)")
+	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline")
+	fs.IntVar(&cfg.maxInflight, "max-inflight", 64, "concurrent requests before shedding with 503")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if cfg.maxLimit < 2 {
+		return config{}, fmt.Errorf("-max-limit must be ≥ 2, got %d", cfg.maxLimit)
+	}
+	if cfg.maxInflight < 1 {
+		return config{}, fmt.Errorf("-max-inflight must be ≥ 1, got %d", cfg.maxInflight)
+	}
+	return cfg, nil
+}
+
+func run(args []string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	srv := newServer(cfg)
+	hs := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rcserve: listening on %s (workers=%d, max-limit=%d)\n",
+		cfg.addr, srv.eng.Workers(), cfg.maxLimit)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}
+
+// server holds the shared engine and request-limiting state.
+type server struct {
+	cfg      config
+	eng      *engine.Engine
+	inflight chan struct{}
+}
+
+func newServer(cfg config) *server {
+	return &server{
+		cfg:      cfg,
+		eng:      engine.New(engine.Options{Workers: cfg.workers, CacheSize: cfg.cacheSize}),
+		inflight: make(chan struct{}, cfg.maxInflight),
+	}
+}
+
+// handler builds the route table with the limiting middleware applied.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", s.limited(s.handleClassify))
+	mux.HandleFunc("/v1/search", s.limited(s.handleSearch))
+	mux.HandleFunc("/v1/zoo", s.limited(s.handleZoo))
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// limited applies the in-flight cap and per-request deadline.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.timeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// ---- JSON encoding of checker results ----
+
+// witnessJSON is the wire form of a checker.Witness.
+type witnessJSON struct {
+	Q0    string   `json:"q0"`
+	Teams []int    `json:"teams"`
+	Ops   []string `json:"ops"`
+	Human string   `json:"display"`
+}
+
+func encodeWitness(w *checker.Witness) *witnessJSON {
+	if w == nil {
+		return nil
+	}
+	ops := make([]string, len(w.Ops))
+	for i, op := range w.Ops {
+		ops[i] = string(op)
+	}
+	return &witnessJSON{Q0: string(w.Q0), Teams: w.Teams, Ops: ops, Human: w.String()}
+}
+
+// levelJSON is the wire form of a checker.MaxLevel.
+type levelJSON struct {
+	Max     int          `json:"max"`
+	AtLimit bool         `json:"atLimit"`
+	Limit   int          `json:"limit"`
+	Display string       `json:"display"`
+	Witness *witnessJSON `json:"witness,omitempty"`
+}
+
+func encodeLevel(m checker.MaxLevel) levelJSON {
+	return levelJSON{
+		Max: m.Max, AtLimit: m.AtLimit, Limit: m.Limit,
+		Display: m.String(), Witness: encodeWitness(m.Witness),
+	}
+}
+
+// bandJSON is a [lo, hi] bound; Hi is null when the band is unbounded
+// above (the scan hit its limit).
+type bandJSON struct {
+	Lo      int    `json:"lo"`
+	Hi      *int   `json:"hi"`
+	Display string `json:"display"`
+}
+
+func encodeBand(lo, hi int, display string) bandJSON {
+	b := bandJSON{Lo: lo, Display: display}
+	if hi < checker.Unbounded {
+		b.Hi = &hi
+	}
+	return b
+}
+
+// classificationJSON is the wire form of a checker.Classification.
+type classificationJSON struct {
+	Type       string    `json:"type"`
+	Readable   bool      `json:"readable"`
+	Discerning levelJSON `json:"discerning"`
+	Recording  levelJSON `json:"recording"`
+	Cons       bandJSON  `json:"cons"`
+	Rcons      bandJSON  `json:"rcons"`
+}
+
+func encodeClassification(c checker.Classification) classificationJSON {
+	return classificationJSON{
+		Type:       c.TypeName,
+		Readable:   c.Readable,
+		Discerning: encodeLevel(c.Discerning),
+		Recording:  encodeLevel(c.Recording),
+		Cons:       encodeBand(c.ConsLo, c.ConsHi, c.ConsBand()),
+		Rcons:      encodeBand(c.RconsLo, c.RconsHi, c.RconsBand()),
+	}
+}
+
+// ---- handlers ----
+
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	limit, ok := s.intParam(w, r, "limit", 6)
+	if !ok {
+		return
+	}
+	var t spec.Type
+	switch r.Method {
+	case http.MethodGet:
+		name := r.URL.Query().Get("type")
+		if name == "" {
+			writeError(w, http.StatusBadRequest, "missing type parameter")
+			return
+		}
+		var err error
+		t, err = types.ByName(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			} else {
+				writeError(w, http.StatusBadRequest, "could not read request body")
+			}
+			return
+		}
+		t, err = types.NewCustomFromJSON(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET with ?type= or POST a custom table")
+		return
+	}
+	c, err := s.eng.Classify(r.Context(), t, limit)
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeClassification(c))
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	name := r.URL.Query().Get("type")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing type parameter")
+		return
+	}
+	t, err := types.ByName(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	prop, err := engine.ParseProperty(r.URL.Query().Get("property"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	n, ok := s.intParam(w, r, "n", 2)
+	if !ok {
+		return
+	}
+	witness, err := s.eng.Search(r.Context(), t, prop, n)
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"type":     t.Name(),
+		"property": prop.String(),
+		"n":        n,
+		"found":    witness != nil,
+		"witness":  encodeWitness(witness),
+	})
+}
+
+func (s *server) handleZoo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	limit, ok := s.intParam(w, r, "limit", 5)
+	if !ok {
+		return
+	}
+	cs, err := s.eng.Scan(r.Context(), limit)
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
+	results := make([]classificationJSON, len(cs))
+	for i, c := range cs {
+		results[i] = encodeClassification(c)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"limit":   limit,
+		"count":   len(results),
+		"results": results,
+	})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.eng.Workers(),
+		"cache":   s.eng.Stats(),
+	})
+}
+
+// intParam parses a bounded integer query parameter in [2, maxLimit].
+func (s *server) intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return min(def, s.cfg.maxLimit), true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 2 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be an integer ≥ 2", name))
+		return 0, false
+	}
+	if v > s.cfg.maxLimit {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%s=%d exceeds this server's cap of %d", name, v, s.cfg.maxLimit))
+		return 0, false
+	}
+	return v, true
+}
+
+// writeEngineError maps search failures to HTTP statuses: deadline and
+// cancellation become 503 (the request hit its budget), everything else
+// is a client-visible 422 (e.g. a custom table a theorem rejects).
+func (s *server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable, "request exceeded its time budget")
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,3 @@
+module rcons
+
+go 1.24

@@ -47,7 +47,14 @@ func Classify(t spec.Type, limit int, opts *SearchOptions) (Classification, erro
 	if err != nil {
 		return Classification{}, fmt.Errorf("classify %s: %w", t.Name(), err)
 	}
+	return Derive(t, disc, rec)
+}
 
+// Derive turns scanned discerning/recording maxima into the cons/rcons
+// bands the paper's theorems imply. It is shared by the sequential
+// Classify above and the concurrent scans in package engine, so both
+// produce byte-identical classifications from the same levels.
+func Derive(t spec.Type, disc, rec MaxLevel) (Classification, error) {
 	c := Classification{
 		TypeName:   t.Name(),
 		Readable:   types.Readable(t),

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 
 	"rcons/internal/spec"
@@ -38,6 +39,10 @@ func (o *SearchOptions) fill(t spec.Type, n int) ([]spec.State, []spec.Op) {
 	}
 	return states, ops
 }
+
+// VerifyFunc is a property verifier for one candidate witness:
+// VerifyRecording or VerifyDiscerning.
+type VerifyFunc func(spec.Type, Witness) (Result, error)
 
 // multisets enumerates all multisets of size k over m symbols, invoking
 // yield with a count vector of length m for each. yield must not retain
@@ -87,45 +92,113 @@ func witnessFromCounts(q0 spec.State, ops []spec.Op, aCounts, bCounts []int) Wit
 	return w
 }
 
-// searchWitness runs the shared exhaustive enumeration, calling verify on
-// each candidate witness until one passes.
-func searchWitness(
-	t spec.Type, n int, opts *SearchOptions,
-	verify func(spec.Type, Witness) (Result, error),
-) (*Witness, error) {
+// Shard is one independent slice of the witness enumeration space: the
+// initial state and team-A operation multiset are fixed, and the shard
+// spans every team-B multiset of size N − |A|. Distinct shards share no
+// candidate witness, and the shards for (t, n) jointly cover the whole
+// space, so they can be verified concurrently (package engine) or in
+// sequence (searchWitness below) with identical outcomes.
+type Shard struct {
+	// Q0 is the fixed initial state.
+	Q0 spec.State
+	// Ops is the candidate operation alphabet shared by all shards.
+	Ops []spec.Op
+	// ACounts is the fixed per-op count vector for team A
+	// (len(ACounts) == len(Ops), sum ≥ 1).
+	ACounts []int
+	// N is the total process count; team B gets N − sum(ACounts)
+	// processes.
+	N int
+}
+
+// teamBSize returns the number of team-B processes in the shard.
+func (s Shard) teamBSize() int {
+	b := s.N
+	for _, c := range s.ACounts {
+		b -= c
+	}
+	return b
+}
+
+// Shards partitions the (t, n, opts) search space into independent
+// shards, in exactly the order searchWitness visits them: initial states
+// first, then team-A size 1 … n−1, then team-A multisets in the
+// enumeration order of multisets. An empty slice (with nil error) means
+// the type has no update operations and therefore no witness.
+func Shards(t spec.Type, n int, opts *SearchOptions) ([]Shard, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("checker: the properties are defined for n ≥ 2, got %d", n)
 	}
 	states, ops := opts.fill(t, n)
 	if len(ops) == 0 {
-		return nil, nil // a type with no update operations has no witness
+		return nil, nil
 	}
-	var found *Witness
-	var searchErr error
+	var out []Shard
 	for _, q0 := range states {
 		for a := 1; a < n; a++ {
-			stop := !multisets(len(ops), a, func(aCounts []int) bool {
-				aCopy := append([]int(nil), aCounts...)
-				return multisets(len(ops), n-a, func(bCounts []int) bool {
-					w := witnessFromCounts(q0, ops, aCopy, bCounts)
-					res, err := verify(t, w)
-					if err != nil {
-						searchErr = err
-						return false
-					}
-					if res.OK {
-						found = &w
-						return false
-					}
-					return true
+			multisets(len(ops), a, func(aCounts []int) bool {
+				out = append(out, Shard{
+					Q0:      q0,
+					Ops:     ops,
+					ACounts: append([]int(nil), aCounts...),
+					N:       n,
 				})
+				return true
 			})
-			if searchErr != nil {
-				return nil, searchErr
+		}
+	}
+	return out, nil
+}
+
+// SearchShard verifies the shard's candidate witnesses in enumeration
+// order until one passes, verify fails, or ctx is cancelled. It returns
+// nil when the shard contains no witness.
+func SearchShard(ctx context.Context, t spec.Type, s Shard, verify VerifyFunc) (*Witness, error) {
+	var found *Witness
+	var searchErr error
+	multisets(len(s.Ops), s.teamBSize(), func(bCounts []int) bool {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				searchErr = err
+				return false
 			}
-			if stop {
-				return found, nil
-			}
+		}
+		w := witnessFromCounts(s.Q0, s.Ops, s.ACounts, bCounts)
+		res, err := verify(t, w)
+		if err != nil {
+			searchErr = err
+			return false
+		}
+		if res.OK {
+			found = &w
+			return false
+		}
+		return true
+	})
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	return found, nil
+}
+
+// searchWitness runs the shared exhaustive enumeration, calling verify on
+// each candidate witness until one passes. It is the sequential driver
+// over Shards/SearchShard; package engine provides the concurrent one.
+func searchWitness(
+	t spec.Type, n int, opts *SearchOptions,
+	verify VerifyFunc,
+) (*Witness, error) {
+	shards, err := Shards(t, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range shards {
+		w, err := SearchShard(context.Background(), t, s, verify)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			return w, nil
 		}
 	}
 	return nil, nil

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"sync"
+
+	"rcons/internal/checker"
+)
+
+// CacheStats reports the engine cache's cumulative behavior.
+type CacheStats struct {
+	// Hits and Misses count lookups that did / did not find an entry.
+	Hits, Misses int64
+	// Entries is the current number of memoized results.
+	Entries int
+	// Evictions counts entries dropped to respect the size bound.
+	Evictions int64
+}
+
+// searchResult is a memoized witness-search outcome. Found=false is as
+// meaningful as a witness: it records the (expensive) exhaustive proof
+// that no witness exists for that (type, property, n).
+type searchResult struct {
+	found   bool
+	witness checker.Witness
+}
+
+// cache is a bounded memoization table for search results, keyed by
+// canonical fingerprint strings. Eviction is FIFO: witness searches have
+// no meaningful recency structure (a zoo scan touches every key once),
+// so the simple policy serves as well as LRU here and is cheaper.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]searchResult
+	order   []string // insertion order, for FIFO eviction
+	stats   CacheStats
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, entries: make(map[string]searchResult)}
+}
+
+func (c *cache) get(key string) (searchResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return r, ok
+}
+
+func (c *cache) put(key string, r searchResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = r
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+		c.stats.Evictions++
+	}
+	c.entries[key] = r
+	c.order = append(c.order, key)
+}
+
+func (c *cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}

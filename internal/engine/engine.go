@@ -1,0 +1,357 @@
+// Package engine is the concurrent classification engine layered over
+// package checker. It answers the same questions — "is type T
+// n-recording / n-discerning, and what cons/rcons bands follow?" — but
+// partitions each exhaustive witness search into independent shards
+// (checker.Shards), verifies the shards on a worker pool with early
+// cancellation once a witness is found, and memoizes results behind a
+// canonical type fingerprint so repeated queries (CLI runs, zoo scans,
+// rcserve traffic) are served from cache.
+//
+// Determinism: the pool tracks the lowest-indexed shard that produced a
+// witness and cancels only shards that enumerate later, so the engine
+// returns exactly the witness the sequential search would, independent
+// of worker count and scheduling. Classification results are therefore
+// byte-identical to checker.Classify (asserted over the whole zoo by
+// TestEngineMatchesSequentialZoo).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rcons/internal/checker"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// Property selects which of the paper's two structural properties a
+// search targets.
+type Property int
+
+const (
+	// Recording is the n-recording property (Definition 4).
+	Recording Property = iota
+	// Discerning is the n-discerning property (Definition 2).
+	Discerning
+)
+
+// String implements fmt.Stringer.
+func (p Property) String() string {
+	switch p {
+	case Recording:
+		return "recording"
+	case Discerning:
+		return "discerning"
+	}
+	return fmt.Sprintf("Property(%d)", int(p))
+}
+
+// ParseProperty resolves the names used by CLI flags and rcserve query
+// parameters.
+func ParseProperty(s string) (Property, error) {
+	switch s {
+	case "recording", "rec":
+		return Recording, nil
+	case "discerning", "disc":
+		return Discerning, nil
+	}
+	return 0, fmt.Errorf("engine: unknown property %q (want recording or discerning)", s)
+}
+
+func (p Property) verify() (checker.VerifyFunc, error) {
+	switch p {
+	case Recording:
+		return checker.VerifyRecording, nil
+	case Discerning:
+		return checker.VerifyDiscerning, nil
+	}
+	return nil, fmt.Errorf("engine: invalid property %d", int(p))
+}
+
+// Options configures an Engine. The zero value gives one worker per CPU
+// and a 4096-entry cache.
+type Options struct {
+	// Workers is the number of concurrent shard verifications per
+	// search; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize bounds the number of memoized search results; 0 means
+	// 4096, negative disables memoization entirely.
+	CacheSize int
+}
+
+// Engine runs sharded, memoized witness searches. It is safe for
+// concurrent use; one Engine is meant to be shared (e.g. by all rcserve
+// requests) so that the cache actually accumulates.
+type Engine struct {
+	workers int
+	// sem globally bounds busy shard verifications: concurrent searches
+	// (two property scans per Classify, many classifications per batch)
+	// each spawn their own goroutines, but at most `workers` of them
+	// hold a slot and burn CPU at any instant, so nested fan-out cannot
+	// oversubscribe the machine quadratically.
+	sem   chan struct{}
+	cache *cache // nil when memoization is disabled
+}
+
+// New builds an Engine from opts.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{workers: w, sem: make(chan struct{}, w)}
+	switch {
+	case opts.CacheSize == 0:
+		e.cache = newCache(4096)
+	case opts.CacheSize > 0:
+		e.cache = newCache(opts.CacheSize)
+	}
+	return e
+}
+
+// Workers returns the configured worker-pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns cumulative cache statistics (zero values when the cache
+// is disabled).
+func (e *Engine) Stats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.Stats()
+}
+
+// Search looks for a witness of property p for type t among n processes,
+// verifying enumeration shards concurrently. It returns nil when no
+// witness exists over the candidate sets — the same exhaustive guarantee
+// as the sequential checker searches. Results (including negative ones)
+// are memoized under the type's canonical fingerprint.
+func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*checker.Witness, error) {
+	verify, err := p.verify()
+	if err != nil {
+		return nil, err
+	}
+	key := ""
+	if e.cache != nil {
+		if fp, ok := Fingerprint(t, n); ok {
+			key = fmt.Sprintf("search|%s|%s|%d", fp, p, n)
+			if r, ok := e.cache.get(key); ok {
+				if !r.found {
+					return nil, nil
+				}
+				w := cloneWitness(r.witness)
+				return &w, nil
+			}
+		}
+	}
+	w, err := e.searchParallel(ctx, t, n, verify)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		r := searchResult{found: w != nil}
+		if w != nil {
+			r.witness = cloneWitness(*w)
+		}
+		e.cache.put(key, r)
+	}
+	return w, nil
+}
+
+// cloneWitness deep-copies a witness so cached entries are immune to
+// caller mutation.
+func cloneWitness(w checker.Witness) checker.Witness {
+	return checker.Witness{
+		Q0:    w.Q0,
+		Teams: append([]int(nil), w.Teams...),
+		Ops:   append([]spec.Op(nil), w.Ops...),
+	}
+}
+
+// searchParallel fans the enumeration shards for (t, n) out over the
+// worker pool. To keep the result identical to the sequential search it
+// tracks the lowest shard index that has produced a witness: workers
+// stop claiming shards past it, in-flight later shards are cancelled
+// through their contexts, and earlier in-flight shards run to completion
+// because they could still yield the canonical (first-in-order) witness.
+func (e *Engine) searchParallel(ctx context.Context, t spec.Type, n int, verify checker.VerifyFunc) (*checker.Witness, error) {
+	shards, err := checker.Shards(t, n, nil)
+	if err != nil || len(shards) == 0 {
+		return nil, err
+	}
+	workers := min(e.workers, len(shards))
+	if workers <= 1 {
+		for _, s := range shards {
+			e.sem <- struct{}{}
+			w, err := checker.SearchShard(ctx, t, s, verify)
+			<-e.sem
+			if err != nil {
+				return nil, err
+			}
+			if w != nil {
+				return w, nil
+			}
+		}
+		return nil, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		bestIdx  = len(shards)
+		bestW    *checker.Witness
+		firstErr error
+		active   = map[int]context.CancelFunc{}
+		next     int
+	)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				if i >= len(shards) || i >= bestIdx || firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				sctx, cancel := context.WithCancel(ctx)
+				active[i] = cancel
+				mu.Unlock()
+
+				e.sem <- struct{}{}
+				w, err := checker.SearchShard(sctx, t, shards[i], verify)
+				<-e.sem
+
+				mu.Lock()
+				delete(active, i)
+				cancel()
+				switch {
+				case err != nil:
+					// A cancellation we triggered ourselves (the shard
+					// became obsolete after a lower-indexed witness) is
+					// not a search failure; everything else is.
+					if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+						mu.Unlock()
+						continue
+					}
+					if firstErr == nil {
+						firstErr = err
+						for _, c := range active {
+							c()
+						}
+					}
+					mu.Unlock()
+					return
+				case w != nil && i < bestIdx:
+					bestIdx, bestW = i, w
+					for j, c := range active {
+						if j > i {
+							c()
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return bestW, nil
+}
+
+// Max scans property p for n = 2 … limit, mirroring checker.MaxRecording
+// / MaxDiscerning (including the downward-closure early stop) but with
+// each level's search sharded and memoized.
+func (e *Engine) Max(ctx context.Context, t spec.Type, p Property, limit int) (checker.MaxLevel, error) {
+	out := checker.MaxLevel{Max: 1, Limit: limit}
+	for n := 2; n <= limit; n++ {
+		w, err := e.Search(ctx, t, p, n)
+		if err != nil {
+			return checker.MaxLevel{}, err
+		}
+		if w == nil {
+			return out, nil
+		}
+		out.Max = n
+		out.Witness = w
+	}
+	out.AtLimit = true
+	return out, nil
+}
+
+// Classify derives type t's cons/rcons bands exactly like
+// checker.Classify, with the two property scans running concurrently and
+// every level search sharded over the worker pool.
+func (e *Engine) Classify(ctx context.Context, t spec.Type, limit int) (checker.Classification, error) {
+	if limit < 2 {
+		return checker.Classification{}, fmt.Errorf("checker: classification limit must be ≥ 2, got %d", limit)
+	}
+	var (
+		wg         sync.WaitGroup
+		disc, rec  checker.MaxLevel
+		dErr, rErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		disc, dErr = e.Max(ctx, t, Discerning, limit)
+	}()
+	go func() {
+		defer wg.Done()
+		rec, rErr = e.Max(ctx, t, Recording, limit)
+	}()
+	wg.Wait()
+	if dErr != nil {
+		return checker.Classification{}, fmt.Errorf("classify %s: %w", t.Name(), dErr)
+	}
+	if rErr != nil {
+		return checker.Classification{}, fmt.Errorf("classify %s: %w", t.Name(), rErr)
+	}
+	return checker.Derive(t, disc, rec)
+}
+
+// ClassifyAll classifies every type in ts, running up to Workers
+// classifications concurrently. Results keep the order of ts; the first
+// error aborts the batch.
+func (e *Engine) ClassifyAll(ctx context.Context, ts []spec.Type, limit int) ([]checker.Classification, error) {
+	out := make([]checker.Classification, len(ts))
+	errs := make([]error, len(ts))
+	sem := make(chan struct{}, max(e.workers, 1))
+	var wg sync.WaitGroup
+	for i, t := range ts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				return
+			}
+			out[i], errs[i] = e.Classify(ctx, t, limit)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Scan classifies the entire built-in type zoo at the given limit — the
+// batch behind `rcserve /v1/zoo` and the harness hierarchy table.
+func (e *Engine) Scan(ctx context.Context, limit int) ([]checker.Classification, error) {
+	return e.ClassifyAll(ctx, types.Zoo(), limit)
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"rcons/internal/spec"
+)
+
+// fingerprintStateCap bounds the reachable-state exploration during
+// fingerprinting; types whose state space exceeds it are not memoized.
+const fingerprintStateCap = 1 << 14
+
+// Fingerprint computes a canonical identity for the search problem
+// "(property of) type t among n processes": a hash over the type's name,
+// candidate initial states, the candidate operation alphabet for n, and
+// the full transition table restricted to states reachable from the
+// initial states under that alphabet. Two spec.Type values with equal
+// fingerprints produce identical witness-search results, which is what
+// makes the engine's cache sound for arbitrary (including user-supplied
+// custom) types. ok is false when the type cannot be fingerprinted — an
+// oversized state space or a transition error — in which case results
+// for it are simply not cached.
+func Fingerprint(t spec.Type, n int) (fp string, ok bool) {
+	h := sha256.New()
+	fmt.Fprintf(h, "name=%s\nn=%d\n", t.Name(), n)
+	states := t.InitialStates()
+	for _, s := range states {
+		fmt.Fprintf(h, "init=%q\n", s)
+	}
+	ops := spec.CandidateOps(t, n)
+	for _, op := range ops {
+		fmt.Fprintf(h, "op=%q\n", op)
+	}
+
+	// Explore every state reachable from any initial state and hash the
+	// induced transition table in canonical (sorted) order.
+	seen := map[spec.State]bool{}
+	var frontier []spec.State
+	for _, s := range states {
+		if !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	var all []spec.State
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		all = append(all, s)
+		for _, op := range ops {
+			ns, _, err := t.Apply(s, op)
+			if err != nil {
+				return "", false
+			}
+			if !seen[ns] {
+				if len(seen) >= fingerprintStateCap {
+					return "", false
+				}
+				seen[ns] = true
+				frontier = append(frontier, ns)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, s := range all {
+		for _, op := range ops {
+			ns, r, err := t.Apply(s, op)
+			if err != nil {
+				return "", false
+			}
+			fmt.Fprintf(h, "%q/%q->%q/%q\n", s, op, ns, r)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}

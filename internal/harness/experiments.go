@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -564,8 +565,11 @@ func knowns() map[string]knownClassification {
 	}
 }
 
-// HierarchyTable classifies the whole zoo, reporting the derived
-// cons/rcons bands next to the values the paper states.
+// HierarchyTable classifies the whole zoo — on the sharded parallel
+// engine, which is also what keeps this experiment tractable as the zoo
+// grows — reporting the derived cons/rcons bands next to the values the
+// paper states. Engine and sequential classifications are byte-identical
+// (asserted by the engine tests), so the table is the same either way.
 func HierarchyTable(opts Options) (*Report, error) {
 	opts = opts.filled()
 	r := &Report{
@@ -574,11 +578,12 @@ func HierarchyTable(opts Options) (*Report, error) {
 		Pass:   true,
 	}
 	kn := knowns()
-	for _, t := range types.Zoo() {
-		c, err := checker.Classify(t, opts.Limit, nil)
-		if err != nil {
-			return nil, err
-		}
+	cs, err := opts.eng.Scan(context.Background(), opts.Limit)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range types.Zoo() {
+		c := cs[i]
 		k, hasKnown := kn[t.Name()]
 		paperCons, paperRcons := "—", "—"
 		if hasKnown {
@@ -619,20 +624,18 @@ func Thm22Sets(opts Options) (*Report, error) {
 		{types.NewRegister(), types.NewCAS()},
 	}
 	for _, set := range sets {
-		var cs []checker.Classification
+		cs, err := opts.eng.ClassifyAll(context.Background(), set, opts.Limit)
+		if err != nil {
+			return nil, err
+		}
 		name := ""
 		bands := ""
-		for i, t := range set {
-			c, err := checker.Classify(t, opts.Limit, nil)
-			if err != nil {
-				return nil, err
-			}
-			cs = append(cs, c)
+		for i, c := range cs {
 			if i > 0 {
 				name += "+"
 				bands += ", "
 			}
-			name += t.Name()
+			name += c.TypeName
 			bands += c.RconsBand()
 		}
 		lo, hi, err := checker.CombineBounds(cs)

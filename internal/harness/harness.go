@@ -6,13 +6,15 @@
 // mechanically (via package checker) or executes the corresponding
 // algorithm under randomized and adversarial crash schedules (via
 // packages rc, universal and sim), reporting the same content the figure
-// conveys. See DESIGN.md §5 for the experiment index and EXPERIMENTS.md
-// for recorded outcomes.
+// conveys. See All below for the experiment index; `rcexp` prints the
+// reports.
 package harness
 
 import (
 	"fmt"
 	"strings"
+
+	"rcons/internal/engine"
 )
 
 // Options tunes experiment effort. The zero value is replaced by
@@ -25,6 +27,14 @@ type Options struct {
 	MaxN int
 	// Limit bounds checker property scans.
 	Limit int
+	// Workers sets the classification engine's worker-pool width for the
+	// batch experiments (E8/E9); 0 means one worker per CPU.
+	Workers int
+
+	// eng is the shared classification engine, created by filled() so a
+	// RunAll invocation reuses one memoization cache across experiments
+	// (E9 is largely served from E8's zoo scan).
+	eng *engine.Engine
 }
 
 // DefaultOptions returns the effort used by `go test` and cmd/rcexp.
@@ -40,6 +50,9 @@ func (o Options) filled() Options {
 	}
 	if o.Limit < 2 {
 		o.Limit = d.Limit
+	}
+	if o.eng == nil {
+		o.eng = engine.New(engine.Options{Workers: o.Workers})
 	}
 	return o
 }
@@ -141,8 +154,11 @@ func All() []Experiment {
 	}
 }
 
-// RunAll executes every experiment and returns the reports.
+// RunAll executes every experiment and returns the reports. Options are
+// filled once up front so all experiments share one classification
+// engine (and thus one memoization cache).
 func RunAll(opts Options) ([]*Report, error) {
+	opts = opts.filled()
 	var out []*Report
 	for _, e := range All() {
 		r, err := e.Run(opts)

@@ -105,11 +105,19 @@ func TestPaperWitnessesAreValid(t *testing.T) {
 func TestOptionsFilled(t *testing.T) {
 	o := Options{}.filled()
 	d := DefaultOptions()
-	if o != d {
+	if o.Seeds != d.Seeds || o.MaxN != d.MaxN || o.Limit != d.Limit {
 		t.Fatalf("filled zero options = %+v, want defaults %+v", o, d)
+	}
+	if o.eng == nil {
+		t.Fatal("filled options carry no shared engine")
 	}
 	o = Options{Seeds: 3, MaxN: 2, Limit: 2}.filled()
 	if o.Seeds != 3 || o.MaxN != 2 || o.Limit != 2 {
 		t.Fatalf("explicit options overridden: %+v", o)
+	}
+	// Refilling preserves an existing engine, so RunAll's one-time fill
+	// shares its cache with every experiment.
+	if o2 := o.filled(); o2.eng != o.eng {
+		t.Fatal("filled replaced the shared engine")
 	}
 }

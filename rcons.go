@@ -27,14 +27,19 @@
 //     (internal/universal) with linearizability checking
 //     (internal/history);
 //   - an experiment harness regenerating every figure-level artifact
-//     (internal/harness), exposed here via Experiments and RunExperiments.
+//     (internal/harness), exposed here via RunExperiments;
+//   - a sharded, memoizing, worker-pool-parallel classification engine
+//     (internal/engine) exposed here via NewEngine, and served over HTTP
+//     by cmd/rcserve.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+// See README.md for a tour of the commands, packages and experiments.
 package rcons
 
 import (
+	"context"
+
 	"rcons/internal/checker"
+	"rcons/internal/engine"
 	"rcons/internal/harness"
 	"rcons/internal/history"
 	"rcons/internal/rc"
@@ -69,6 +74,26 @@ type (
 	MaxLevel = checker.MaxLevel
 	// SearchOptions tunes witness searches.
 	SearchOptions = checker.SearchOptions
+)
+
+// Engine types: the concurrent, memoizing classification engine.
+type (
+	// Engine runs sharded parallel witness searches with result caching.
+	Engine = engine.Engine
+	// EngineOptions sets the worker-pool width and cache bound.
+	EngineOptions = engine.Options
+	// EngineCacheStats reports engine cache hits/misses/evictions.
+	EngineCacheStats = engine.CacheStats
+	// Property selects n-recording or n-discerning for engine searches.
+	Property = engine.Property
+)
+
+// Engine property selectors (re-exported constants).
+const (
+	// Recording is the n-recording property (Definition 4).
+	Recording = engine.Recording
+	// Discerning is the n-discerning property (Definition 2).
+	Discerning = engine.Discerning
 )
 
 // Simulator types.
@@ -127,6 +152,20 @@ func Readable(t Type) bool { return types.Readable(t) }
 // derives its cons/rcons bands per the paper's theorems.
 func Classify(t Type, limit int) (Classification, error) {
 	return checker.Classify(t, limit, nil)
+}
+
+// NewEngine builds a concurrent classification engine; its Classify,
+// ClassifyAll, Scan and Search methods produce results identical to the
+// sequential functions above, sharded over a worker pool and memoized
+// behind canonical type fingerprints.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// ClassifyParallel classifies t on a throwaway engine with one worker
+// per CPU — the one-call parallel counterpart of Classify. Reuse a
+// NewEngine instance instead when classifying repeatedly, so the cache
+// accumulates.
+func ClassifyParallel(ctx context.Context, t Type, limit int) (Classification, error) {
+	return engine.New(engine.Options{}).Classify(ctx, t, limit)
 }
 
 // MaxRecording returns the largest n ≤ limit at which t is n-recording.
@@ -200,7 +239,7 @@ type ExperimentOptions = harness.Options
 type ExperimentReport = harness.Report
 
 // RunExperiments regenerates every figure-level artifact of the paper
-// and returns the reports (see DESIGN.md §5 for the index).
+// and returns the reports (see harness.All for the index).
 func RunExperiments(opts ExperimentOptions) ([]*ExperimentReport, error) {
 	return harness.RunAll(opts)
 }
