@@ -4,10 +4,17 @@
 // the paper's theorems imply, optionally with witnesses and the full
 // transition diagram.
 //
+// It also fronts the crash-schedule model checker (internal/mc): -mc
+// systematically verifies one of the repository's RC protocols against
+// every interleaving and crash placement within a depth/crash budget,
+// printing a minimal replayable counterexample on violation.
+//
 // Usage:
 //
 //	rcons -type S_3 [-limit 6] [-parallel 0] [-witness] [-diagram]
 //	rcons -list
+//	rcons -mc team-sn [-mc-n 2] [-mc-depth 8] [-mc-crashes 1]
+//	rcons -mc-list
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"rcons/internal/checker"
 	"rcons/internal/engine"
 	"rcons/internal/harness"
+	"rcons/internal/mc"
 	"rcons/internal/spec"
 	"rcons/internal/types"
 )
@@ -40,8 +48,24 @@ func run(args []string) error {
 	witness := fs.Bool("witness", false, "print the maximal recording/discerning witnesses")
 	diagram := fs.Bool("diagram", false, "print the type's transition diagram")
 	list := fs.Bool("list", false, "list the built-in type zoo and exit")
+	mcTarget := fs.String("mc", "", "model-check the named RC protocol (see -mc-list) instead of classifying a type")
+	mcList := fs.Bool("mc-list", false, "list the model-checkable protocols and exit")
+	mcN := fs.Int("mc-n", 2, "process count for -mc")
+	mcDepth := fs.Int("mc-depth", 8, "schedule-depth bound for -mc")
+	mcCrashes := fs.Int("mc-crashes", 1, "crash-budget bound for -mc")
+	mcBudget := fs.Int("mc-budget", 0, "node budget before -mc falls back to swarm fuzzing (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *mcList {
+		for _, name := range mc.Targets() {
+			fmt.Printf("%-20s %s\n", name, mc.TargetDoc(name))
+		}
+		return nil
+	}
+	if *mcTarget != "" {
+		return runModelCheck(*mcTarget, *mcN, *mcDepth, *mcCrashes, *mcBudget)
 	}
 
 	if *list {
@@ -119,4 +143,41 @@ func run(args []string) error {
 		fmt.Println(strings.TrimRight(d, "\n"))
 	}
 	return nil
+}
+
+// runModelCheck drives internal/mc for the -mc mode and renders the
+// verdict, stats and any counterexample.
+func runModelCheck(target string, n, depth, crashes, nodeBudget int) error {
+	tgt, err := mc.TargetByName(target, n)
+	if err != nil {
+		return err
+	}
+	res, err := mc.Check(context.Background(), tgt, mc.Options{
+		MaxDepth:    depth,
+		CrashBudget: crashes,
+		NodeBudget:  nodeBudget,
+	})
+	if err != nil {
+		return err
+	}
+
+	mode := "swarm fuzzing (node budget exceeded)"
+	switch {
+	case res.Complete:
+		mode = "exhaustive, complete (whole space within the crash budget)"
+	case res.Exhaustive:
+		mode = "exhaustive within the depth bound"
+	}
+	fmt.Printf("target:      %s (n=%d, %s crashes)\n", res.Target, n, res.Model)
+	fmt.Printf("bounds:      depth ≤ %d, crashes ≤ %d\n", res.MaxDepth, res.CrashBudget)
+	fmt.Printf("mode:        %s\n", mode)
+	fmt.Printf("effort:      %d prefixes, %d pruned, %d completions, %d swarm runs, %d rounds\n",
+		res.Stats.Nodes, res.Stats.Pruned, res.Stats.Completions, res.Stats.SwarmRuns, res.Stats.Rounds)
+	if res.Safe {
+		fmt.Println("verdict:     SAFE")
+		return nil
+	}
+	fmt.Println("verdict:     VIOLATION")
+	fmt.Printf("minimal counterexample (replayable):\n%s", res.CE)
+	return fmt.Errorf("model checking found a violation in %s", res.Target)
 }

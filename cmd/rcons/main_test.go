@@ -58,3 +58,32 @@ func TestRunCustomSpecMissingFile(t *testing.T) {
 		t.Error("missing spec file accepted")
 	}
 }
+
+func TestRunModelCheckList(t *testing.T) {
+	if err := run([]string{"-mc-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModelCheckSafe(t *testing.T) {
+	if err := run([]string{"-mc", "cas", "-mc-depth", "8", "-mc-crashes", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModelCheckViolation(t *testing.T) {
+	// The broken protocol must make -mc exit non-zero with a verdict.
+	err := run([]string{"-mc", "unsafe-noyield", "-mc-depth", "12"})
+	if err == nil {
+		t.Fatal("model checking the broken protocol reported success")
+	}
+}
+
+func TestRunModelCheckErrors(t *testing.T) {
+	if err := run([]string{"-mc", "no-such-protocol"}); err == nil {
+		t.Error("unknown -mc target accepted")
+	}
+	if err := run([]string{"-mc", "cas", "-mc-n", "1"}); err == nil {
+		t.Error("-mc-n 1 accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestErrorPaths is the table-driven sweep over the service's failure
+// modes: malformed bodies, oversized bodies, unknown names, out-of-range
+// parameters and wrong methods must all map to the right status codes
+// with a JSON error payload — never a hang, panic or silent 200.
+func TestErrorPaths(t *testing.T) {
+	_, ts := testServer(t)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		// /v1/classify
+		{"classify missing type", http.MethodGet, "/v1/classify", "", http.StatusBadRequest},
+		{"classify unknown type", http.MethodGet, "/v1/classify?type=nope", "", http.StatusNotFound},
+		{"classify limit too small", http.MethodGet, "/v1/classify?type=cas&limit=1", "", http.StatusBadRequest},
+		{"classify limit not a number", http.MethodGet, "/v1/classify?type=cas&limit=abc", "", http.StatusBadRequest},
+		{"classify limit over cap", http.MethodGet, "/v1/classify?type=cas&limit=99", "", http.StatusBadRequest},
+		{"classify malformed JSON", http.MethodPost, "/v1/classify", "{not json", http.StatusBadRequest},
+		{"classify JSON wrong shape", http.MethodPost, "/v1/classify", `{"name":"x"}`, http.StatusBadRequest},
+		{"classify incomplete table", http.MethodPost, "/v1/classify",
+			`{"name":"x","transitions":{"q0":{"op":{"next":"missing","resp":"r"}}}}`, http.StatusBadRequest},
+		{"classify wrong method", http.MethodDelete, "/v1/classify?type=cas", "", http.StatusMethodNotAllowed},
+
+		// /v1/search
+		{"search missing type", http.MethodGet, "/v1/search?property=recording", "", http.StatusBadRequest},
+		{"search unknown type", http.MethodGet, "/v1/search?type=nope&property=recording", "", http.StatusNotFound},
+		{"search unknown property", http.MethodGet, "/v1/search?type=cas&property=weird", "", http.StatusBadRequest},
+		{"search bad n", http.MethodGet, "/v1/search?type=cas&property=recording&n=0", "", http.StatusBadRequest},
+		{"search wrong method", http.MethodPost, "/v1/search?type=cas&property=recording", "", http.StatusMethodNotAllowed},
+
+		// /v1/zoo
+		{"zoo bad limit", http.MethodGet, "/v1/zoo?limit=-3", "", http.StatusBadRequest},
+		{"zoo wrong method", http.MethodPost, "/v1/zoo", "", http.StatusMethodNotAllowed},
+
+		// /v1/mc
+		{"mc missing target", http.MethodGet, "/v1/mc", "", http.StatusBadRequest},
+		{"mc unknown target", http.MethodGet, "/v1/mc?target=no-such-protocol", "", http.StatusNotFound},
+		{"mc n too small", http.MethodGet, "/v1/mc?target=cas&n=1", "", http.StatusBadRequest},
+		{"mc n over cap", http.MethodGet, "/v1/mc?target=cas&n=9", "", http.StatusBadRequest},
+		{"mc depth over cap", http.MethodGet, "/v1/mc?target=cas&depth=99", "", http.StatusBadRequest},
+		{"mc crashes not a number", http.MethodGet, "/v1/mc?target=cas&crashes=x", "", http.StatusBadRequest},
+		{"mc target/n mismatch", http.MethodGet, "/v1/mc?target=unsafe-yieldalways&n=2", "", http.StatusBadRequest},
+		{"mc wrong method", http.MethodPost, "/v1/mc?target=cas", "", http.StatusMethodNotAllowed},
+		{"mc targets wrong method", http.MethodPost, "/v1/mc/targets", "", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+			}
+			var e map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("error response is not JSON: %v", err)
+			}
+			if e["error"] == "" {
+				t.Fatalf("error response missing the error field: %v", e)
+			}
+		})
+	}
+}
+
+// TestOversizedBody checks the request-body cap: a POST beyond maxBody
+// must be rejected with 413, not buffered.
+func TestOversizedBody(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.maxBody = 256 // shrink the cap so the test stays cheap
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+
+	big := strings.Repeat("x", 1024)
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}
+
+// TestDeadlineExceeded checks the per-request deadline path: with a
+// vanishing timeout, work-heavy endpoints must shed with 503 instead of
+// computing past their budget.
+func TestDeadlineExceeded(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.timeout = time.Nanosecond
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+
+	for _, path := range []string{
+		"/v1/zoo?limit=5",
+		"/v1/classify?type=S_3&limit=6",
+		"/v1/mc?target=team-sn&depth=10",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s with 1ns deadline = %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestModelCheckEndpoint exercises the happy paths of /v1/mc: a safe
+// protocol, a broken protocol with a replayable counterexample, and the
+// target listing.
+func TestModelCheckEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	var safe struct {
+		Safe       bool `json:"safe"`
+		Exhaustive bool `json:"exhaustive"`
+		Stats      struct {
+			Nodes       int `json:"nodes"`
+			Completions int `json:"completions"`
+		} `json:"stats"`
+	}
+	getJSON(t, ts.URL+"/v1/mc?target=cas&n=2&depth=8&crashes=1", http.StatusOK, &safe)
+	if !safe.Safe || !safe.Exhaustive {
+		t.Fatalf("cas n=2 not verified: %+v", safe)
+	}
+	if safe.Stats.Nodes == 0 || safe.Stats.Completions == 0 {
+		t.Fatalf("stats missing: %+v", safe)
+	}
+
+	var bad struct {
+		Safe           bool `json:"safe"`
+		Counterexample *struct {
+			Schedule  []string `json:"schedule"`
+			Display   string   `json:"display"`
+			Violation string   `json:"violation"`
+			Trace     []string `json:"trace"`
+		} `json:"counterexample"`
+	}
+	getJSON(t, ts.URL+"/v1/mc?target=unsafe-noyield&n=2&depth=12&crashes=1", http.StatusOK, &bad)
+	if bad.Safe || bad.Counterexample == nil {
+		t.Fatalf("broken protocol reported safe: %+v", bad)
+	}
+	if len(bad.Counterexample.Schedule) == 0 || bad.Counterexample.Violation == "" {
+		t.Fatalf("counterexample incomplete: %+v", bad.Counterexample)
+	}
+	if !strings.Contains(bad.Counterexample.Violation, "agreement") {
+		t.Fatalf("expected an agreement violation, got %q", bad.Counterexample.Violation)
+	}
+
+	var targets struct {
+		Targets []struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		} `json:"targets"`
+	}
+	getJSON(t, ts.URL+"/v1/mc/targets", http.StatusOK, &targets)
+	if len(targets.Targets) < 6 {
+		t.Fatalf("expected ≥ 6 targets, got %d", len(targets.Targets))
+	}
+}
+
+// TestClassifyCanonicalFingerprint checks the classify response carries
+// the label-free canonical fingerprint, and that isomorphic custom
+// tables share it.
+func TestClassifyCanonicalFingerprint(t *testing.T) {
+	_, ts := testServer(t)
+
+	table := func(s0, s1, op, r0, r1 string) string {
+		return `{"name":"iso","initial":["` + s0 + `"],"transitions":{` +
+			`"` + s0 + `":{"` + op + `":{"next":"` + s1 + `","resp":"` + r0 + `"}},` +
+			`"` + s1 + `":{"` + op + `":{"next":"` + s1 + `","resp":"` + r1 + `"}}}}`
+	}
+	post := func(body string) string {
+		resp, err := http.Post(ts.URL+"/v1/classify?limit=3", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST classify = %d", resp.StatusCode)
+		}
+		var out struct {
+			CanonicalFingerprint string `json:"canonicalFingerprint"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.CanonicalFingerprint
+	}
+	fp1 := post(table("q0", "q1", "set", "old", "new"))
+	fp2 := post(table("stateA", "stateB", "flip", "x", "y"))
+	if fp1 == "" || fp2 == "" {
+		t.Fatal("classify response missing canonicalFingerprint")
+	}
+	if fp1 != fp2 {
+		t.Fatalf("isomorphic tables got different canonical fingerprints:\n%s\n%s", fp1, fp2)
+	}
+}

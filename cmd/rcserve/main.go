@@ -6,6 +6,10 @@
 //	POST /v1/classify?limit=6            classify a custom JSON transition table
 //	GET  /v1/search?type=T_5&property=recording&n=3
 //	GET  /v1/zoo?limit=5                 classify the whole built-in zoo
+//	GET  /v1/mc?target=team-sn&n=2&depth=8&crashes=1
+//	                                     model-check an RC protocol; violations
+//	                                     come back as replayable schedules
+//	GET  /v1/mc/targets                  list the model-checkable protocols
 //	GET  /healthz                        liveness + cache statistics
 //
 // One engine (and therefore one memoization cache) is shared by all
@@ -31,11 +35,14 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
 	"rcons/internal/checker"
 	"rcons/internal/engine"
+	"rcons/internal/mc"
+	"rcons/internal/sim"
 	"rcons/internal/spec"
 	"rcons/internal/types"
 )
@@ -111,14 +118,53 @@ type server struct {
 	cfg      config
 	eng      *engine.Engine
 	inflight chan struct{}
+
+	// canonMu/canon memoize CanonicalFingerprint results keyed by the
+	// exact (label-sensitive) fingerprint: the canonical form is a pure
+	// function of the transition structure, and its permutation
+	// minimization is orders of magnitude costlier than the cache-hit
+	// classification it rides along with.
+	canonMu sync.Mutex
+	canon   map[string]string
 }
+
+// canonCacheCap bounds the canonical-fingerprint memo (entries are two
+// short hashes; the cap only guards against unbounded custom-type spam).
+const canonCacheCap = 4096
 
 func newServer(cfg config) *server {
 	return &server{
 		cfg:      cfg,
 		eng:      engine.New(engine.Options{Workers: cfg.workers, CacheSize: cfg.cacheSize}),
 		inflight: make(chan struct{}, cfg.maxInflight),
+		canon:    map[string]string{},
 	}
+}
+
+// canonicalFingerprint returns the memoized canonical fingerprint of t
+// at limit ("" when the type is not canonicalizable).
+func (s *server) canonicalFingerprint(t spec.Type, limit int) string {
+	exact, ok := engine.Fingerprint(t, limit)
+	if !ok {
+		// Not exactly fingerprintable ⇒ compute (uncached) if possible.
+		fp, _ := engine.CanonicalFingerprint(t, limit)
+		return fp
+	}
+	key := exact + "|" + strconv.Itoa(limit)
+	s.canonMu.Lock()
+	fp, hit := s.canon[key]
+	s.canonMu.Unlock()
+	if hit {
+		return fp
+	}
+	fp, _ = engine.CanonicalFingerprint(t, limit)
+	s.canonMu.Lock()
+	if len(s.canon) >= canonCacheCap {
+		s.canon = map[string]string{}
+	}
+	s.canon[key] = fp
+	s.canonMu.Unlock()
+	return fp
 }
 
 // handler builds the route table with the limiting middleware applied.
@@ -127,6 +173,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/classify", s.limited(s.handleClassify))
 	mux.HandleFunc("/v1/search", s.limited(s.handleSearch))
 	mux.HandleFunc("/v1/zoo", s.limited(s.handleZoo))
+	mux.HandleFunc("/v1/mc", s.limited(s.handleModelCheck))
+	mux.HandleFunc("/v1/mc/targets", s.handleModelCheckTargets)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }
@@ -201,13 +249,18 @@ func encodeBand(lo, hi int, display string) bandJSON {
 }
 
 // classificationJSON is the wire form of a checker.Classification.
+// CanonicalFingerprint, when present, is a label-free identity of the
+// type's transition structure: two uploads of isomorphic tables (same
+// structure, different state/op/response names) share it, letting API
+// consumers deduplicate their own type collections.
 type classificationJSON struct {
-	Type       string    `json:"type"`
-	Readable   bool      `json:"readable"`
-	Discerning levelJSON `json:"discerning"`
-	Recording  levelJSON `json:"recording"`
-	Cons       bandJSON  `json:"cons"`
-	Rcons      bandJSON  `json:"rcons"`
+	Type                 string    `json:"type"`
+	Readable             bool      `json:"readable"`
+	Discerning           levelJSON `json:"discerning"`
+	Recording            levelJSON `json:"recording"`
+	Cons                 bandJSON  `json:"cons"`
+	Rcons                bandJSON  `json:"rcons"`
+	CanonicalFingerprint string    `json:"canonicalFingerprint,omitempty"`
 }
 
 func encodeClassification(c checker.Classification) classificationJSON {
@@ -267,7 +320,9 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeEngineError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, encodeClassification(c))
+	enc := encodeClassification(c)
+	enc.CanonicalFingerprint = s.canonicalFingerprint(t, limit)
+	writeJSON(w, http.StatusOK, enc)
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -333,6 +388,117 @@ func (s *server) handleZoo(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Model-checking request caps: exhaustive schedule enumeration is
+// exponential, so the service keeps the per-request problem size small
+// and relies on the request deadline (plus the node budget) for the rest.
+const (
+	mcMaxN       = 3
+	mcMaxDepth   = 12
+	mcMaxCrashes = 3
+	mcNodeBudget = 250_000
+)
+
+// counterexampleJSON is the wire form of an mc.Counterexample. The
+// schedule is replayable: feed the tokens back through a sim script
+// ("s0" = step of p0, "c1" = crash of p1, "C*" = simultaneous crash).
+type counterexampleJSON struct {
+	Schedule  []string `json:"schedule"`
+	Display   string   `json:"display"`
+	Violation string   `json:"violation"`
+	Trace     []string `json:"trace"`
+}
+
+func encodeCounterexample(ce *mc.Counterexample) *counterexampleJSON {
+	if ce == nil {
+		return nil
+	}
+	out := &counterexampleJSON{
+		Display:   sim.FormatScript(ce.Schedule),
+		Violation: ce.Violation,
+	}
+	for _, a := range ce.Schedule {
+		out.Schedule = append(out.Schedule, a.String())
+	}
+	for _, e := range ce.Trace {
+		out.Trace = append(out.Trace, e.String())
+	}
+	return out
+}
+
+func (s *server) handleModelCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		writeError(w, http.StatusBadRequest, "missing target parameter (see /v1/mc/targets)")
+		return
+	}
+	n, ok := s.boundedParam(w, r, "n", 2, 2, mcMaxN)
+	if !ok {
+		return
+	}
+	depth, ok := s.boundedParam(w, r, "depth", 8, 2, mcMaxDepth)
+	if !ok {
+		return
+	}
+	crashes, ok := s.boundedParam(w, r, "crashes", 1, 0, mcMaxCrashes)
+	if !ok {
+		return
+	}
+	if mc.TargetDoc(target) == "" {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown target %q (see /v1/mc/targets)", target))
+		return
+	}
+	tgt, err := mc.TargetByName(target, n)
+	if err != nil {
+		// The target exists; the parameters don't fit it (e.g. a variant
+		// that needs n ≥ 3) — a client error, not a missing resource.
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := mc.Check(r.Context(), tgt, mc.Options{
+		MaxDepth:    depth,
+		CrashBudget: crashes,
+		NodeBudget:  mcNodeBudget,
+		Workers:     s.cfg.workers, // honour the operator's -workers bound
+	})
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"target":         res.Target,
+		"n":              n,
+		"model":          res.Model.String(),
+		"depth":          res.MaxDepth,
+		"crashes":        res.CrashBudget,
+		"safe":           res.Safe,
+		"exhaustive":     res.Exhaustive,
+		"complete":       res.Complete,
+		"stats":          res.Stats,
+		"counterexample": encodeCounterexample(res.CE),
+	})
+}
+
+func (s *server) handleModelCheckTargets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	type targetJSON struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	var out []targetJSON
+	for _, name := range mc.Targets() {
+		out = append(out, targetJSON{Name: name, Doc: mc.TargetDoc(name)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"targets": out})
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
@@ -341,23 +507,31 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// intParam parses a bounded integer query parameter in [2, maxLimit].
-func (s *server) intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+// boundedParam parses an integer query parameter in [lo, hi] (defaulting
+// to def when absent). Unlike intParam the cap is endpoint-specific, not
+// the server's -max-limit.
+func (s *server) boundedParam(w http.ResponseWriter, r *http.Request, name string, def, lo, hi int) (int, bool) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
-		return min(def, s.cfg.maxLimit), true
+		return def, true
 	}
 	v, err := strconv.Atoi(raw)
-	if err != nil || v < 2 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be an integer ≥ 2", name))
+	if err != nil || v < lo {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be an integer ≥ %d", name, lo))
 		return 0, false
 	}
-	if v > s.cfg.maxLimit {
+	if v > hi {
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("%s=%d exceeds this server's cap of %d", name, v, s.cfg.maxLimit))
+			fmt.Sprintf("%s=%d exceeds this server's cap of %d", name, v, hi))
 		return 0, false
 	}
 	return v, true
+}
+
+// intParam parses a bounded integer query parameter in [2, maxLimit],
+// the cap shared by all classification endpoints.
+func (s *server) intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	return s.boundedParam(w, r, name, min(def, s.cfg.maxLimit), 2, s.cfg.maxLimit)
 }
 
 // writeEngineError maps search failures to HTTP statuses: deadline and

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
 
 	"rcons/internal/spec"
 )
@@ -75,4 +76,142 @@ func Fingerprint(t spec.Type, n int) (fp string, ok bool) {
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// Caps on the label-permutation search of CanonicalFingerprint; the
+// combined permutation count is additionally capped so the candidate
+// encodings stay cheap (each is linear in the reachable table).
+const (
+	canonicalOpCap    = 5
+	canonicalInitCap  = 6
+	canonicalComboCap = 20_000
+)
+
+// CanonicalFingerprint computes a label-free identity for the search
+// problem "(property of) type t among n processes": states are numbered
+// by breadth-first discovery order, responses by first occurrence, and
+// operations by their position in a candidate ordering; the encoding is
+// minimized over all operation orderings and initial-state orderings.
+// The result is therefore invariant under any consistent renaming of
+// states, operations and responses — two isomorphic transition tables
+// (e.g. the same user-supplied type uploaded twice with different
+// labels) share a canonical fingerprint even though their exact
+// Fingerprints differ.
+//
+// It deliberately does NOT replace Fingerprint as the engine's cache
+// key: cached witnesses name concrete states and operations, so serving
+// a witness computed for an isomorphic-but-differently-labelled type
+// would hand the caller op strings its type does not accept. Canonical
+// fingerprints are an identity for humans and APIs (rcserve reports
+// them), not a memoization key.
+//
+// ok is false when the type cannot be canonicalized: an oversized state
+// space, a transition error, or more operations/initial states than the
+// permutation caps allow.
+func CanonicalFingerprint(t spec.Type, n int) (fp string, ok bool) {
+	ops := spec.CandidateOps(t, n)
+	inits := t.InitialStates()
+	if len(ops) == 0 || len(inits) == 0 ||
+		len(ops) > canonicalOpCap || len(inits) > canonicalInitCap {
+		return "", false
+	}
+	if factorial(len(ops))*factorial(len(inits)) > canonicalComboCap {
+		return "", false
+	}
+	best := ""
+	for _, opPerm := range permutations(len(ops)) {
+		permOps := make([]spec.Op, len(ops))
+		for i, j := range opPerm {
+			permOps[i] = ops[j]
+		}
+		for _, initPerm := range permutations(len(inits)) {
+			permInits := make([]spec.State, len(inits))
+			for i, j := range initPerm {
+				permInits[i] = inits[j]
+			}
+			enc, ok := canonicalEncoding(t, permInits, permOps)
+			if !ok {
+				return "", false
+			}
+			if best == "" || enc < best {
+				best = enc
+			}
+		}
+	}
+	sum := sha256.Sum256([]byte(best))
+	return hex.EncodeToString(sum[:]), true
+}
+
+// canonicalEncoding renders the transition table reachable from inits
+// (in order) under ops (in order) using only discovery indices — no
+// state, operation or response label survives into the encoding.
+func canonicalEncoding(t spec.Type, inits []spec.State, ops []spec.Op) (string, bool) {
+	var b strings.Builder
+	stateID := map[spec.State]int{}
+	respID := map[spec.Response]int{}
+	var order []spec.State
+	intern := func(s spec.State) int {
+		if id, ok := stateID[s]; ok {
+			return id
+		}
+		id := len(stateID)
+		stateID[s] = id
+		order = append(order, s)
+		return id
+	}
+	fmt.Fprintf(&b, "n_ops=%d\ninit=", len(ops))
+	for _, s := range inits {
+		fmt.Fprintf(&b, "%d,", intern(s))
+	}
+	b.WriteString("\n")
+	for i := 0; i < len(order); i++ { // order grows as states are discovered
+		if len(order) > fingerprintStateCap {
+			return "", false
+		}
+		s := order[i]
+		for j, op := range ops {
+			ns, r, err := t.Apply(s, op)
+			if err != nil {
+				return "", false
+			}
+			rid, ok := respID[r]
+			if !ok {
+				rid = len(respID)
+				respID[r] = rid
+			}
+			fmt.Fprintf(&b, "%d.%d->%d/%d\n", i, j, intern(ns), rid)
+		}
+	}
+	return b.String(), true
+}
+
+func factorial(k int) int {
+	out := 1
+	for i := 2; i <= k; i++ {
+		out *= i
+	}
+	return out
+}
+
+// permutations returns all permutations of 0..k-1 (k small, capped by
+// the canonical* constants).
+func permutations(k int) [][]int {
+	base := make([]int, k)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(prefix []int, rest []int)
+	rec = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for i := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			rec(append(prefix, rest[i]), next)
+		}
+	}
+	rec(nil, base)
+	return out
 }

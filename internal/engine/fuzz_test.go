@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rcons/internal/checker"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// fuzzTable decodes fuzz bytes into a small total transition table:
+// nStates ∈ 1..4, nOps ∈ 1..3, responses over an alphabet of ≤ 3, one
+// initial state. The same bytes always decode to the same table, so
+// fuzz findings are reproducible.
+type fuzzTable struct {
+	nStates, nOps, nResps int
+	next, resp            [][]int // [state][op]
+	init                  int
+}
+
+func decodeTable(data []byte) (*fuzzTable, bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	ft := &fuzzTable{
+		nStates: int(data[0])%4 + 1,
+		nOps:    int(data[1])%3 + 1,
+		nResps:  int(data[2])%3 + 1,
+	}
+	ft.init = int(data[3]) % ft.nStates
+	need := ft.nStates * ft.nOps * 2
+	if len(data) < 4+need {
+		return nil, false
+	}
+	pos := 4
+	for s := 0; s < ft.nStates; s++ {
+		nrow := make([]int, ft.nOps)
+		rrow := make([]int, ft.nOps)
+		for o := 0; o < ft.nOps; o++ {
+			nrow[o] = int(data[pos]) % ft.nStates
+			rrow[o] = int(data[pos+1]) % ft.nResps
+			pos += 2
+		}
+		ft.next = append(ft.next, nrow)
+		ft.resp = append(ft.resp, rrow)
+	}
+	return ft, true
+}
+
+// build materializes the table as a Custom type with the given label
+// functions, so the same structure can be produced under different
+// labelings.
+func (ft *fuzzTable) build(name string, state, op, resp func(int) string) *types.Custom {
+	tr := map[string]map[string]types.CustomEdge{}
+	for s := 0; s < ft.nStates; s++ {
+		row := map[string]types.CustomEdge{}
+		for o := 0; o < ft.nOps; o++ {
+			row[op(o)] = types.CustomEdge{
+				Next: state(ft.next[s][o]),
+				Resp: resp(ft.resp[s][o]),
+			}
+		}
+		tr[state(s)] = row
+	}
+	return &types.Custom{
+		TypeName:    name,
+		Initial:     []string{state(ft.init)},
+		Transitions: tr,
+	}
+}
+
+// perm3 derives a permutation of 0..k-1 (k ≤ 4) from one fuzz byte.
+func permFromByte(b byte, k int) []int {
+	p := make([]int, k)
+	for i := range p {
+		p[i] = i
+	}
+	// Fisher–Yates driven by the byte (enough entropy for k ≤ 4).
+	x := int(b)
+	for i := k - 1; i > 0; i-- {
+		j := x % (i + 1)
+		x /= i + 1
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// FuzzFingerprint checks the canonical fingerprint's defining property:
+// invariance under consistent relabeling of states, operations and
+// responses. It also pins down determinism of both fingerprint flavours.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("\x01\x01\x01\x00\x01\x00\x00\x01\x01\x01\x01\x00"))
+	f.Add([]byte("\x03\x02\x02\x01" +
+		"\x01\x00\x02\x01\x03\x02" +
+		"\x00\x01\x01\x02\x02\x00" +
+		"\x03\x00\x00\x00\x01\x01" +
+		"\x02\x02\x03\x01\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, ok := decodeTable(data)
+		if !ok {
+			t.Skip()
+		}
+		// Relabeling permutations come from the tail of the input so the
+		// fuzzer can explore them independently of the table.
+		var pb [3]byte
+		for i := range pb {
+			if len(data) > i {
+				pb[i] = data[len(data)-1-i]
+			}
+		}
+		ps := permFromByte(pb[0], ft.nStates)
+		po := permFromByte(pb[1], ft.nOps)
+		pr := permFromByte(pb[2], ft.nResps)
+
+		orig := ft.build("fz",
+			func(i int) string { return fmt.Sprintf("s%d", i) },
+			func(i int) string { return fmt.Sprintf("a%d", i) },
+			func(i int) string { return fmt.Sprintf("r%d", i) })
+		relabeled := ft.build("fz-relabeled",
+			func(i int) string { return fmt.Sprintf("state_%d", ps[i]) },
+			func(i int) string { return fmt.Sprintf("op_%d", po[i]) },
+			func(i int) string { return fmt.Sprintf("resp_%d", pr[i]) })
+		if err := orig.Validate(); err != nil {
+			t.Fatalf("decoder built an invalid table: %v", err)
+		}
+
+		const n = 2
+		fpO, okO := CanonicalFingerprint(orig, n)
+		fpR, okR := CanonicalFingerprint(relabeled, n)
+		if okO != okR {
+			t.Fatalf("canonicalizability differs under relabeling: %v vs %v", okO, okR)
+		}
+		if okO && fpO != fpR {
+			t.Fatalf("canonical fingerprint not invariant under relabeling:\n%s\nvs\n%s", fpO, fpR)
+		}
+
+		// Determinism: both fingerprint flavours are pure functions.
+		if fp2, _ := CanonicalFingerprint(orig, n); fp2 != fpO {
+			t.Fatalf("CanonicalFingerprint nondeterministic: %s vs %s", fpO, fp2)
+		}
+		exact1, ok1 := Fingerprint(orig, n)
+		exact2, ok2 := Fingerprint(orig, n)
+		if ok1 != ok2 || exact1 != exact2 {
+			t.Fatalf("Fingerprint nondeterministic: (%s,%v) vs (%s,%v)", exact1, ok1, exact2, ok2)
+		}
+	})
+}
+
+// parityEngine is shared across fuzz iterations so its memoization cache
+// is exercised too — cache keys include the full transition table, so
+// distinct fuzz tables cannot collide.
+var parityEngine = New(Options{Workers: 4})
+
+// FuzzClassifyParity checks the engine's core contract on arbitrary
+// small types: the sharded concurrent classification must be
+// byte-identical to the sequential checker's.
+func FuzzClassifyParity(f *testing.F) {
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("\x01\x01\x01\x00\x01\x00\x00\x01\x01\x01\x01\x00"))
+	f.Add([]byte("\x01\x00\x01\x00\x01\x01\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, ok := decodeTable(data)
+		if !ok {
+			t.Skip()
+		}
+		typ := ft.build("fzp",
+			func(i int) string { return fmt.Sprintf("s%d", i) },
+			func(i int) string { return fmt.Sprintf("a%d", i) },
+			func(i int) string { return fmt.Sprintf("r%d", i) })
+		if err := typ.Validate(); err != nil {
+			t.Fatalf("decoder built an invalid table: %v", err)
+		}
+
+		const limit = 3
+		seq, seqErr := checker.Classify(typ, limit, nil)
+		par, parErr := parityEngine.Classify(context.Background(), typ, limit)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("error parity broken: sequential=%v, engine=%v", seqErr, parErr)
+		}
+		if seqErr != nil {
+			t.Skip()
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("engine diverged from sequential checker:\nseq: %+v\npar: %+v", seq, par)
+		}
+	})
+}
+
+// TestCanonicalFingerprintZoo sanity-checks the canonical fingerprint on
+// real types: defined for the small zoo members, stable across calls,
+// and distinct for structurally different types.
+func TestCanonicalFingerprintZoo(t *testing.T) {
+	fps := map[string]string{}
+	for _, typ := range []spec.Type{types.NewCAS(), types.NewSn(2), types.NewSn(3), types.NewCounter(3)} {
+		fp, ok := CanonicalFingerprint(typ, 2)
+		if !ok {
+			t.Fatalf("%s not canonicalizable", typ.Name())
+		}
+		fp2, _ := CanonicalFingerprint(typ, 2)
+		if fp != fp2 {
+			t.Fatalf("%s canonical fingerprint unstable", typ.Name())
+		}
+		fps[typ.Name()] = fp
+	}
+	if fps["S_2"] == fps["S_3"] {
+		t.Fatal("S_2 and S_3 share a canonical fingerprint")
+	}
+}

@@ -206,23 +206,8 @@ func (e *explorer) violation(script []sim.Action, err error) error {
 }
 
 // FormatScript renders a schedule compactly, e.g. "s0 s1 c0 s0".
+// It is kept for compatibility; the canonical implementation now lives
+// in package sim so every schedule consumer formats identically.
 func FormatScript(script []sim.Action) string {
-	out := ""
-	for i, a := range script {
-		if i > 0 {
-			out += " "
-		}
-		switch a.Kind {
-		case sim.ActStep:
-			out += fmt.Sprintf("s%d", a.Proc)
-		case sim.ActCrash:
-			out += fmt.Sprintf("c%d", a.Proc)
-		case sim.ActCrashAll:
-			out += "C*"
-		}
-	}
-	if out == "" {
-		return "(empty)"
-	}
-	return out
+	return sim.FormatScript(script)
 }

@@ -151,6 +151,7 @@ func All() []Experiment {
 		{ID: "E10", Artifact: "§3.1 / Theorem 8", Title: "bounded exhaustive model checking of Figure 2", Run: ModelCheck},
 		{ID: "E11", Artifact: "§1 motivation", Title: "consensus vs recoverable consensus, executably", Run: Motivation},
 		{ID: "E12", Artifact: "scaling", Title: "cost scaling of the constructions with process count", Run: Scaling},
+		{ID: "E13", Artifact: "§2 failure models", Title: "systematic crash-schedule model checking of all RC protocols", Run: MCProtocols},
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"rcons/internal/spec"
 )
@@ -43,9 +44,12 @@ func (e OpEvent) String() string {
 }
 
 // Recorder accumulates operation events during a simulated execution.
-// It is safe for use from simulator bodies (which the scheduler already
-// serializes) but not for direct concurrent use.
+// It is mutex-guarded: the scheduler serializes bodies between
+// scheduling points, but the stretch of a body before its first
+// shared-memory access runs concurrently with other processes'
+// preludes, and recording happens inside those preludes.
 type Recorder struct {
+	mu     sync.Mutex
 	events map[[2]int]*OpEvent // keyed by (proc, seq)
 }
 
@@ -57,6 +61,8 @@ func NewRecorder() *Recorder {
 // Invoke records the start of operation (proc, seq); retries after a
 // crash keep the earliest invocation time.
 func (r *Recorder) Invoke(proc, seq int, op spec.Op, now int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	key := [2]int{proc, seq}
 	if e, ok := r.events[key]; ok {
 		_ = e // keep the first invocation time
@@ -67,6 +73,8 @@ func (r *Recorder) Invoke(proc, seq int, op spec.Op, now int) {
 
 // Return records the completion of operation (proc, seq).
 func (r *Recorder) Return(proc, seq int, resp spec.Response, now int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	key := [2]int{proc, seq}
 	e, ok := r.events[key]
 	if !ok {
@@ -77,6 +85,8 @@ func (r *Recorder) Return(proc, seq int, resp spec.Response, now int) {
 
 // Events returns the recorded history sorted by (Invoke, Proc, Seq).
 func (r *Recorder) Events() []OpEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]OpEvent, 0, len(r.events))
 	for _, e := range r.events {
 		out = append(out, *e)

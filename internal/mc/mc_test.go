@@ -1,0 +1,330 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rcons/internal/explore"
+	"rcons/internal/rc"
+	"rcons/internal/sim"
+)
+
+func mustTarget(t *testing.T, name string, n int) Target {
+	t.Helper()
+	tgt, err := TargetByName(name, n)
+	if err != nil {
+		t.Fatalf("TargetByName(%q, %d): %v", name, n, err)
+	}
+	return tgt
+}
+
+func check(t *testing.T, tgt Target, opts Options) *Result {
+	t.Helper()
+	res, err := Check(context.Background(), tgt, opts)
+	if err != nil {
+		t.Fatalf("Check(%s): %v", tgt.Name, err)
+	}
+	return res
+}
+
+// TestExhaustiveSafeProtocols is the acceptance check: the paper's
+// protocols must survive the FULL bounded adversary — every interleaving
+// and crash placement within the depth/crash budget — for n = 2.
+func TestExhaustiveSafeProtocols(t *testing.T) {
+	cases := []struct {
+		target string
+		opts   Options
+	}{
+		{"cas", Options{MaxDepth: 10, CrashBudget: 2}},
+		{"team-sn", Options{MaxDepth: 10, CrashBudget: 1}},
+		{"team-cas", Options{MaxDepth: 10, CrashBudget: 1}},
+		{"simultaneous", Options{MaxDepth: 8, CrashBudget: 1}},
+		{"tournament", Options{MaxDepth: 8, CrashBudget: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.target, func(t *testing.T) {
+			res := check(t, mustTarget(t, c.target, 2), c.opts)
+			if !res.Safe {
+				t.Fatalf("%s reported unsafe:\n%s", c.target, res.CE)
+			}
+			if !res.Exhaustive {
+				t.Fatalf("%s fell back to swarm (nodes=%d)", c.target, res.Stats.Nodes)
+			}
+			if res.Stats.Completions == 0 {
+				t.Fatalf("%s checked no full executions", c.target)
+			}
+			t.Logf("%s: nodes=%d pruned=%d completions=%d rounds=%d complete=%v",
+				c.target, res.Stats.Nodes, res.Stats.Pruned, res.Stats.Completions,
+				res.Stats.Rounds, res.Complete)
+		})
+	}
+}
+
+// TestCASCompletes shows the checker CLOSES small state spaces: CAS
+// consensus for n=2 has so few configurations that the search terminates
+// before the depth bound, covering every schedule within the crash
+// budget outright.
+func TestCASCompletes(t *testing.T) {
+	res := check(t, mustTarget(t, "cas", 2), Options{MaxDepth: 16, CrashBudget: 1})
+	if !res.Safe || !res.Exhaustive {
+		t.Fatalf("cas n=2 not verified: %+v", res)
+	}
+	if !res.Complete {
+		t.Fatalf("cas n=2 should close before depth 16 (boundary hits %d)", res.Stats.BoundaryHits)
+	}
+}
+
+// TestUniversalConstruction model-checks RUniversal's list invariant for
+// n=2 under independent crashes at a modest depth.
+func TestUniversalConstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("universal bodies are long; skip in -short")
+	}
+	res := check(t, mustTarget(t, "universal", 2), Options{MaxDepth: 7, MinDepth: 7, CrashBudget: 1})
+	if !res.Safe || !res.Exhaustive {
+		t.Fatalf("universal n=2 not verified: %+v", res)
+	}
+}
+
+// TestUniversalDeepPrefixNoFalsePositive is the regression test for the
+// quiescent-only list check: a schedule prefix halted mid-append (next
+// pointer decided, winner node's seq/state/resp not yet written) shows a
+// half-built list, which must NOT be reported as a violation. Depth 20
+// crash-free reaches such prefixes; the old prefix-time VerifyList call
+// flagged them.
+func TestUniversalDeepPrefixNoFalsePositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep universal search; skip in -short")
+	}
+	res := check(t, mustTarget(t, "universal", 2), Options{
+		MaxDepth: 20, MinDepth: 20, CrashBudget: 0,
+	})
+	if !res.Safe {
+		t.Fatalf("false violation on a correct universal construction:\n%s", res.CE)
+	}
+	if !res.Exhaustive {
+		t.Fatalf("search fell back to swarm (nodes=%d)", res.Stats.Nodes)
+	}
+}
+
+// TestBrokenProtocolCounterexample is the second acceptance check: the
+// deliberately broken Figure 2 variant must produce a minimal,
+// replayable counterexample, and replaying it through a raw sim runner
+// must reproduce the same violation.
+func TestBrokenProtocolCounterexample(t *testing.T) {
+	tgt := mustTarget(t, "unsafe-noyield", 2)
+	res := check(t, tgt, Options{MaxDepth: 12, CrashBudget: 1})
+	if res.Safe || res.CE == nil {
+		t.Fatalf("broken protocol reported safe: %+v", res)
+	}
+	if !strings.Contains(res.CE.Violation, "agreement") {
+		t.Fatalf("expected an agreement violation, got: %s", res.CE.Violation)
+	}
+
+	// Replayable: an independent sim execution of the schedule, built
+	// from a fresh instance, reproduces the identical violation.
+	inputs, m, out, err := Replay(tgt, res.CE.Schedule, 0)
+	if err != nil {
+		t.Fatalf("replay failed to execute: %v", err)
+	}
+	cerr := tgt.Check(inputs, m, out)
+	if cerr == nil {
+		t.Fatal("replay of the counterexample did not violate")
+	}
+	if cerr.Error() != res.CE.Violation {
+		t.Fatalf("replay violation %q differs from reported %q", cerr, res.CE.Violation)
+	}
+
+	// Minimal: removing ANY single action must make the violation
+	// disappear (or the script inadmissible).
+	for i := range res.CE.Schedule {
+		cand := append(append([]sim.Action(nil), res.CE.Schedule[:i]...), res.CE.Schedule[i+1:]...)
+		if scheduleViolates(tgt, cand, 0) {
+			t.Fatalf("counterexample not minimal: dropping action %d (%s) still violates\nfull: %s",
+				i, res.CE.Schedule[i], sim.FormatScript(res.CE.Schedule))
+		}
+	}
+	t.Logf("counterexample: %s", sim.FormatScript(res.CE.Schedule))
+}
+
+// TestYieldAlwaysCounterexample rediscovers the paper's second §3.1 bad
+// scenario: yielding with |B| > 1 breaks agreement.
+func TestYieldAlwaysCounterexample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=3 search; skip in -short")
+	}
+	res := check(t, mustTarget(t, "unsafe-yieldalways", 3), Options{MaxDepth: 10, CrashBudget: 1})
+	if res.Safe || res.CE == nil {
+		t.Fatalf("yield-always variant reported safe: %+v", res)
+	}
+	if !strings.Contains(res.CE.Violation, "agreement") {
+		t.Fatalf("expected an agreement violation, got: %s", res.CE.Violation)
+	}
+}
+
+// TestSwarmFallback forces the node budget under the exhaustive
+// frontier and checks the checker degrades to deterministic swarm
+// fuzzing — and that the swarm still finds the broken protocol's bug.
+func TestSwarmFallback(t *testing.T) {
+	// Safe target: swarm finds nothing, result is Safe but not Exhaustive.
+	res := check(t, mustTarget(t, "team-sn", 2), Options{
+		MaxDepth: 10, CrashBudget: 1, NodeBudget: 40, SwarmSchedules: 64,
+	})
+	if res.Exhaustive {
+		t.Fatalf("node budget 40 should have forced swarm fallback (nodes=%d)", res.Stats.Nodes)
+	}
+	if !res.Safe {
+		t.Fatalf("swarm found a spurious violation:\n%s", res.CE)
+	}
+	if res.Stats.SwarmRuns == 0 {
+		t.Fatal("swarm fallback executed no schedules")
+	}
+
+	// Broken target: the swarm fleet must rediscover the violation.
+	resBad := check(t, mustTarget(t, "unsafe-noyield", 2), Options{
+		MaxDepth: 10, CrashBudget: 1, NodeBudget: 10, SwarmSchedules: 512,
+	})
+	if resBad.Exhaustive {
+		t.Fatal("node budget 10 should have forced swarm fallback")
+	}
+	if resBad.Safe || resBad.CE == nil {
+		t.Fatal("swarm failed to find the known agreement violation")
+	}
+	if !strings.Contains(resBad.CE.Violation, "agreement") {
+		t.Fatalf("expected an agreement violation, got: %s", resBad.CE.Violation)
+	}
+}
+
+// TestDeterministicVerdict runs the same broken-protocol search twice
+// with different worker counts and expects the identical counterexample
+// — the canonical-order guarantee of the parallel search.
+func TestDeterministicVerdict(t *testing.T) {
+	tgt := mustTarget(t, "unsafe-noyield", 2)
+	opts1 := Options{MaxDepth: 12, CrashBudget: 1, Workers: 1}
+	optsN := Options{MaxDepth: 12, CrashBudget: 1, Workers: 8}
+	a := check(t, tgt, opts1)
+	b := check(t, tgt, optsN)
+	if a.Safe || b.Safe {
+		t.Fatal("broken protocol reported safe")
+	}
+	if !reflect.DeepEqual(a.CE.Schedule, b.CE.Schedule) {
+		t.Fatalf("verdict depends on worker count:\n1 worker:  %s\n8 workers: %s",
+			sim.FormatScript(a.CE.Schedule), sim.FormatScript(b.CE.Schedule))
+	}
+	if a.CE.Violation != b.CE.Violation {
+		t.Fatalf("violation message depends on worker count: %q vs %q", a.CE.Violation, b.CE.Violation)
+	}
+}
+
+// TestPruningSoundness cross-validates fingerprint pruning two ways:
+// against clock-sensitive (per-event-timestamped, nearly path-unique)
+// fingerprints that defeat most pruning, and against the pruning-free
+// enumeration of package explore — neither oracle may disagree with the
+// pruned verdict.
+func TestPruningSoundness(t *testing.T) {
+	tgt := mustTarget(t, "unsafe-noyield", 2)
+	opts := Options{MaxDepth: 12, CrashBudget: 1}
+	pruned := check(t, tgt, opts)
+
+	noPrune := tgt
+	noPrune.ClockSensitive = true // timestamped events ⇒ almost no pruning
+	full := check(t, noPrune, opts)
+
+	if pruned.Safe != full.Safe {
+		t.Fatalf("pruning changed the verdict: pruned safe=%v, full safe=%v", pruned.Safe, full.Safe)
+	}
+	if !reflect.DeepEqual(pruned.CE.Schedule, full.CE.Schedule) {
+		t.Fatalf("pruning changed the counterexample:\npruned: %s\nfull:   %s",
+			sim.FormatScript(pruned.CE.Schedule), sim.FormatScript(full.CE.Schedule))
+	}
+
+	// On a safe target the whole space is explored, so the finer
+	// clock-sensitive fingerprints must expand the node count while
+	// leaving the verdict untouched.
+	safe := mustTarget(t, "team-sn", 2)
+	safeNoPrune := safe
+	safeNoPrune.ClockSensitive = true
+	safeOpts := Options{MaxDepth: 8, MinDepth: 8, CrashBudget: 1}
+	a := check(t, safe, safeOpts)
+	b := check(t, safeNoPrune, safeOpts)
+	if !a.Safe || !b.Safe {
+		t.Fatalf("team-sn reported unsafe (pruned safe=%v, full safe=%v)", a.Safe, b.Safe)
+	}
+	if b.Stats.Nodes <= a.Stats.Nodes {
+		t.Fatalf("expected clock-sensitive fingerprints to explore more nodes (%d vs %d)",
+			b.Stats.Nodes, a.Stats.Nodes)
+	}
+
+	// Independent oracle: package explore enumerates without pruning;
+	// its verdict must agree on both a safe and a broken target.
+	for _, c := range []struct {
+		target  string
+		wantBug bool
+	}{{"team-sn", false}, {"unsafe-noyield", true}} {
+		ex := mustTarget(t, c.target, 2)
+		_, err := explore.Exhaustive(func() (*sim.Memory, []sim.Body, []sim.Value) {
+			return ex.Factory()
+		}, explore.Options{
+			MaxDepth:    10,
+			CrashBudget: 1,
+			Check:       rc.CheckOutcome,
+		})
+		exploreBug := errors.Is(err, explore.ErrViolation)
+		if err != nil && !exploreBug {
+			t.Fatal(err)
+		}
+		mcRes := check(t, ex, Options{MaxDepth: 10, CrashBudget: 1})
+		if exploreBug != !mcRes.Safe {
+			t.Fatalf("%s: explore verdict (bug=%v) disagrees with mc (safe=%v)",
+				c.target, exploreBug, mcRes.Safe)
+		}
+		if exploreBug != c.wantBug {
+			t.Fatalf("%s: explore oracle itself unexpected (bug=%v, want %v)", c.target, exploreBug, c.wantBug)
+		}
+	}
+}
+
+// TestContextCancellation checks the search honours its context.
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Check(ctx, mustTarget(t, "team-sn", 2), Options{MaxDepth: 10})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestTargetByNameErrors covers the registry's error paths.
+func TestTargetByNameErrors(t *testing.T) {
+	if _, err := TargetByName("no-such-protocol", 2); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := TargetByName("cas", 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := TargetByName("unsafe-yieldalways", 2); err == nil {
+		t.Fatal("unsafe-yieldalways with n=2 accepted (needs |B| > 1)")
+	}
+	for _, name := range Targets() {
+		if TargetDoc(name) == "" {
+			t.Fatalf("target %q has no doc string", name)
+		}
+	}
+}
+
+// TestCheckValidation covers Check's own argument validation.
+func TestCheckValidation(t *testing.T) {
+	if _, err := Check(context.Background(), Target{}, Options{}); err == nil {
+		t.Fatal("empty target accepted")
+	}
+}
+
+// TestFromAlgorithmInputMismatch covers the adapter's validation.
+func TestFromAlgorithmInputMismatch(t *testing.T) {
+	if _, err := FromAlgorithm(rc.NewCASConsensus(2, "x"), []sim.Value{"only-one"}, sim.Independent); err == nil {
+		t.Fatal("input arity mismatch accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package mc
+
+import (
+	"context"
+	"errors"
+
+	"rcons/internal/sim"
+)
+
+// Replay re-executes a recorded schedule against a fresh instance of the
+// target: the schedule becomes the exact script and the run halts at its
+// end, so the execution is a pure function of the schedule. The returned
+// outcome has its trace recorded for diagnostics.
+func Replay(tgt Target, schedule []sim.Action, maxSteps int) ([]sim.Value, *sim.Memory, *sim.Outcome, error) {
+	if maxSteps <= 0 {
+		maxSteps = Options{}.filled().MaxSteps
+	}
+	m, bodies, inputs := tgt.Factory()
+	cfg := sim.Config{
+		Model:              tgt.Model,
+		Script:             schedule,
+		HaltAtScriptEnd:    true,
+		DecideRequiresStep: true,
+		MaxSteps:           maxSteps,
+	}
+	r := sim.NewRunner(m, bodies, cfg)
+	r.RecordTrace()
+	out, err := r.Run()
+	return inputs, m, out, err
+}
+
+// minimizeCap bounds the schedule length Minimize will shrink: greedy
+// deletion is O(L²) replays of O(L) steps, so a step-budget violation
+// whose recorded schedule has tens of thousands of actions (a livelock —
+// exactly the kind of bug the checker exists to find) would otherwise
+// take effectively forever. Longer schedules are reported un-minimized.
+const minimizeCap = 512
+
+// Minimize shrinks a violating schedule by greedy action deletion until
+// it is 1-minimal: removing any single remaining action no longer
+// violates the target's checker. Candidate schedules that sim rejects as
+// inadmissible scripts (sim.ErrScript — e.g. deleting a crash made a
+// later step refer to a process that has already decided) do not count
+// as violations; any other simulator failure does, since it is itself a
+// finding (a panic or a recoverable wait-freedom violation).
+//
+// Context cancellation (e.g. an rcserve request deadline) stops the
+// shrinking early and returns the best schedule found so far — still a
+// valid, replayable violation, just not necessarily 1-minimal.
+func Minimize(ctx context.Context, tgt Target, schedule []sim.Action, maxSteps int) []sim.Action {
+	cur := append([]sim.Action(nil), schedule...)
+	if len(cur) > minimizeCap {
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			if ctx.Err() != nil {
+				return cur
+			}
+			cand := append(append(make([]sim.Action, 0, len(cur)-1), cur[:i]...), cur[i+1:]...)
+			if scheduleViolates(tgt, cand, maxSteps) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur
+}
+
+// scheduleViolates reports whether replaying the schedule still fails
+// the target's checker (or the simulator itself).
+func scheduleViolates(tgt Target, schedule []sim.Action, maxSteps int) bool {
+	inputs, m, out, err := Replay(tgt, schedule, maxSteps)
+	if err != nil {
+		return !errors.Is(err, sim.ErrScript)
+	}
+	return tgt.Check(inputs, m, out) != nil
+}

@@ -2,6 +2,7 @@ package rc
 
 import (
 	"fmt"
+	"sync"
 
 	"rcons/internal/checker"
 	"rcons/internal/sim"
@@ -23,6 +24,7 @@ type TournamentInstance struct {
 	w   checker.Witness
 	k   int
 
+	mu    sync.Mutex // guards cache: body preludes run concurrently
 	cache map[string]*Tournament
 }
 
@@ -38,8 +40,10 @@ func NewTournamentInstance(t spec.Type, w checker.Witness, k int) (*TournamentIn
 	return &TournamentInstance{typ: t, w: w, k: k, cache: map[string]*Tournament{}}, nil
 }
 
-// Decide implements Instance. The scheduler serializes bodies, so the
-// un-synchronized cache is safe.
+// Decide implements Instance. The cache is mutex-guarded: the scheduler
+// serializes bodies between scheduling points, but the stretch of a body
+// before its first shared-memory access runs concurrently with other
+// processes' preludes, and Decide can be reached inside one.
 //
 // Input pinning (the paper's Appendix F remark): a caller that crashes
 // and recovers may re-invoke Decide on the SAME instance with a
@@ -52,6 +56,7 @@ func NewTournamentInstance(t spec.Type, w checker.Witness, k int) (*TournamentIn
 // found executions where a recovered helper flipped an already-decided
 // next pointer, double-appending a node.
 func (ti *TournamentInstance) Decide(p *sim.Proc, name string, input sim.Value) sim.Value {
+	ti.mu.Lock()
 	tr, ok := ti.cache[name]
 	if !ok {
 		var err error
@@ -59,10 +64,12 @@ func (ti *TournamentInstance) Decide(p *sim.Proc, name string, input sim.Value) 
 		if err != nil {
 			// The constructor was validated in NewTournamentInstance;
 			// failure here is a programming error.
+			ti.mu.Unlock()
 			panic(fmt.Sprintf("rc: tournament instance %q: %v", name, err))
 		}
 		ti.cache[name] = tr
 	}
+	ti.mu.Unlock()
 	tr.EnsureCells(p)
 	pin := fmt.Sprintf("%s/pin[%d]", name, p.ID())
 	p.EnsureRegister(pin, sim.None)

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 
 	"rcons/internal/spec"
 )
@@ -36,10 +38,17 @@ const None Value = "_"
 // Memory is the non-volatile shared heap: named atomic registers and
 // named atomic objects of arbitrary spec types. It survives all crashes.
 //
-// Memory is not safe for direct concurrent use; the Runner serializes all
-// access. Bodies may allocate new cells at any time (allocation models
-// preparing a node in shared memory before publishing a pointer to it).
+// The Runner serializes all *data* access (reads, writes, applies) by
+// construction — at most one process runs between a grant and its next
+// scheduling point. Structural access (allocation, existence checks) is
+// additionally guarded by an internal mutex, because bodies legitimately
+// allocate outside grant windows: the stretch of a body before its FIRST
+// scheduling point runs concurrently with the other processes' preludes.
+// Allocation models preparing a node in non-volatile memory before any
+// pointer to it is published, so this concurrency is unobservable to the
+// algorithms — but without the lock it is a data race on the maps.
 type Memory struct {
+	mu   sync.Mutex
 	regs map[string]Value
 	objs map[string]*spec.Object
 
@@ -55,6 +64,8 @@ func NewMemory() *Memory {
 // panics if the name is taken: memory layout mistakes are programming
 // errors in experiment setup code.
 func (m *Memory) AddRegister(name string, init Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.regs[name]; dup {
 		panic(fmt.Sprintf("sim: register %q already exists", name))
 	}
@@ -63,6 +74,8 @@ func (m *Memory) AddRegister(name string, init Value) {
 
 // AddObject creates an object cell of type t initialized to q0.
 func (m *Memory) AddObject(name string, t spec.Type, q0 spec.State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.objs[name]; dup {
 		panic(fmt.Sprintf("sim: object %q already exists", name))
 	}
@@ -72,24 +85,53 @@ func (m *Memory) AddObject(name string, t spec.Type, q0 spec.State) {
 // FreshName mints a unique cell name with the given prefix. The counter
 // is non-volatile, so names are unique across crashes.
 func (m *Memory) FreshName(prefix string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.nextID++
 	return prefix + "#" + strconv.Itoa(m.nextID)
 }
 
+// EnsureRegister creates register name with the given initial value if
+// it does not exist yet. The check-and-create is atomic, so concurrent
+// body preludes ensuring the same cell cannot collide.
+func (m *Memory) EnsureRegister(name string, init Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regs[name]; !ok {
+		m.regs[name] = init
+	}
+}
+
+// EnsureObject creates an object cell of type t initialized to q0 if it
+// does not exist yet (atomically, like EnsureRegister).
+func (m *Memory) EnsureObject(name string, t spec.Type, q0 spec.State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objs[name]; !ok {
+		m.objs[name] = spec.NewObject(t, q0)
+	}
+}
+
 // HasRegister reports whether register name exists.
 func (m *Memory) HasRegister(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	_, ok := m.regs[name]
 	return ok
 }
 
 // HasObject reports whether object name exists.
 func (m *Memory) HasObject(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	_, ok := m.objs[name]
 	return ok
 }
 
 // Object returns the named object for post-execution inspection by tests.
 func (m *Memory) Object(name string) *spec.Object {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	o, ok := m.objs[name]
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown object %q", name))
@@ -100,6 +142,8 @@ func (m *Memory) Object(name string) *spec.Object {
 // PeekRegister returns the named register's value for post-execution
 // inspection by tests.
 func (m *Memory) PeekRegister(name string) Value {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v, ok := m.regs[name]
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown register %q", name))
@@ -107,9 +151,41 @@ func (m *Memory) PeekRegister(name string) Value {
 	return v
 }
 
+// Snapshot returns a canonical textual dump of the entire non-volatile
+// heap: every register's value, every object's type and current state,
+// and the fresh-name counter, in sorted order. Two memories with equal
+// snapshots are indistinguishable to any future execution, which is what
+// lets the model checker use snapshots as configuration fingerprints for
+// state-space pruning.
+func (m *Memory) Snapshot() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	for _, name := range m.registerNamesLocked() {
+		fmt.Fprintf(&b, "r %q=%q\n", name, m.regs[name])
+	}
+	objNames := make([]string, 0, len(m.objs))
+	for name := range m.objs {
+		objNames = append(objNames, name)
+	}
+	sort.Strings(objNames)
+	for _, name := range objNames {
+		o := m.objs[name]
+		fmt.Fprintf(&b, "o %q:%s=%q\n", name, o.Type().Name(), o.Read())
+	}
+	fmt.Fprintf(&b, "next=%d\n", m.nextID)
+	return b.String()
+}
+
 // RegisterNames returns all register names, sorted (for deterministic
 // diagnostics).
 func (m *Memory) RegisterNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.registerNamesLocked()
+}
+
+func (m *Memory) registerNamesLocked() []string {
 	out := make([]string, 0, len(m.regs))
 	for name := range m.regs {
 		out = append(out, name)
@@ -119,6 +195,8 @@ func (m *Memory) RegisterNames() []string {
 }
 
 func (m *Memory) read(name string) Value {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	v, ok := m.regs[name]
 	if !ok {
 		panic(fmt.Sprintf("sim: read of unknown register %q", name))
@@ -127,6 +205,8 @@ func (m *Memory) read(name string) Value {
 }
 
 func (m *Memory) write(name string, v Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.regs[name]; !ok {
 		panic(fmt.Sprintf("sim: write to unknown register %q", name))
 	}
@@ -134,7 +214,9 @@ func (m *Memory) write(name string, v Value) {
 }
 
 func (m *Memory) apply(name string, op spec.Op) spec.Response {
+	m.mu.Lock()
 	o, ok := m.objs[name]
+	m.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("sim: apply to unknown object %q", name))
 	}
@@ -146,7 +228,9 @@ func (m *Memory) apply(name string, op spec.Op) spec.Response {
 }
 
 func (m *Memory) readObj(name string) spec.State {
+	m.mu.Lock()
 	o, ok := m.objs[name]
+	m.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("sim: read of unknown object %q", name))
 	}

@@ -171,16 +171,12 @@ func (p *Proc) AllocObject(prefix string, t spec.Type, q0 spec.State) string {
 // (idempotent, for lazily-extended unbounded arrays like D[1..∞] in the
 // paper's Figure 4). Returns the name.
 func (p *Proc) EnsureRegister(name string, init Value) string {
-	if !p.runner.mem.HasRegister(name) {
-		p.runner.mem.AddRegister(name, init)
-	}
+	p.runner.mem.EnsureRegister(name, init)
 	return name
 }
 
 // EnsureObject creates the named object if it does not exist yet.
 func (p *Proc) EnsureObject(name string, t spec.Type, q0 spec.State) string {
-	if !p.runner.mem.HasObject(name) {
-		p.runner.mem.AddObject(name, t, q0)
-	}
+	p.runner.mem.EnsureObject(name, t, q0)
 	return name
 }

@@ -32,6 +32,14 @@ var ErrStepBudget = errors.New("sim: step budget exhausted before all processes 
 // decides (or crashes) within a bounded number of its own steps.
 var ErrRunBudget = errors.New("sim: a single run exceeded its step budget (recoverable wait-freedom violation?)")
 
+// ErrScript wraps every script-validation failure (unknown process,
+// scheduling a decided process, a crash kind that is illegal under the
+// configured failure model). Callers that perturb schedules mechanically
+// — such as the model checker's counterexample minimizer — use it to
+// tell "this candidate script is inadmissible" apart from a genuine
+// execution failure.
+var ErrScript = errors.New("sim: invalid script")
+
 // FailureModel selects which crash events the adversary may inject.
 type FailureModel int
 
@@ -43,6 +51,18 @@ const (
 	// failures model of Section 2).
 	Simultaneous
 )
+
+// String implements fmt.Stringer.
+func (m FailureModel) String() string {
+	switch m {
+	case Independent:
+		return "independent"
+	case Simultaneous:
+		return "simultaneous"
+	default:
+		return fmt.Sprintf("FailureModel(%d)", int(m))
+	}
+}
 
 // Config parameterizes an execution.
 type Config struct {
@@ -69,9 +89,21 @@ type Config struct {
 	MaxStepsPerRun int
 	// HaltAtScriptEnd stops the execution (without error) once the
 	// script is exhausted instead of continuing with random scheduling.
-	// Package explore uses it to enumerate schedule prefixes; undecided
-	// processes simply have Decided[i] == false in the outcome.
+	// Packages explore and mc use it to enumerate schedule prefixes;
+	// undecided processes simply have Decided[i] == false in the outcome.
 	HaltAtScriptEnd bool
+	// FairCompletion switches post-script scheduling from the seeded
+	// random scheduler to a deterministic round-robin over the live
+	// undecided processes, with no crash injection. The model checker
+	// uses it to extend every explored prefix into a full execution that
+	// is a pure function of the script — so a recorded schedule replays
+	// byte-identically. Ignored when HaltAtScriptEnd is set.
+	FairCompletion bool
+	// Source, when non-nil, replaces the Seed-derived RNG driving random
+	// scheduling and crash injection. It lets callers inject any
+	// deterministic source; the default remains rand.NewSource(Seed), so
+	// the runner never touches math/rand's global state either way.
+	Source rand.Source
 	// DecideRequiresStep inserts one extra scheduling point between a
 	// body's return and the recording of its decision, so the adversary
 	// can crash a process AFTER its last shared-memory access but BEFORE
@@ -128,6 +160,13 @@ type Outcome struct {
 	// Trace is the full event log (nil unless Config recording enabled
 	// via Runner.RecordTrace).
 	Trace []TraceEvent
+	// Schedule is the exact sequence of scheduler actions executed —
+	// scripted, random and fair-completion alike (nil unless enabled via
+	// Runner.RecordSchedule). Re-running the same bodies with
+	// Script: Schedule and HaltAtScriptEnd reproduces the execution
+	// event-for-event, which is what makes model-checker counterexamples
+	// replayable.
+	Schedule []Action
 }
 
 // procState tracks the scheduler's view of one process.
@@ -146,11 +185,14 @@ type Runner struct {
 	procs  []*procState
 	events chan procEvent
 
-	trace       []TraceEvent
-	recordTrace bool
+	trace          []TraceEvent
+	recordTrace    bool
+	schedule       []Action
+	recordSchedule bool
 
 	stepCount   int
 	crashBudget int
+	rrNext      int   // round-robin cursor for FairCompletion
 	failure     error // sticky ErrRunBudget etc.
 }
 
@@ -179,10 +221,14 @@ func NewRunner(mem *Memory, bodies []Body, cfg Config) *Runner {
 	if cfg.MaxStepsPerRun == 0 {
 		cfg.MaxStepsPerRun = 100_000
 	}
+	src := cfg.Source
+	if src == nil {
+		src = rand.NewSource(cfg.Seed)
+	}
 	r := &Runner{
 		mem:         mem,
 		cfg:         cfg,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         rand.New(src),
 		events:      make(chan procEvent),
 		crashBudget: cfg.MaxCrashes,
 	}
@@ -196,6 +242,10 @@ func NewRunner(mem *Memory, bodies []Body, cfg Config) *Runner {
 // RecordTrace enables trace capture (off by default to keep stress tests
 // allocation-light).
 func (r *Runner) RecordTrace() { r.recordTrace = true }
+
+// RecordSchedule enables capture of the executed scheduler actions into
+// Outcome.Schedule (off by default, for the same reason as RecordTrace).
+func (r *Runner) RecordSchedule() { r.recordSchedule = true }
 
 // Run executes until every process decides, the script and budgets are
 // exhausted, or an invariant fails.
@@ -228,6 +278,7 @@ func (r *Runner) Run() (*Outcome, error) {
 		}
 		out.Steps = r.stepCount
 		out.Trace = r.trace
+		out.Schedule = r.schedule
 		if err == nil {
 			err = r.failure
 		}
@@ -270,10 +321,15 @@ func (r *Runner) Run() (*Outcome, error) {
 			}
 		} else if r.cfg.HaltAtScriptEnd {
 			return finish(nil)
+		} else if r.cfg.FairCompletion {
+			act = r.fairAction()
 		} else {
 			act = r.randomAction()
 		}
 
+		if r.recordSchedule {
+			r.schedule = append(r.schedule, act)
+		}
 		switch act.Kind {
 		case ActStep:
 			r.stepCount++
@@ -311,21 +367,38 @@ func (r *Runner) validateAction(act Action) error {
 	switch act.Kind {
 	case ActStep, ActCrash:
 		if act.Proc < 0 || act.Proc >= len(r.procs) {
-			return fmt.Errorf("sim: script refers to unknown process %d", act.Proc)
+			return fmt.Errorf("%w: script refers to unknown process %d", ErrScript, act.Proc)
 		}
 		ps := r.procs[act.Proc]
 		if ps.decided {
-			return fmt.Errorf("sim: script schedules process %d after it decided", act.Proc)
+			return fmt.Errorf("%w: script schedules process %d after it decided", ErrScript, act.Proc)
 		}
 		if act.Kind == ActCrash && r.cfg.Model == Simultaneous {
-			return errors.New("sim: individual crash scripted under the simultaneous model")
+			return fmt.Errorf("%w: individual crash scripted under the simultaneous model", ErrScript)
 		}
 	case ActCrashAll:
 		// always valid
 	default:
-		return fmt.Errorf("sim: unknown script action kind %d", act.Kind)
+		return fmt.Errorf("%w: unknown script action kind %d", ErrScript, act.Kind)
 	}
 	return nil
+}
+
+// fairAction implements Config.FairCompletion: a deterministic
+// round-robin over the live undecided processes, never crashing. All
+// undecided processes are parked when the scheduler picks an action, so
+// the cursor scan below always finds one (Run guarantees live > 0).
+func (r *Runner) fairAction() Action {
+	n := len(r.procs)
+	for i := 0; i < n; i++ {
+		id := (r.rrNext + i) % n
+		ps := r.procs[id]
+		if ps.parked && !ps.decided {
+			r.rrNext = id + 1
+			return Action{Kind: ActStep, Proc: id}
+		}
+	}
+	panic("sim: fairAction called with no live process")
 }
 
 // randomAction picks the next scheduling decision from the seeded RNG:

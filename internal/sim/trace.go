@@ -71,6 +71,33 @@ func (e TraceEvent) String() string {
 	}
 }
 
+// String renders the action compactly: "s0" (step of p0), "c0" (crash of
+// p0), "C*" (simultaneous crash).
+func (a Action) String() string {
+	switch a.Kind {
+	case ActStep:
+		return fmt.Sprintf("s%d", a.Proc)
+	case ActCrash:
+		return fmt.Sprintf("c%d", a.Proc)
+	case ActCrashAll:
+		return "C*"
+	default:
+		return fmt.Sprintf("?%d", int(a.Kind))
+	}
+}
+
+// FormatScript renders a schedule compactly, e.g. "s0 s1 c0 s0".
+func FormatScript(script []Action) string {
+	if len(script) == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, len(script))
+	for i, a := range script {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ")
+}
+
 // FormatTrace renders a trace one event per line, for test failure
 // diagnostics.
 func FormatTrace(events []TraceEvent) string {
