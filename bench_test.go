@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"rcons"
+	"rcons/internal/bench"
 	"rcons/internal/checker"
 	"rcons/internal/engine"
 	"rcons/internal/harness"
@@ -81,6 +82,35 @@ func BenchmarkThm22Sets(b *testing.B) { runExperiment(b, harness.Thm22Sets) }
 // Figure 2 (every interleaving + crash placement in bounds) plus the
 // rediscovery of both §3.1 counterexamples on the broken variants.
 func BenchmarkModelCheck(b *testing.B) { runExperiment(b, harness.ModelCheck) }
+
+// BenchmarkMCFingerprint measures ONE configuration-fingerprint
+// computation of the systematic model checker (internal/mc) — the
+// dominant per-node cost of exhaustive verification — on a fixed
+// crash-containing prefix of the Figure 2 target. The sub-benchmarks
+// compare the incremental pipeline (interned values, maintained memory
+// digest, rolling per-process event hashes; the default) against the
+// legacy pipeline (textual Memory.Snapshot + full trace re-walk +
+// SHA-256; kept behind mc.Options.LegacyFingerprint for parity
+// testing). The two pipelines are verdict-equivalent — see
+// FuzzFingerprintParity and TestVerdictParityAllTargets in internal/mc.
+func BenchmarkMCFingerprint(b *testing.B) {
+	probe, err := bench.StandardFingerprintProbe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = probe.Incremental()
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = probe.Legacy()
+		}
+	})
+}
 
 // BenchmarkMotivation runs E11: test&set consensus vs CAS consensus with
 // and without crash recovery — the paper's opening gap, found

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"rcons/internal/engine"
+	"rcons/internal/harness"
+	"rcons/internal/mc"
+	"rcons/internal/sim"
+	"rcons/internal/types"
+)
+
+// harnessOpts mirrors the budgets of the root bench_test.go experiment
+// benchmarks; quickOpts trims the sampling dimensions further for CI.
+func harnessOpts(quick bool) harness.Options {
+	if quick {
+		return harness.Options{Seeds: 4, MaxN: 3, Limit: 4}
+	}
+	return harness.Options{Seeds: 10, MaxN: 4, Limit: 5}
+}
+
+// Registry returns every registered benchmark: the harness experiment
+// suite (the same workloads as the root bench_test.go), the model
+// checker's search and fingerprint micro-benchmarks, the classification
+// engine, and the simulator/memory primitives.
+func Registry() []Benchmark {
+	var out []Benchmark
+
+	for _, e := range harness.All() {
+		out = append(out, Benchmark{
+			Name:  "harness/" + e.ID,
+			Doc:   e.Title,
+			Iters: 2, QuickIters: 1,
+			WorkloadVaries: true, // quick mode trims the experiment itself
+			Run:            experimentRunner(e),
+		})
+	}
+
+	out = append(out,
+		Benchmark{
+			Name:  "mc/check-team-sn",
+			Doc:   "exhaustive model check of Figure 2 over S_2 (depth 9, 1 crash)",
+			Iters: 3, QuickIters: 3,
+			Run: mcCheckRunner("team-sn", 2, mc.Options{MaxDepth: 9, CrashBudget: 1}, true),
+		},
+		Benchmark{
+			Name:  "mc/check-cas-deep",
+			Doc:   "exhaustive model check of CAS consensus (depth 12, 2 crashes)",
+			Iters: 3, QuickIters: 3,
+			Run: mcCheckRunner("cas", 2, mc.Options{MaxDepth: 12, CrashBudget: 2}, true),
+		},
+		Benchmark{
+			Name:  "mc/counterexample-noyield",
+			Doc:   "find+minimize the §3.1 no-yield agreement violation (depth 12)",
+			Iters: 3, QuickIters: 3,
+			Run: mcCheckRunner("unsafe-noyield", 2, mc.Options{MaxDepth: 12, CrashBudget: 1}, false),
+		},
+		Benchmark{
+			Name:  "mc/fingerprint-incremental",
+			Doc:   "incremental configuration fingerprint (interned digests) on a fixed prefix",
+			Iters: 300_000, QuickIters: 50_000,
+			Run: fingerprintRunner(false),
+		},
+		Benchmark{
+			Name:  "mc/fingerprint-legacy",
+			Doc:   "legacy Snapshot+trace+SHA-256 fingerprint on the same prefix",
+			Iters: 300_000, QuickIters: 50_000,
+			Run: fingerprintRunner(true),
+		},
+		Benchmark{
+			Name:  "engine/classify-T5",
+			Doc:   "cold sharded parallel classification of T_5 at limit 5",
+			Iters: 3, QuickIters: 1,
+			Run: func(iters int) (Metrics, error) {
+				for i := 0; i < iters; i++ {
+					eng := engine.New(engine.Options{})
+					if _, err := eng.Classify(context.Background(), types.NewTn(5), 5); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+		Benchmark{
+			Name:  "engine/classify-cached",
+			Doc:   "steady-state classification served from the memoization cache",
+			Iters: 20_000, QuickIters: 5_000,
+			Run: func(iters int) (Metrics, error) {
+				eng := engine.New(engine.Options{})
+				t := types.NewSn(3)
+				if _, err := eng.Classify(context.Background(), t, 5); err != nil {
+					return nil, err
+				}
+				for i := 0; i < iters; i++ {
+					if _, err := eng.Classify(context.Background(), t, 5); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+		Benchmark{
+			Name:  "sim/steps",
+			Doc:   "raw simulator step throughput (1000 reads per execution)",
+			Iters: 20, QuickIters: 5,
+			Run: func(iters int) (Metrics, error) {
+				const stepsPerRun = 1000
+				for i := 0; i < iters; i++ {
+					m := sim.NewMemory()
+					m.AddRegister("R", sim.None)
+					body := func(p *sim.Proc) sim.Value {
+						for s := 0; s < stepsPerRun; s++ {
+							p.Read("R")
+						}
+						return "done"
+					}
+					if _, err := sim.NewRunner(m, []sim.Body{body}, sim.Config{Seed: 1}).Run(); err != nil {
+						return nil, err
+					}
+				}
+				return Metrics{"steps": float64(iters * stepsPerRun)}, nil
+			},
+		},
+		Benchmark{
+			Name:  "sim/snapshot",
+			Doc:   "textual Memory.Snapshot of a 40-cell heap (cached sorted names)",
+			Iters: 200_000, QuickIters: 50_000,
+			Run: memoryRunner(func(m *sim.Memory) { _ = m.Snapshot() }),
+		},
+		Benchmark{
+			Name:  "sim/digest",
+			Doc:   "incremental Memory.Digest of the same heap (O(1))",
+			Iters: 2_000_000, QuickIters: 500_000,
+			Run: memoryRunner(func(m *sim.Memory) { _ = m.Digest() }),
+		},
+	)
+	return out
+}
+
+// Quick reports the iteration budget of bm for the given mode.
+func (bm Benchmark) Budget(quick bool) int {
+	if quick {
+		return bm.QuickIters
+	}
+	return bm.Iters
+}
+
+// ExperimentOptions exposes the harness budgets rcbench runs with, so
+// its -list output can say what "one iteration" means.
+func ExperimentOptions(quick bool) (seeds, maxN, limit int) {
+	o := harnessOpts(quick)
+	return o.Seeds, o.MaxN, o.Limit
+}
+
+var quickMode bool
+
+// SetQuick switches the registry's experiment runners to the trimmed
+// budgets. It must be called before Measure (rcbench does it once at
+// startup; tests may toggle it).
+func SetQuick(q bool) { quickMode = q }
+
+func experimentRunner(e harness.Experiment) func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		for i := 0; i < iters; i++ {
+			rep, err := e.Run(harnessOpts(quickMode))
+			if err != nil {
+				return nil, err
+			}
+			if !rep.Pass {
+				return nil, fmt.Errorf("experiment %s failed:\n%s", e.ID, rep)
+			}
+		}
+		return nil, nil
+	}
+}
+
+// mcCheckRunner model-checks a builtin target every iteration and
+// totals the executed search nodes, so the result carries a
+// nodes_per_sec rate — the model checker's primary throughput metric.
+func mcCheckRunner(target string, n int, opts mc.Options, wantSafe bool) func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		nodes := 0.0
+		for i := 0; i < iters; i++ {
+			tgt, err := mc.TargetByName(target, n)
+			if err != nil {
+				return nil, err
+			}
+			res, err := mc.Check(context.Background(), tgt, opts)
+			if err != nil {
+				return nil, err
+			}
+			if res.Safe != wantSafe {
+				return nil, fmt.Errorf("mc %s: safe=%v, want %v", target, res.Safe, wantSafe)
+			}
+			nodes += float64(res.Stats.Nodes)
+		}
+		return Metrics{"nodes": nodes}, nil
+	}
+}
+
+// StandardFingerprintProbe builds the canonical fingerprint-benchmark
+// fixture: the Figure 2 target over S_2 at a fixed crash-containing
+// prefix. Both rcbench's mc/fingerprint-* entries and the root
+// bench_test.go BenchmarkMCFingerprint measure this exact probe, so the
+// `go test -bench` view and the BENCH_*.json view stay the same
+// workload by construction.
+func StandardFingerprintProbe() (*mc.FingerprintProbe, error) {
+	tgt, err := mc.TargetByName("team-sn", 2)
+	if err != nil {
+		return nil, err
+	}
+	script := []sim.Action{
+		sim.Step(0), sim.Step(1), sim.Step(0), sim.Crash(0),
+		sim.Step(0), sim.Step(1), sim.Step(0),
+	}
+	return mc.NewFingerprintProbe(tgt, script, mc.Options{})
+}
+
+// fingerprintRunner measures ONLY the fingerprint computation: the
+// prefix is executed once (outside the timed region's per-op cost at
+// realistic iteration counts) and then fingerprinted iters times.
+func fingerprintRunner(legacy bool) func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		probe, err := StandardFingerprintProbe()
+		if err != nil {
+			return nil, err
+		}
+		if legacy {
+			for i := 0; i < iters; i++ {
+				_ = probe.Legacy()
+			}
+		} else {
+			for i := 0; i < iters; i++ {
+				_ = probe.Incremental()
+			}
+		}
+		return nil, nil
+	}
+}
+
+func memoryRunner(op func(*sim.Memory)) func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		m := sim.NewMemory()
+		for i := 0; i < 32; i++ {
+			m.AddRegister(fmt.Sprintf("R%02d", i), "v")
+		}
+		for i := 0; i < 8; i++ {
+			m.AddRegister(fmt.Sprintf("S%d", i), sim.None)
+		}
+		for i := 0; i < iters; i++ {
+			op(m)
+		}
+		return nil, nil
+	}
+}

@@ -6,6 +6,21 @@ import (
 	"rcons/internal/checker"
 )
 
+// cacheKey identifies one memoized search: 128 bits of the type's
+// canonical fingerprint (already a SHA-256; folding it keeps the
+// collision probability negligible), the property, and the process
+// count. A comparable struct of machine words keys the map with no
+// per-lookup allocation or string building. Deliberately NOT routed
+// through the process-wide intern table: rcserve classifies arbitrary
+// user-supplied custom types, and interning every distinct fingerprint
+// would grow the append-only table without bound while the cache itself
+// stays bounded.
+type cacheKey struct {
+	fp   [2]uint64
+	prop Property
+	n    int
+}
+
 // CacheStats reports the engine cache's cumulative behavior.
 type CacheStats struct {
 	// Hits and Misses count lookups that did / did not find an entry.
@@ -25,22 +40,22 @@ type searchResult struct {
 }
 
 // cache is a bounded memoization table for search results, keyed by
-// canonical fingerprint strings. Eviction is FIFO: witness searches have
-// no meaningful recency structure (a zoo scan touches every key once),
-// so the simple policy serves as well as LRU here and is cheaper.
+// fingerprint-derived cache keys. Eviction is FIFO: witness searches
+// have no meaningful recency structure (a zoo scan touches every key
+// once), so the simple policy serves as well as LRU here and is cheaper.
 type cache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]searchResult
-	order   []string // insertion order, for FIFO eviction
+	entries map[cacheKey]searchResult
+	order   []cacheKey // insertion order, for FIFO eviction
 	stats   CacheStats
 }
 
 func newCache(max int) *cache {
-	return &cache{max: max, entries: make(map[string]searchResult)}
+	return &cache{max: max, entries: make(map[cacheKey]searchResult)}
 }
 
-func (c *cache) get(key string) (searchResult, bool) {
+func (c *cache) get(key cacheKey) (searchResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r, ok := c.entries[key]
@@ -52,7 +67,7 @@ func (c *cache) get(key string) (searchResult, bool) {
 	return r, ok
 }
 
-func (c *cache) put(key string, r searchResult) {
+func (c *cache) put(key cacheKey, r searchResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[key]; ok {

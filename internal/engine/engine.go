@@ -134,10 +134,12 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 	if err != nil {
 		return nil, err
 	}
-	key := ""
+	var key cacheKey
+	haveKey := false
 	if e.cache != nil {
 		if fp, ok := Fingerprint(t, n); ok {
-			key = fmt.Sprintf("search|%s|%s|%d", fp, p, n)
+			key = cacheKey{fp: foldFingerprint(fp), prop: p, n: n}
+			haveKey = true
 			if r, ok := e.cache.get(key); ok {
 				if !r.found {
 					return nil, nil
@@ -151,7 +153,7 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 	if err != nil {
 		return nil, err
 	}
-	if key != "" {
+	if haveKey {
 		r := searchResult{found: w != nil}
 		if w != nil {
 			r.witness = cloneWitness(*w)
@@ -159,6 +161,26 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 		e.cache.put(key, r)
 	}
 	return w, nil
+}
+
+// foldFingerprint packs the leading 128 bits of a canonical fingerprint
+// (64 hex characters of SHA-256) into the cache key. Malformed input
+// cannot occur — Fingerprint always hex-encodes — but is still mapped
+// injectively enough for a cache (worst case: a shared bucket).
+func foldFingerprint(fp string) [2]uint64 {
+	var out [2]uint64
+	for i := 0; i < 32 && i < len(fp); i++ {
+		c := fp[i]
+		var v uint64
+		switch {
+		case c >= '0' && c <= '9':
+			v = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint64(c-'a') + 10
+		}
+		out[i/16] = out[i/16]<<4 | v
+	}
+	return out
 }
 
 // cloneWitness deep-copies a witness so cached entries are immune to

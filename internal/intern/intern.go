@@ -1,0 +1,84 @@
+// Package intern maintains a process-wide table mapping strings to
+// small, dense integer ids. The simulator's values, cell names,
+// operations and responses are all strings drawn from tiny per-system
+// alphabets but compared and hashed millions of times during model
+// checking; interning turns every such string into a uint32 once, after
+// which digests and comparisons are integer operations with no
+// allocation.
+//
+// Ids are assigned in first-intern order and are stable for the life of
+// the process, so any two digests computed in the same process are
+// comparable. They are NOT stable across processes — callers must never
+// persist interned ids or digests derived from them (the model checker's
+// golden artifacts therefore store schedules and violation text, not
+// fingerprints).
+//
+// The table is append-only and read-mostly: after the first execution of
+// a system, every lookup hits the read path. A sync.RWMutex keeps the
+// fast path a shared lock acquisition plus one map read.
+package intern
+
+import "sync"
+
+var tab = struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	strs []string
+}{ids: make(map[string]uint32, 256)}
+
+// ID returns the id for s, assigning the next free id on first sight.
+func ID(s string) uint32 {
+	tab.mu.RLock()
+	id, ok := tab.ids[s]
+	tab.mu.RUnlock()
+	if ok {
+		return id
+	}
+	tab.mu.Lock()
+	defer tab.mu.Unlock()
+	if id, ok := tab.ids[s]; ok {
+		return id
+	}
+	id = uint32(len(tab.strs))
+	// strings.Clone semantics: s may be a slice of a larger buffer
+	// (e.g. a fuzz input); copying detaches the table from it.
+	owned := string(append([]byte(nil), s...))
+	tab.ids[owned] = id
+	tab.strs = append(tab.strs, owned)
+	return id
+}
+
+// String returns the string interned under id; it panics on ids never
+// returned by ID (a programming error, like an out-of-range slice index).
+func String(id uint32) string {
+	tab.mu.RLock()
+	defer tab.mu.RUnlock()
+	return tab.strs[id]
+}
+
+// Size returns the number of distinct strings interned so far.
+func Size() int {
+	tab.mu.RLock()
+	defer tab.mu.RUnlock()
+	return len(tab.strs)
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixing function. Digest maintenance throughout sim and mc builds on it
+// so that structurally different configurations scatter across the full
+// 64-bit space even though the inputs (interned ids, counters) are tiny
+// integers.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// MixPair combines two 64-bit words non-commutatively — MixPair(a, b)
+// and MixPair(b, a) differ — for order-sensitive rolling digests.
+func MixPair(a, b uint64) uint64 {
+	return Mix64(a*0x9e3779b97f4a7c15 + b)
+}

@@ -1,0 +1,184 @@
+package mc
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"rcons/internal/sim"
+)
+
+// e13Cases mirrors the depth/budget table harness.MCProtocols (E13) runs
+// the builtin registry at; the parity tests below re-check every builtin
+// target at exactly these bounds under both fingerprint pipelines.
+var e13Cases = []struct {
+	target string
+	n      int
+	opts   Options
+}{
+	{"cas", 2, Options{MaxDepth: 10, CrashBudget: 2}},
+	{"team-sn", 2, Options{MaxDepth: 9, CrashBudget: 1}},
+	{"team-cas", 2, Options{MaxDepth: 9, CrashBudget: 1}},
+	{"tournament", 2, Options{MaxDepth: 8, CrashBudget: 1}},
+	{"simultaneous", 2, Options{MaxDepth: 8, CrashBudget: 1}},
+	{"universal", 2, Options{MaxDepth: 6, MinDepth: 6, CrashBudget: 1}},
+	{"unsafe-noyield", 2, Options{MaxDepth: 12, CrashBudget: 1}},
+	{"unsafe-yieldalways", 3, Options{MaxDepth: 10, CrashBudget: 1}},
+}
+
+// TestVerdictParityAllTargets is the rewrite's acceptance gate: for
+// EVERY builtin target, at the depths harness E13 uses, the incremental
+// fingerprint pipeline and the legacy Snapshot+trace pipeline must
+// produce bit-identical results — same verdict, same exhaustiveness and
+// completeness, same minimized counterexample schedule, same violation
+// text, and (since both pipelines prune soundly and deterministically)
+// the same node and pruning counts.
+func TestVerdictParityAllTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry parity at E13 depths; skip in -short")
+	}
+	covered := map[string]bool{}
+	for _, c := range e13Cases {
+		covered[c.target] = true
+	}
+	for _, name := range Targets() {
+		if !covered[name] {
+			t.Fatalf("builtin target %q missing from the E13 parity table", name)
+		}
+	}
+
+	for _, c := range e13Cases {
+		t.Run(c.target, func(t *testing.T) {
+			tgt := mustTarget(t, c.target, c.n)
+			inc := check(t, tgt, c.opts)
+			legacyOpts := c.opts
+			legacyOpts.LegacyFingerprint = true
+			leg := check(t, tgt, legacyOpts)
+
+			if inc.Safe != leg.Safe || inc.Exhaustive != leg.Exhaustive || inc.Complete != leg.Complete {
+				t.Fatalf("verdict differs: incremental (safe=%v exh=%v comp=%v) vs legacy (safe=%v exh=%v comp=%v)",
+					inc.Safe, inc.Exhaustive, inc.Complete, leg.Safe, leg.Exhaustive, leg.Complete)
+			}
+			if (inc.CE == nil) != (leg.CE == nil) {
+				t.Fatalf("counterexample presence differs: %v vs %v", inc.CE, leg.CE)
+			}
+			if inc.CE != nil {
+				if !reflect.DeepEqual(inc.CE.Schedule, leg.CE.Schedule) {
+					t.Fatalf("counterexample differs:\nincremental: %s\nlegacy:      %s",
+						sim.FormatScript(inc.CE.Schedule), sim.FormatScript(leg.CE.Schedule))
+				}
+				if inc.CE.Violation != leg.CE.Violation {
+					t.Fatalf("violation text differs: %q vs %q", inc.CE.Violation, leg.CE.Violation)
+				}
+			}
+			if inc.Stats.Nodes != leg.Stats.Nodes || inc.Stats.Pruned != leg.Stats.Pruned {
+				t.Fatalf("search shape differs: incremental nodes=%d pruned=%d, legacy nodes=%d pruned=%d",
+					inc.Stats.Nodes, inc.Stats.Pruned, leg.Stats.Nodes, leg.Stats.Pruned)
+			}
+			t.Logf("%s: nodes=%d pruned=%d safe=%v (both pipelines)",
+				c.target, inc.Stats.Nodes, inc.Stats.Pruned, inc.Safe)
+		})
+	}
+}
+
+// TestFingerprintProbeParity spot-checks the probe helper itself: on a
+// handful of concrete prefixes the two pipelines must agree on
+// equality/inequality of fingerprints pairwise, and re-probing the same
+// prefix must reproduce the same incremental fingerprint (digest
+// determinism across executions).
+func TestFingerprintProbeParity(t *testing.T) {
+	tgt := mustTarget(t, "team-sn", 2)
+	prefixes := [][]sim.Action{
+		{},
+		{sim.Step(0)},
+		{sim.Step(1)},
+		{sim.Step(0), sim.Step(1)},
+		{sim.Step(0), sim.Crash(0)},
+		{sim.Step(0), sim.Crash(0), sim.Step(0)},
+		{sim.Step(0), sim.Step(0), sim.Step(1)},
+	}
+	probes := make([]*FingerprintProbe, len(prefixes))
+	for i, p := range prefixes {
+		probe, err := NewFingerprintProbe(tgt, p, Options{})
+		if err != nil {
+			t.Fatalf("prefix %s: %v", sim.FormatScript(p), err)
+		}
+		probes[i] = probe
+	}
+	for i := range probes {
+		for j := range probes {
+			incEq := probes[i].Incremental() == probes[j].Incremental()
+			legEq := probes[i].Legacy() == probes[j].Legacy()
+			if incEq != legEq {
+				t.Errorf("parity broken between %s and %s: incremental equal=%v, legacy equal=%v",
+					sim.FormatScript(prefixes[i]), sim.FormatScript(prefixes[j]), incEq, legEq)
+			}
+		}
+	}
+	for i, p := range prefixes {
+		again, err := NewFingerprintProbe(tgt, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Incremental() != probes[i].Incremental() {
+			t.Errorf("incremental fingerprint of %s not reproducible across executions",
+				sim.FormatScript(p))
+		}
+	}
+}
+
+// TestClockSensitiveFingerprintDistinguishesPositions checks the
+// clock-mixed digest path: two prefixes whose per-process observations
+// are identical but globally shifted in time must fingerprint equal for
+// a clock-blind target and DIFFERENT for a clock-sensitive one, under
+// both pipelines.
+func TestClockSensitiveFingerprintDistinguishesPositions(t *testing.T) {
+	base := mustTarget(t, "cas", 3)
+	clocked := base
+	clocked.ClockSensitive = true
+
+	// p2's single step happens at global position 0 vs position 2; p0/p1
+	// observe the same CAS responses either way (p2 only reads its own
+	// input register first).
+	a := []sim.Action{sim.Step(2), sim.Step(0), sim.Step(1)}
+	b := []sim.Action{sim.Step(0), sim.Step(1), sim.Step(2)}
+
+	fp := func(tgt Target, script []sim.Action) (Fingerprint, Fingerprint) {
+		p, err := NewFingerprintProbe(tgt, script, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Incremental(), p.Legacy()
+	}
+	for _, tc := range []struct {
+		name string
+		tgt  Target
+	}{{"clock-blind", base}, {"clock-sensitive", clocked}} {
+		incA, legA := fp(tc.tgt, a)
+		incB, legB := fp(tc.tgt, b)
+		if (incA == incB) != (legA == legB) {
+			t.Fatalf("%s: pipelines disagree (incremental equal=%v, legacy equal=%v)",
+				tc.name, incA == incB, legA == legB)
+		}
+		if tc.name == "clock-sensitive" && incA == incB {
+			t.Fatal("clock-sensitive fingerprints ignore global positions")
+		}
+	}
+}
+
+// TestLegacyFingerprintOptionStillChecks is a smoke test that the legacy
+// pipeline remains fully wired end to end (it is exercised heavily only
+// by the non-short parity test).
+func TestLegacyFingerprintOptionStillChecks(t *testing.T) {
+	res, err := Check(context.Background(), mustTarget(t, "cas", 2),
+		Options{MaxDepth: 8, CrashBudget: 1, LegacyFingerprint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Safe || !res.Exhaustive {
+		t.Fatalf("legacy pipeline verdict wrong: %+v", res)
+	}
+	if res.Stats.Pruned == 0 {
+		t.Fatal("legacy pipeline pruned nothing; fingerprints are not being computed")
+	}
+}

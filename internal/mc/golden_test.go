@@ -1,0 +1,169 @@
+package mc
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rcons/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden counterexample files")
+
+// goldenCases are the deliberately broken §3.1 protocol variants whose
+// minimized violation schedules are pinned byte-for-byte under
+// testdata/golden. The checker's canonical-order guarantee makes the
+// minimized counterexample a pure function of (target, bounds), so any
+// change to these files means the search, the minimizer or the
+// simulator changed observable behaviour — which must be deliberate
+// (re-bless with -update) and explained in the commit.
+var goldenCases = []struct {
+	file   string
+	target string
+	n      int
+	opts   Options
+}{
+	{"unsafe-noyield_n2.txt", "unsafe-noyield", 2, Options{MaxDepth: 12, CrashBudget: 1}},
+	{"unsafe-yieldalways_n3.txt", "unsafe-yieldalways", 3, Options{MaxDepth: 10, CrashBudget: 1}},
+}
+
+// renderGolden is the committed form: target, bounds, minimized
+// schedule, violation text.
+func renderGolden(c struct {
+	file   string
+	target string
+	n      int
+	opts   Options
+}, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target: %s\n", res.Target)
+	fmt.Fprintf(&b, "bounds: depth=%d crashes=%d\n", c.opts.MaxDepth, c.opts.CrashBudget)
+	fmt.Fprintf(&b, "schedule: %s\n", sim.FormatScript(res.CE.Schedule))
+	fmt.Fprintf(&b, "violation: %s\n", res.CE.Violation)
+	return b.String()
+}
+
+// TestGoldenCounterexamples re-discovers each pinned violation under
+// several worker counts (scheduling diversity stands in for seeds — the
+// exhaustive search takes none) and asserts the minimized, replayed
+// counterexample matches the committed golden file byte-for-byte.
+func TestGoldenCounterexamples(t *testing.T) {
+	for _, c := range goldenCases {
+		t.Run(c.target, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", c.file)
+			var rendered string
+			for _, workers := range []int{1, 4, 8} {
+				opts := c.opts
+				opts.Workers = workers
+				res := check(t, mustTarget(t, c.target, c.n), opts)
+				if res.Safe || res.CE == nil {
+					t.Fatalf("workers=%d: broken target reported safe: %+v", workers, res)
+				}
+				got := renderGolden(c, res)
+				if rendered == "" {
+					rendered = got
+				} else if got != rendered {
+					t.Fatalf("counterexample depends on worker count %d:\n%s\nvs\n%s", workers, got, rendered)
+				}
+			}
+
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if rendered != string(want) {
+				t.Fatalf("counterexample drifted from golden file %s:\n--- got ---\n%s--- want ---\n%s",
+					path, rendered, want)
+			}
+		})
+	}
+}
+
+// TestGoldenSchedulesReplay closes the loop from the committed artifact
+// side: the schedule parsed back out of each golden FILE must replay
+// through a fresh simulator into exactly the committed violation text,
+// and must still be 1-minimal. This keeps the files honest even if the
+// search that regenerates them were broken.
+func TestGoldenSchedulesReplay(t *testing.T) {
+	for _, c := range goldenCases {
+		t.Run(c.target, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", "golden", c.file))
+			if err != nil {
+				t.Fatalf("missing golden file (run TestGoldenCounterexamples with -update): %v", err)
+			}
+			fields := map[string]string{}
+			for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+				k, v, ok := strings.Cut(line, ": ")
+				if !ok {
+					t.Fatalf("malformed golden line %q", line)
+				}
+				fields[k] = v
+			}
+			schedule, err := sim.ParseScript(fields["schedule"])
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tgt := mustTarget(t, c.target, c.n)
+			inputs, m, out, rerr := Replay(tgt, schedule, 0)
+			if rerr != nil {
+				t.Fatalf("golden schedule failed to execute: %v", rerr)
+			}
+			cerr := tgt.Check(inputs, m, out)
+			if cerr == nil {
+				t.Fatal("golden schedule no longer violates")
+			}
+			if cerr.Error() != fields["violation"] {
+				t.Fatalf("replayed violation %q differs from committed %q", cerr, fields["violation"])
+			}
+			for i := range schedule {
+				cand := append(append([]sim.Action(nil), schedule[:i]...), schedule[i+1:]...)
+				if scheduleViolates(tgt, cand, 0) {
+					t.Fatalf("golden schedule not 1-minimal: dropping action %d (%s) still violates",
+						i, schedule[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenMatchesMinimize ties the two golden tests together: running
+// the minimizer from scratch on the golden schedule returns it
+// unchanged (Minimize is a fixpoint on 1-minimal schedules).
+func TestGoldenMatchesMinimize(t *testing.T) {
+	for _, c := range goldenCases {
+		t.Run(c.target, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", "golden", c.file))
+			if err != nil {
+				t.Skip("golden file missing")
+			}
+			for _, line := range strings.Split(string(raw), "\n") {
+				sched, ok := strings.CutPrefix(line, "schedule: ")
+				if !ok {
+					continue
+				}
+				schedule, err := sim.ParseScript(sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tgt := mustTarget(t, c.target, c.n)
+				min := Minimize(context.Background(), tgt, schedule, 0)
+				if sim.FormatScript(min) != sched {
+					t.Fatalf("Minimize is not a fixpoint on the golden schedule: %s -> %s",
+						sched, sim.FormatScript(min))
+				}
+			}
+		})
+	}
+}

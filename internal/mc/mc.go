@@ -118,6 +118,16 @@ type Options struct {
 	// MaxSteps caps any single execution (guards accidental livelock in
 	// fair completions). Default 20_000.
 	MaxSteps int
+	// LegacyFingerprint switches configuration-fingerprint pruning back
+	// to the original pipeline: a full textual Memory.Snapshot plus a
+	// re-walk of the entire event trace, hashed with SHA-256, at every
+	// search node. The default incremental pipeline combines digests
+	// maintained during the run (interned values, rolling per-process
+	// event hashes) in O(processes) with no allocation. Verdicts are
+	// bit-identical either way — asserted by the parity tests and
+	// FuzzFingerprintParity — so the flag exists only for those tests and
+	// for benchmarking the two pipelines against each other.
+	LegacyFingerprint bool
 }
 
 func (o Options) filled() Options {

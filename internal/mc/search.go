@@ -3,11 +3,13 @@ package mc
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"rcons/internal/intern"
 	"rcons/internal/sim"
 )
 
@@ -47,7 +49,9 @@ func (s *search) snapshotStats() Stats {
 
 // runScript executes one scripted prefix of the target. halt selects
 // prefix enumeration (stop at script end) versus full execution (extend
-// the prefix with the deterministic crash-free fair completion).
+// the prefix with the deterministic crash-free fair completion). The
+// default (incremental) fingerprint pipeline records only the O(1)
+// rolling digests; the legacy pipeline needs the full event trace.
 func (s *search) runScript(script []sim.Action, halt bool) ([]sim.Value, *sim.Memory, *sim.Outcome, error) {
 	m, bodies, inputs := s.tgt.Factory()
 	cfg := sim.Config{
@@ -59,7 +63,11 @@ func (s *search) runScript(script []sim.Action, halt bool) ([]sim.Value, *sim.Me
 		MaxSteps:           s.opts.MaxSteps,
 	}
 	r := sim.NewRunner(m, bodies, cfg)
-	r.RecordTrace()
+	if s.opts.LegacyFingerprint {
+		r.RecordTrace()
+	} else {
+		r.RecordDigests()
+	}
 	r.RecordSchedule()
 	out, err := r.Run()
 	return inputs, m, out, err
@@ -74,7 +82,49 @@ func (s *search) runScript(script []sim.Action, halt bool) ([]sim.Value, *sim.Me
 // depends on WHEN (in global steps) it ran, not just on what it observed;
 // this makes fingerprints nearly path-unique and costs most of the
 // pruning, but keeps it sound.
-func (s *search) fingerprint(out *sim.Outcome, m *sim.Memory, crashesUsed int) [sha256.Size]byte {
+//
+// The default pipeline combines digests that were maintained
+// incrementally DURING the run — Memory.Digest for the heap,
+// Outcome.EventHashes/ClockHashes for the histories — so the per-node
+// cost is O(processes) integer mixing with zero allocation. The legacy
+// pipeline (Options.LegacyFingerprint) rebuilds the textual
+// Snapshot/trace form and hashes it with SHA-256; it is kept as the
+// independent oracle for the parity tests and fuzz target.
+func (s *search) fingerprint(out *sim.Outcome, m *sim.Memory, crashesUsed int) Fingerprint {
+	if s.opts.LegacyFingerprint {
+		return s.legacyFingerprint(out, m, crashesUsed)
+	}
+	return s.incrementalFingerprint(out, m, crashesUsed)
+}
+
+// Per-process state tags keep the three cases (decided, running, running
+// under a clock-sensitive body) in disjoint digest families.
+const (
+	fpDecided uint64 = 0xD1
+	fpRunning uint64 = 0xD2
+	fpClocked uint64 = 0xD3
+)
+
+func (s *search) incrementalFingerprint(out *sim.Outcome, m *sim.Memory, crashesUsed int) Fingerprint {
+	h := m.Digest()
+	p := uint64(len(out.Decided))
+	for i, decided := range out.Decided {
+		var w uint64
+		switch {
+		case decided:
+			w = intern.MixPair(fpDecided, uint64(intern.ID(out.Decisions[i])))
+		case s.tgt.ClockSensitive:
+			w = intern.MixPair(fpClocked, out.ClockHashes[i])
+		default:
+			w = intern.MixPair(fpRunning, out.EventHashes[i])
+		}
+		p = intern.MixPair(p, w)
+	}
+	p = intern.MixPair(p, uint64(crashesUsed))
+	return Fingerprint{intern.MixPair(h, p), intern.MixPair(p, h)}
+}
+
+func (s *search) legacyFingerprint(out *sim.Outcome, m *sim.Memory, crashesUsed int) Fingerprint {
 	var b strings.Builder
 	b.WriteString(m.Snapshot())
 
@@ -102,7 +152,11 @@ func (s *search) fingerprint(out *sim.Outcome, m *sim.Memory, crashesUsed int) [
 		fmt.Fprintf(&b, "p%d=run:%s\n", i, strings.Join(sinceCrash[i], ";"))
 	}
 	fmt.Fprintf(&b, "crashes=%d\n", crashesUsed)
-	return sha256.Sum256([]byte(b.String()))
+	sum := sha256.Sum256([]byte(b.String()))
+	return Fingerprint{
+		binary.LittleEndian.Uint64(sum[0:8]),
+		binary.LittleEndian.Uint64(sum[8:16]),
+	}
 }
 
 // rootDepth is the prefix length at which the search hands subtrees to
@@ -272,7 +326,7 @@ func (s *search) searchRoots(ctx context.Context, roots []node, depth int) (*vio
 				active[i] = cancel
 				mu.Unlock()
 
-				visited := map[[sha256.Size]byte]uint64{}
+				visited := map[Fingerprint]uint64{}
 				v, err := s.dfs(rctx, roots[i], depth, visited)
 
 				mu.Lock()
@@ -317,7 +371,7 @@ func (s *search) searchRoots(ctx context.Context, roots []node, depth int) (*vio
 // execution set is literally a replay. With ≥-matching the twin's leaf
 // completions start at different round-robin offsets, and the pruned
 // leaf's exact completion might never be simulated.
-func (s *search) dfs(ctx context.Context, nd node, depth int, visited map[[sha256.Size]byte]uint64) (*violation, error) {
+func (s *search) dfs(ctx context.Context, nd node, depth int, visited map[Fingerprint]uint64) (*violation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -22,9 +22,9 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 
+	"rcons/internal/intern"
 	"rcons/internal/spec"
 )
 
@@ -34,6 +34,41 @@ type Value = string
 
 // None is the distinguished "unwritten" register value ⊥.
 const None Value = "_"
+
+// regCell is one register: its value plus the interned identity and
+// digest contribution kept so writes update Memory.structHash in O(1)
+// without re-hashing any strings.
+type regCell struct {
+	val    Value
+	nameID uint32
+	digest uint64
+}
+
+// objCell is one object cell; nameID and typeID are interned once at
+// allocation. The cell's digest contribution is derived from the
+// object's state on demand (see apply) rather than cached, so
+// concurrent applies fold commutative XOR deltas and cannot leave a
+// stale cached word behind.
+type objCell struct {
+	o      *spec.Object
+	nameID uint32
+	typeID uint32
+}
+
+// Cell-kind tags keep register and object digests in disjoint families
+// even when a register value and an object state intern to the same id.
+const (
+	regTag uint64 = 0x5245 << 48 // "RE"
+	objTag uint64 = 0x4f42 << 48 // "OB"
+)
+
+func regDigest(nameID, valID uint32) uint64 {
+	return intern.Mix64(regTag ^ uint64(nameID)<<32 ^ uint64(valID))
+}
+
+func objDigest(nameID, typeID, stateID uint32) uint64 {
+	return intern.MixPair(intern.Mix64(objTag^uint64(nameID)<<32^uint64(typeID)), uint64(stateID))
+}
 
 // Memory is the non-volatile shared heap: named atomic registers and
 // named atomic objects of arbitrary spec types. It survives all crashes.
@@ -47,17 +82,49 @@ const None Value = "_"
 // Allocation models preparing a node in non-volatile memory before any
 // pointer to it is published, so this concurrency is unobservable to the
 // algorithms — but without the lock it is a data race on the maps.
+//
+// Alongside the cells the memory maintains structHash, an incrementally
+// updated structural digest: the XOR of one well-mixed 64-bit word per
+// cell (name, kind and current value all interned). XOR makes every
+// update O(1) — a write removes the old cell word and adds the new one —
+// and makes the digest independent of allocation interleaving, exactly
+// like the sorted textual Snapshot it replaces on the model checker's
+// hot path.
 type Memory struct {
 	mu   sync.Mutex
-	regs map[string]Value
-	objs map[string]*spec.Object
+	regs map[string]regCell
+	objs map[string]objCell
 
 	nextID int // allocation counter for fresh names (non-volatile)
+
+	structHash uint64 // XOR of per-cell digests, maintained on every mutation
+
+	// Sorted name slices are cached between Snapshot/RegisterNames calls
+	// and invalidated by allocation (values changing does not reorder
+	// names), so steady-state snapshots stop re-sorting and reallocating.
+	sortedRegs []string
+	sortedObjs []string
 }
 
 // NewMemory returns an empty non-volatile heap.
 func NewMemory() *Memory {
-	return &Memory{regs: map[string]Value{}, objs: map[string]*spec.Object{}}
+	return &Memory{regs: map[string]regCell{}, objs: map[string]objCell{}}
+}
+
+func (m *Memory) addRegisterLocked(name string, init Value) {
+	nameID := intern.ID(name)
+	cell := regCell{val: init, nameID: nameID, digest: regDigest(nameID, intern.ID(init))}
+	m.regs[name] = cell
+	m.structHash ^= cell.digest
+	m.sortedRegs = nil
+}
+
+func (m *Memory) addObjectLocked(name string, t spec.Type, q0 spec.State) {
+	nameID := intern.ID(name)
+	typeID := intern.ID(t.Name())
+	m.objs[name] = objCell{o: spec.NewObject(t, q0), nameID: nameID, typeID: typeID}
+	m.structHash ^= objDigest(nameID, typeID, intern.ID(string(q0)))
+	m.sortedObjs = nil
 }
 
 // AddRegister creates register name with the given initial value. It
@@ -69,7 +136,7 @@ func (m *Memory) AddRegister(name string, init Value) {
 	if _, dup := m.regs[name]; dup {
 		panic(fmt.Sprintf("sim: register %q already exists", name))
 	}
-	m.regs[name] = init
+	m.addRegisterLocked(name, init)
 }
 
 // AddObject creates an object cell of type t initialized to q0.
@@ -79,7 +146,7 @@ func (m *Memory) AddObject(name string, t spec.Type, q0 spec.State) {
 	if _, dup := m.objs[name]; dup {
 		panic(fmt.Sprintf("sim: object %q already exists", name))
 	}
-	m.objs[name] = spec.NewObject(t, q0)
+	m.addObjectLocked(name, t, q0)
 }
 
 // FreshName mints a unique cell name with the given prefix. The counter
@@ -98,7 +165,7 @@ func (m *Memory) EnsureRegister(name string, init Value) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.regs[name]; !ok {
-		m.regs[name] = init
+		m.addRegisterLocked(name, init)
 	}
 }
 
@@ -108,7 +175,7 @@ func (m *Memory) EnsureObject(name string, t spec.Type, q0 spec.State) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.objs[name]; !ok {
-		m.objs[name] = spec.NewObject(t, q0)
+		m.addObjectLocked(name, t, q0)
 	}
 }
 
@@ -132,11 +199,11 @@ func (m *Memory) HasObject(name string) bool {
 func (m *Memory) Object(name string) *spec.Object {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	o, ok := m.objs[name]
+	cell, ok := m.objs[name]
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown object %q", name))
 	}
-	return o
+	return cell.o
 }
 
 // PeekRegister returns the named register's value for post-execution
@@ -144,95 +211,153 @@ func (m *Memory) Object(name string) *spec.Object {
 func (m *Memory) PeekRegister(name string) Value {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	v, ok := m.regs[name]
+	cell, ok := m.regs[name]
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown register %q", name))
 	}
-	return v
+	return cell.val
+}
+
+// Digest returns the incrementally maintained structural digest of the
+// heap: a 64-bit hash covering every register's value, every object's
+// type and current state, and the fresh-name counter — the same
+// configuration identity Snapshot renders textually, at O(1) instead of
+// O(cells · log cells) per call. Two memories whose executions diverged
+// anywhere collide only with hash probability; the model checker pairs
+// it with per-process history digests, so a collision additionally
+// requires identical histories (see mc's fingerprint and its parity
+// fuzz target).
+func (m *Memory) Digest() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return intern.MixPair(m.structHash, uint64(m.nextID))
 }
 
 // Snapshot returns a canonical textual dump of the entire non-volatile
 // heap: every register's value, every object's type and current state,
 // and the fresh-name counter, in sorted order. Two memories with equal
-// snapshots are indistinguishable to any future execution, which is what
-// lets the model checker use snapshots as configuration fingerprints for
-// state-space pruning.
+// snapshots are indistinguishable to any future execution. It remains
+// the legacy (pre-incremental) configuration fingerprint for the model
+// checker's parity tests, and the human-readable heap dump for
+// diagnostics.
 func (m *Memory) Snapshot() string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var b strings.Builder
-	for _, name := range m.registerNamesLocked() {
-		fmt.Fprintf(&b, "r %q=%q\n", name, m.regs[name])
+	// Rendered by hand into one buffer (strconv.AppendQuote matches
+	// fmt's %q byte for byte): the whole dump costs two allocations
+	// instead of several per cell.
+	buf := make([]byte, 0, 32+48*(len(m.regs)+len(m.objs)))
+	for _, name := range m.sortedRegNamesLocked() {
+		buf = append(buf, "r "...)
+		buf = strconv.AppendQuote(buf, name)
+		buf = append(buf, '=')
+		buf = strconv.AppendQuote(buf, m.regs[name].val)
+		buf = append(buf, '\n')
 	}
-	objNames := make([]string, 0, len(m.objs))
-	for name := range m.objs {
-		objNames = append(objNames, name)
+	for _, name := range m.sortedObjNamesLocked() {
+		cell := m.objs[name]
+		buf = append(buf, "o "...)
+		buf = strconv.AppendQuote(buf, name)
+		buf = append(buf, ':')
+		buf = append(buf, cell.o.Type().Name()...)
+		buf = append(buf, '=')
+		buf = strconv.AppendQuote(buf, string(cell.o.Read()))
+		buf = append(buf, '\n')
 	}
-	sort.Strings(objNames)
-	for _, name := range objNames {
-		o := m.objs[name]
-		fmt.Fprintf(&b, "o %q:%s=%q\n", name, o.Type().Name(), o.Read())
-	}
-	fmt.Fprintf(&b, "next=%d\n", m.nextID)
-	return b.String()
+	buf = append(buf, "next="...)
+	buf = strconv.AppendInt(buf, int64(m.nextID), 10)
+	buf = append(buf, '\n')
+	return string(buf)
 }
 
 // RegisterNames returns all register names, sorted (for deterministic
-// diagnostics).
+// diagnostics). The returned slice is the caller's to keep.
 func (m *Memory) RegisterNames() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.registerNamesLocked()
+	return append([]string(nil), m.sortedRegNamesLocked()...)
 }
 
-func (m *Memory) registerNamesLocked() []string {
-	out := make([]string, 0, len(m.regs))
-	for name := range m.regs {
-		out = append(out, name)
+// sortedRegNamesLocked returns the cached sorted register-name slice,
+// rebuilding it only after an allocation invalidated it. Callers must
+// not retain or mutate the result past the lock.
+func (m *Memory) sortedRegNamesLocked() []string {
+	if m.sortedRegs == nil {
+		m.sortedRegs = make([]string, 0, len(m.regs))
+		for name := range m.regs {
+			m.sortedRegs = append(m.sortedRegs, name)
+		}
+		sort.Strings(m.sortedRegs)
 	}
-	sort.Strings(out)
-	return out
+	return m.sortedRegs
+}
+
+func (m *Memory) sortedObjNamesLocked() []string {
+	if m.sortedObjs == nil {
+		m.sortedObjs = make([]string, 0, len(m.objs))
+		for name := range m.objs {
+			m.sortedObjs = append(m.sortedObjs, name)
+		}
+		sort.Strings(m.sortedObjs)
+	}
+	return m.sortedObjs
 }
 
 func (m *Memory) read(name string) Value {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	v, ok := m.regs[name]
+	cell, ok := m.regs[name]
 	if !ok {
 		panic(fmt.Sprintf("sim: read of unknown register %q", name))
 	}
-	return v
+	return cell.val
 }
 
 func (m *Memory) write(name string, v Value) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.regs[name]; !ok {
+	cell, ok := m.regs[name]
+	if !ok {
 		panic(fmt.Sprintf("sim: write to unknown register %q", name))
 	}
-	m.regs[name] = v
+	m.structHash ^= cell.digest
+	cell.val = v
+	cell.digest = regDigest(cell.nameID, intern.ID(v))
+	m.structHash ^= cell.digest
+	m.regs[name] = cell
 }
 
 func (m *Memory) apply(name string, op spec.Op) spec.Response {
 	m.mu.Lock()
-	o, ok := m.objs[name]
+	cell, ok := m.objs[name]
 	m.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("sim: apply to unknown object %q", name))
 	}
-	r, err := o.Apply(op)
+	prev, next, r, err := cell.o.ApplyStates(op)
 	if err != nil {
 		panic(fmt.Sprintf("sim: apply %s to %q: %v", op, name, err))
+	}
+	if prev != next {
+		// Fold the delta of THIS transition (prev/next come from the same
+		// atomic ApplyStates). XOR deltas commute, so even applies racing
+		// from outside the simulator's serialization chain correctly:
+		// D(S0)^D(S1) ^ D(S1)^D(S2) nets to D(S0)^D(S2) in any order.
+		delta := objDigest(cell.nameID, cell.typeID, intern.ID(string(prev))) ^
+			objDigest(cell.nameID, cell.typeID, intern.ID(string(next)))
+		m.mu.Lock()
+		m.structHash ^= delta
+		m.mu.Unlock()
 	}
 	return r
 }
 
 func (m *Memory) readObj(name string) spec.State {
 	m.mu.Lock()
-	o, ok := m.objs[name]
+	cell, ok := m.objs[name]
 	m.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("sim: read of unknown object %q", name))
 	}
-	return o.Read()
+	return cell.o.Read()
 }

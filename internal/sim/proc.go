@@ -114,7 +114,7 @@ func (p *Proc) commit() (st attemptStatus) {
 func (p *Proc) Read(reg string) Value {
 	p.step()
 	v := p.runner.mem.read(reg)
-	p.runner.traceEvent(TraceEvent{Kind: TraceRead, Proc: p.id, Cell: reg, Detail: v})
+	p.runner.note(TraceRead, p.id, reg, v, "")
 	return v
 }
 
@@ -122,7 +122,7 @@ func (p *Proc) Read(reg string) Value {
 func (p *Proc) Write(reg string, v Value) {
 	p.step()
 	p.runner.mem.write(reg, v)
-	p.runner.traceEvent(TraceEvent{Kind: TraceWrite, Proc: p.id, Cell: reg, Detail: v})
+	p.runner.note(TraceWrite, p.id, reg, v, "")
 }
 
 // Apply atomically applies an update operation to a shared object (one
@@ -130,10 +130,7 @@ func (p *Proc) Write(reg string, v Value) {
 func (p *Proc) Apply(obj string, op spec.Op) spec.Response {
 	p.step()
 	resp := p.runner.mem.apply(obj, op)
-	p.runner.traceEvent(TraceEvent{
-		Kind: TraceApply, Proc: p.id, Cell: obj,
-		Detail: string(op) + "->" + string(resp),
-	})
+	p.runner.note(TraceApply, p.id, obj, string(op), string(resp))
 	return resp
 }
 
@@ -143,7 +140,7 @@ func (p *Proc) Apply(obj string, op spec.Op) spec.Response {
 func (p *Proc) ReadObject(obj string) spec.State {
 	p.step()
 	s := p.runner.mem.readObj(obj)
-	p.runner.traceEvent(TraceEvent{Kind: TraceReadObj, Proc: p.id, Cell: obj, Detail: string(s)})
+	p.runner.note(TraceReadObj, p.id, obj, string(s), "")
 	return s
 }
 

@@ -167,6 +167,18 @@ type Outcome struct {
 	// event-for-event, which is what makes model-checker counterexamples
 	// replayable.
 	Schedule []Action
+	// EventHashes and ClockHashes are per-process rolling digests of each
+	// process's events since its last crash, maintained incrementally
+	// during the run (nil unless enabled via Runner.RecordDigests).
+	// EventHashes fold what the process observed (event kind, cell,
+	// values); ClockHashes additionally fold each event's global position
+	// in the execution, for bodies whose local state depends on
+	// Proc.Now. Together with Memory.Digest they give the model checker
+	// an O(1) configuration fingerprint in place of re-hashing the trace.
+	// Digests are process-local session identities (interned ids) — never
+	// persist them.
+	EventHashes []uint64
+	ClockHashes []uint64
 }
 
 // procState tracks the scheduler's view of one process.
@@ -189,6 +201,10 @@ type Runner struct {
 	recordTrace    bool
 	schedule       []Action
 	recordSchedule bool
+	recordDigest   bool
+	evHash         []uint64 // rolling per-proc event digests (since last crash)
+	ckHash         []uint64 // position-mixed variant for clock-sensitive bodies
+	eventPos       int      // global event counter, aligned with trace indices
 
 	stepCount   int
 	crashBudget int
@@ -247,6 +263,18 @@ func (r *Runner) RecordTrace() { r.recordTrace = true }
 // Outcome.Schedule (off by default, for the same reason as RecordTrace).
 func (r *Runner) RecordSchedule() { r.recordSchedule = true }
 
+// RecordDigests enables incremental per-process event digests
+// (Outcome.EventHashes / ClockHashes). Unlike RecordTrace it allocates
+// nothing per event — each event folds into two uint64s — so the model
+// checker keeps it on for every explored prefix. Call before Run.
+func (r *Runner) RecordDigests() {
+	r.recordDigest = true
+	if r.evHash == nil {
+		r.evHash = make([]uint64, len(r.procs))
+		r.ckHash = make([]uint64, len(r.procs))
+	}
+}
+
 // Run executes until every process decides, the script and budgets are
 // exhausted, or an invariant fails.
 func (r *Runner) Run() (*Outcome, error) {
@@ -279,6 +307,10 @@ func (r *Runner) Run() (*Outcome, error) {
 		out.Steps = r.stepCount
 		out.Trace = r.trace
 		out.Schedule = r.schedule
+		if r.recordDigest {
+			out.EventHashes = r.evHash
+			out.ClockHashes = r.ckHash
+		}
 		if err == nil {
 			err = r.failure
 		}
@@ -299,7 +331,7 @@ func (r *Runner) Run() (*Outcome, error) {
 				out.Decided[ev.proc] = true
 				out.Decisions[ev.proc] = ev.out
 				live--
-				r.traceEvent(TraceEvent{Kind: TraceDecide, Proc: ev.proc, Detail: ev.out})
+				r.note(TraceDecide, ev.proc, "", ev.out, "")
 			}
 		}
 		if r.failure != nil {
@@ -427,7 +459,7 @@ func (r *Runner) grant(id int, crash bool) {
 	ps.parked = false
 	if crash {
 		ps.proc.crashes++
-		r.traceEvent(TraceEvent{Kind: TraceCrash, Proc: id})
+		r.note(TraceCrash, id, "", "", "")
 	}
 	ps.proc.grant <- grantMsg{crash: crash}
 }

@@ -2,7 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+
+	"rcons/internal/intern"
 )
 
 // TraceKind discriminates execution trace events.
@@ -108,8 +111,72 @@ func FormatTrace(events []TraceEvent) string {
 	return b.String()
 }
 
-func (r *Runner) traceEvent(e TraceEvent) {
+// ParseScript parses the compact schedule notation produced by
+// FormatScript ("s0 s1 c0 C*") back into actions. It accepts the
+// "(empty)" placeholder and arbitrary whitespace between actions, so
+// recorded counterexamples round-trip through their textual golden form.
+func ParseScript(s string) ([]Action, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "(empty)" {
+		return nil, nil
+	}
+	var out []Action
+	for _, tok := range strings.Fields(s) {
+		switch {
+		case tok == "C*":
+			out = append(out, CrashAll())
+		case len(tok) >= 2 && (tok[0] == 's' || tok[0] == 'c'):
+			p, err := strconv.Atoi(tok[1:])
+			if err != nil || p < 0 {
+				return nil, fmt.Errorf("sim: bad script token %q", tok)
+			}
+			if tok[0] == 's' {
+				out = append(out, Step(p))
+			} else {
+				out = append(out, Crash(p))
+			}
+		default:
+			return nil, fmt.Errorf("sim: bad script token %q", tok)
+		}
+	}
+	return out, nil
+}
+
+// note records one execution event: into the trace when trace recording
+// is enabled, and into the per-process rolling digests when digest
+// recording is enabled. d1 carries the event detail; d2 is the response
+// part of an apply (trace renders it as "op->resp"). Keeping the two
+// consumers behind one entry point guarantees the digest's global event
+// positions always match trace indices — the property the model
+// checker's clock-sensitive fingerprints and their parity tests rely on.
+func (r *Runner) note(kind TraceKind, proc int, cell, d1, d2 string) {
 	if r.recordTrace {
-		r.trace = append(r.trace, e)
+		detail := d1
+		if kind == TraceApply {
+			detail = d1 + "->" + d2
+		}
+		r.trace = append(r.trace, TraceEvent{Kind: kind, Proc: proc, Cell: cell, Detail: detail})
+	}
+	if !r.recordDigest {
+		return
+	}
+	pos := r.eventPos
+	r.eventPos++
+	switch kind {
+	case TraceCrash:
+		// The history "since the last crash" restarts empty, exactly as
+		// the legacy fingerprint clears its per-process event list.
+		r.evHash[proc] = 0
+		r.ckHash[proc] = 0
+	case TraceDecide:
+		// Decisions enter fingerprints through Outcome.Decisions; the
+		// event still occupies a global position (it is in the trace).
+	default:
+		d := intern.MixPair(intern.MixPair(uint64(kind), uint64(intern.ID(cell))), uint64(intern.ID(d1)))
+		if kind == TraceApply {
+			d = intern.MixPair(d, uint64(intern.ID(d2)))
+		}
+		r.evHash[proc] = intern.MixPair(r.evHash[proc], d)
+		r.ckHash[proc] = intern.MixPair(r.ckHash[proc], intern.MixPair(d, uint64(pos)))
 	}
 }

@@ -28,16 +28,27 @@ func (o *Object) Type() Type { return o.typ }
 
 // Apply atomically applies an update operation and returns its response.
 func (o *Object) Apply(op Op) (Response, error) {
+	_, _, r, err := o.ApplyStates(op)
+	return r, err
+}
+
+// ApplyStates atomically applies an update operation and returns the
+// state transition it performed alongside the response. Incremental
+// digest maintenance (sim.Memory) needs the before/after pair from the
+// same atomic step; a Read/Apply/Read sequence would admit interleavings
+// when the object is used concurrently outside the simulator.
+func (o *Object) ApplyStates(op Op) (prev, next State, r Response, err error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 
 	ns, r, err := o.typ.Apply(o.state, op)
 	if err != nil {
-		return "", fmt.Errorf("object %s: %w", o.typ.Name(), err)
+		return "", "", "", fmt.Errorf("object %s: %w", o.typ.Name(), err)
 	}
+	prev, next = o.state, ns
 	o.state = ns
 	o.ops++
-	return r, nil
+	return prev, next, r, nil
 }
 
 // Read atomically returns the object's entire current state without

@@ -1,0 +1,158 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rcons/internal/spec"
+)
+
+// These tests fill the error-path and edge-case gaps in weak.go and
+// peekqueue.go: bad operations, bad states, boundary values and the
+// empty-queue peeks the normal witness searches never hit.
+
+func TestCounterEdgeCases(t *testing.T) {
+	c := NewCounter(3)
+	if got := c.Name(); got != "counter(mod=3)" {
+		t.Errorf("Name() = %q", got)
+	}
+	if _, _, err := c.Apply("0", "dec"); !errors.Is(err, spec.ErrBadOp) {
+		t.Errorf("unknown op: err = %v, want ErrBadOp", err)
+	}
+	for _, bad := range []spec.State{"", "x", "-1", "3", "99"} {
+		if _, _, err := c.Apply(bad, "inc"); !errors.Is(err, spec.ErrBadState) {
+			t.Errorf("state %q: err = %v, want ErrBadState", bad, err)
+		}
+	}
+	// Wrap-around at the modulus.
+	s, r, err := c.Apply("2", "inc")
+	if err != nil || s != "0" || r != spec.Ack {
+		t.Errorf("inc from 2 mod 3 = (%q, %q, %v), want (0, ack)", s, r, err)
+	}
+}
+
+func TestMaxRegisterEdgeCases(t *testing.T) {
+	m := NewMaxRegister()
+	if got := m.Name(); got != "max-register" {
+		t.Errorf("Name() = %q", got)
+	}
+	if _, _, err := m.Apply("0", "write(1)"); !errors.Is(err, spec.ErrBadOp) {
+		t.Errorf("unknown op name: err = %v, want ErrBadOp", err)
+	}
+	if _, _, err := m.Apply("0", "writeMax(1,2)"); !errors.Is(err, spec.ErrBadOp) {
+		t.Errorf("wrong arity: err = %v, want ErrBadOp", err)
+	}
+	if _, _, err := m.Apply("0", "writeMax(x)"); !errors.Is(err, spec.ErrBadOp) {
+		t.Errorf("non-numeric value: err = %v, want ErrBadOp", err)
+	}
+	if _, _, err := m.Apply("zz", "writeMax(1)"); !errors.Is(err, spec.ErrBadState) {
+		t.Errorf("bad state: err = %v, want ErrBadState", err)
+	}
+	// Equal value must NOT grow the register (strictly-greater semantics).
+	s, r, err := m.Apply("2", "writeMax(2)")
+	if err != nil || s != "2" || r != spec.Ack {
+		t.Errorf("writeMax(2) on 2 = (%q, %q, %v), want no-op ack", s, r, err)
+	}
+	if s, _, _ := m.Apply("2", "writeMax(1)"); s != "2" {
+		t.Errorf("writeMax(1) on 2 shrank the register to %q", s)
+	}
+	if s, _, _ := m.Apply("2", "writeMax(3)"); s != "3" {
+		t.Errorf("writeMax(3) on 2 = %q, want 3", s)
+	}
+}
+
+func TestReadOnlyName(t *testing.T) {
+	if got := (ReadOnly{}).Name(); got != "read-only" {
+		t.Errorf("Name() = %q", got)
+	}
+	if _, _, err := (ReadOnly{}).Apply("0", ""); !errors.Is(err, spec.ErrBadOp) {
+		t.Errorf("empty op: err = %v, want ErrBadOp", err)
+	}
+}
+
+func TestPeekQueueEdgeCases(t *testing.T) {
+	q := NewPeekQueue(2)
+	if got := q.Name(); got != "peek-queue(cap=2)" {
+		t.Errorf("Name() = %q", got)
+	}
+	if got := len(q.Ops()); got != 2+len(q.Values) {
+		t.Errorf("Ops() has %d entries, want deq+peek+%d enqueues", got, len(q.Values))
+	}
+
+	// Empty-queue observations: peek and deq both report empty and leave
+	// the state untouched.
+	for _, op := range []spec.Op{"peek", "deq"} {
+		s, r, err := q.Apply("", op)
+		if err != nil || s != "" || r != RespEmpty {
+			t.Errorf("%s on empty = (%q, %q, %v), want (empty state, empty resp)", op, s, r, err)
+		}
+	}
+
+	// Full-queue enqueue: rejected with RespFull, state untouched.
+	full := "0,1"
+	s, r, err := q.Apply(spec.State(full), "enq(1)")
+	if err != nil || string(s) != full || r != RespFull {
+		t.Errorf("enq on full = (%q, %q, %v), want (%q, full)", s, r, err, full)
+	}
+
+	// Malformed operations.
+	for _, bad := range []spec.Op{"pop", "enq", "enq(a,b)", "deq(1)", "peek(1)", "("} {
+		if _, _, err := q.Apply("", bad); err == nil {
+			t.Errorf("op %q accepted on peek-queue", bad)
+		}
+	}
+
+	// Peek is a pure partial read from EVERY reachable small state: the
+	// footnote-3 property Figure 2 relies on.
+	for _, st := range []spec.State{"", "0", "1,0", "0,1"} {
+		s2, _, err := q.Apply(st, "peek")
+		if err != nil || s2 != st {
+			t.Errorf("peek mutated %q -> %q (%v)", st, s2, err)
+		}
+	}
+}
+
+// TestPeekQueueFrontStability pins the consensus-number-∞ mechanism: the
+// first enqueued value stays at the front through any later enqueues and
+// peeks, until dequeued — so the winner stays discoverable forever.
+func TestPeekQueueFrontStability(t *testing.T) {
+	q := NewPeekQueue(4)
+	s := spec.State("")
+	s, r, err := q.Apply(s, "enq(1)")
+	if err != nil || r != spec.Ack {
+		t.Fatalf("first enq: (%q, %v)", r, err)
+	}
+	for i := 0; i < 3; i++ {
+		s, _, err = q.Apply(s, spec.Op(fmt.Sprintf("enq(%d)", i%2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, front, _ := q.Apply(s, "peek"); front != "1" {
+			t.Fatalf("front changed to %q after %d later enqueues", front, i+1)
+		}
+	}
+	if _, got, _ := q.Apply(s, "deq"); got != "1" {
+		t.Fatalf("deq returned %q, want the first-enqueued 1", got)
+	}
+}
+
+// TestPeekQueueOpsForDistinctAlphabet checks the witness-search
+// alphabet: n distinct enqueue values plus the two observations, with no
+// duplicates (duplicate ops would blow up witness enumeration for free).
+func TestPeekQueueOpsForDistinctAlphabet(t *testing.T) {
+	q := NewPeekQueue(3)
+	for _, n := range []int{2, 3, 5} {
+		ops := q.OpsFor(n)
+		if len(ops) != n+2 {
+			t.Fatalf("OpsFor(%d) has %d ops, want %d", n, len(ops), n+2)
+		}
+		seen := map[spec.Op]bool{}
+		for _, op := range ops {
+			if seen[op] {
+				t.Fatalf("OpsFor(%d) repeats %q", n, op)
+			}
+			seen[op] = true
+		}
+	}
+}
