@@ -10,6 +10,11 @@
 //	                                     model-check an RC protocol; violations
 //	                                     come back as replayable schedules
 //	GET  /v1/mc/targets                  list the model-checkable protocols
+//	GET  /v1/atlas?states=2&ops=2&random=500&limit=3
+//	                                     census summary over a small generated
+//	                                     type universe (memoized; deterministic)
+//	GET  /v1/atlas/type?seed=42&states=3&ops=2&resps=2
+//	                                     generate + classify one seeded type
 //	GET  /healthz                        liveness + cache statistics
 //
 // One engine (and therefore one memoization cache) is shared by all
@@ -126,6 +131,14 @@ type server struct {
 	// classification it rides along with.
 	canonMu sync.Mutex
 	canon   map[string]string
+
+	// atlasMu/atlasCache memoize encoded census summaries by request
+	// parameters; census artifacts are deterministic functions of those
+	// parameters, so cached summaries are always exact. atlasInflight
+	// dedups concurrent cold computations of the same key.
+	atlasMu       sync.Mutex
+	atlasCache    map[string][]byte
+	atlasInflight map[string]chan struct{}
 }
 
 // canonCacheCap bounds the canonical-fingerprint memo (entries are two
@@ -134,10 +147,12 @@ const canonCacheCap = 4096
 
 func newServer(cfg config) *server {
 	return &server{
-		cfg:      cfg,
-		eng:      engine.New(engine.Options{Workers: cfg.workers, CacheSize: cfg.cacheSize}),
-		inflight: make(chan struct{}, cfg.maxInflight),
-		canon:    map[string]string{},
+		cfg:           cfg,
+		eng:           engine.New(engine.Options{Workers: cfg.workers, CacheSize: cfg.cacheSize}),
+		inflight:      make(chan struct{}, cfg.maxInflight),
+		canon:         map[string]string{},
+		atlasCache:    map[string][]byte{},
+		atlasInflight: map[string]chan struct{}{},
 	}
 }
 
@@ -175,6 +190,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/zoo", s.limited(s.handleZoo))
 	mux.HandleFunc("/v1/mc", s.limited(s.handleModelCheck))
 	mux.HandleFunc("/v1/mc/targets", s.handleModelCheckTargets)
+	mux.HandleFunc("/v1/atlas", s.limited(s.handleAtlas))
+	mux.HandleFunc("/v1/atlas/type", s.limited(s.handleAtlasType))
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }

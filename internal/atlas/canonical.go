@@ -1,0 +1,175 @@
+package atlas
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Caps on the canonical-form search: the minimization iterates all
+// states! × ops! relabelings, so both factorials must stay small. The
+// generator's own tables (≤ 5 states, ≤ 4 ops) are comfortably inside.
+const (
+	CanonMaxStates = 6
+	CanonMaxOps    = 5
+)
+
+// Canonical returns the canonical representative of t's relabeling
+// class — the relabeling of t whose byte encoding is lexicographically
+// minimal over every state permutation × operation permutation, with
+// responses renamed by first occurrence (so the response alphabet also
+// shrinks to the responses actually used). Two tables have the same
+// canonical representative exactly when one is a consistent renaming of
+// the other's states, operations and responses.
+//
+// The representative carries no label (Name reports the dimensions), so
+// canonicalization is a pure function of the transition structure and
+// idempotent: t.Canonical().Canonical() == t.Canonical().
+//
+// ok is false when t exceeds the permutation caps.
+func (t *Table) Canonical() (*Table, bool) {
+	c, _, ok := t.CanonicalWithKey()
+	return c, ok
+}
+
+// CanonicalKey returns the hex encoding of t's canonical byte form — a
+// compact, relabeling-invariant identity used for dedup by Enumerate and
+// by the census. ok is false when t exceeds the permutation caps.
+func (t *Table) CanonicalKey() (string, bool) {
+	enc, ok := t.canonicalBytes()
+	if !ok {
+		return "", false
+	}
+	return hex.EncodeToString(enc), true
+}
+
+// CanonicalWithKey returns the canonical representative and its key
+// from a single minimization pass — the states!×ops! scan dominates
+// canonicalization, so hot paths that need both (Enumerate, the census)
+// should call this rather than Canonical + CanonicalKey.
+func (t *Table) CanonicalWithKey() (*Table, string, bool) {
+	enc, ok := t.canonicalBytes()
+	if !ok {
+		return nil, "", false
+	}
+	c, err := decodeCanonical(enc)
+	if err != nil {
+		// Unreachable: canonicalBytes emits well-formed encodings.
+		panic(fmt.Sprintf("atlas: canonical decode: %v", err))
+	}
+	return c, hex.EncodeToString(enc), true
+}
+
+// canonicalBytes computes the minimal encoding over all relabelings.
+func (t *Table) canonicalBytes() ([]byte, bool) {
+	if t.states > CanonMaxStates || t.ops > CanonMaxOps {
+		return nil, false
+	}
+	var best []byte
+	buf := make([]byte, 3+2*t.states*t.ops)
+	ren := make([]int, t.resps)
+	for _, ps := range permutations(t.states) {
+		for _, po := range permutations(t.ops) {
+			t.encodePerm(ps, po, buf, ren)
+			if best == nil || lessBytes(buf, best) {
+				best = append(best[:0], buf...)
+			}
+		}
+	}
+	return best, true
+}
+
+// encodePerm writes the encoding of t relabeled by ps (old state → new
+// state) and po (old op → new op) into buf: [S, O, R', next…, resp…],
+// with responses renamed by first occurrence in the relabeled row-major
+// order. buf must have length 3+2*S*O; ren must have length t.resps.
+func (t *Table) encodePerm(ps, po []int, buf []byte, ren []int) {
+	S, O := t.states, t.ops
+	next := buf[3 : 3+S*O]
+	resp := buf[3+S*O:]
+	for s := 0; s < S; s++ {
+		for o := 0; o < O; o++ {
+			i := s*O + o
+			j := ps[s]*O + po[o]
+			next[j] = byte(ps[t.next[i]])
+			resp[j] = t.resp[i]
+		}
+	}
+	for r := range ren {
+		ren[r] = -1
+	}
+	used := 0
+	for i := range resp {
+		if ren[resp[i]] < 0 {
+			ren[resp[i]] = used
+			used++
+		}
+		resp[i] = byte(ren[resp[i]])
+	}
+	buf[0], buf[1], buf[2] = byte(S), byte(O), byte(used)
+}
+
+// decodeCanonical rebuilds a Table from a canonical encoding.
+func decodeCanonical(enc []byte) (*Table, error) {
+	if len(enc) < 3 {
+		return nil, fmt.Errorf("atlas: canonical encoding too short (%d bytes)", len(enc))
+	}
+	S, O, R := int(enc[0]), int(enc[1]), int(enc[2])
+	if len(enc) != 3+2*S*O {
+		return nil, fmt.Errorf("atlas: canonical encoding length %d does not match dims %dx%d", len(enc), S, O)
+	}
+	return NewTable(S, O, R, enc[3:3+S*O], enc[3+S*O:])
+}
+
+// lessBytes reports a < b lexicographically (equal lengths by
+// construction: encodings within one minimization share dimensions).
+func lessBytes(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// permutations returns all permutations of 0..k-1 in lexicographic
+// order. k is capped by CanonMaxStates/CanonMaxOps; results are memoized
+// process-wide since the same small k values recur millions of times
+// during enumeration.
+func permutations(k int) [][]int {
+	if k <= CanonMaxStates {
+		permMu.Lock()
+		defer permMu.Unlock()
+		if permCache[k] == nil {
+			permCache[k] = buildPermutations(k)
+		}
+		return permCache[k]
+	}
+	return buildPermutations(k)
+}
+
+var (
+	permMu    sync.Mutex
+	permCache [CanonMaxStates + 1][][]int
+)
+
+func buildPermutations(k int) [][]int {
+	base := make([]int, k)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(prefix, rest []int)
+	rec = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for i := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			rec(append(append([]int(nil), prefix...), rest[i]), next)
+		}
+	}
+	rec(nil, base)
+	return out
+}

@@ -1,0 +1,37 @@
+package census
+
+import (
+	"context"
+	"testing"
+
+	"rcons/internal/atlas"
+)
+
+// TestCensusAcceptance pins the PR's headline scenario: the full
+// canonical enumeration at (≤3 states, ≤3 ops) plus 10k seeded random
+// types classifies cleanly (no timeouts), and at least one generated
+// type lands in an rcons band no zoo type occupies. ~6s, so skipped in
+// -short (CI runs the same scenario through cmd/rcatlas).
+func TestCensusAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second census; covered by the CI atlas smoke job")
+	}
+	a, err := Run(context.Background(), Options{
+		Bounds:        atlas.Bounds{States: 3, Ops: 3, Resps: 1},
+		Random:        10000,
+		MutantsPerZoo: 2,
+		Seed:          1,
+		Limit:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(true); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("types=%d (raw %d, dups %d), rcons bands %v, novel %v",
+		a.Types, a.Raw, a.Duplicates, a.RconsBands, a.NovelRconsBands)
+	if a.Types < 4000 {
+		t.Errorf("suspiciously small universe: %d types", a.Types)
+	}
+}

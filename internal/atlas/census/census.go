@@ -1,0 +1,344 @@
+package census
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"rcons/internal/atlas"
+	"rcons/internal/engine"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// Options configures a census run. The zero value is not runnable; use
+// at least one generation stage (Bounds, Random or MutantsPerZoo) and a
+// Limit ≥ 2.
+type Options struct {
+	// Bounds selects the exhaustive-enumeration stage; the zero value
+	// skips it.
+	Bounds atlas.Bounds
+	// Random is the number of seeded random tables to sample; they are
+	// drawn with dimensions uniform in 2..RandomBounds.States states,
+	// 1..RandomBounds.Ops ops and 1..RandomBounds.Resps responses.
+	Random       int
+	RandomBounds atlas.Bounds
+	// MutantsPerZoo applies this many mutation chains to every
+	// tabulatable zoo type.
+	MutantsPerZoo int
+	// Seed drives the random and mutation stages.
+	Seed int64
+	// Limit is the classification scan limit (n = 2..Limit).
+	Limit int
+	// Workers bounds concurrent classifications; ≤ 0 means the engine's
+	// worker count.
+	Workers int
+	// Timeout is the per-type classification deadline; 0 means 60s. A
+	// fired timeout records the type under Skipped instead of failing
+	// the census (and voids byte-reproducibility for that run).
+	Timeout time.Duration
+	// Engine is the classification engine to use; nil builds a fresh
+	// one with default options.
+	Engine *engine.Engine
+	// Prior, when set, resumes from an earlier artifact: rows recorded
+	// there at the same Limit are reused instead of re-classified.
+	Prior *Artifact
+}
+
+// DefaultRandomBounds is used when Options.RandomBounds is zero: up to 4
+// states, 3 ops, 3 responses — the same envelope as the checker's
+// brute-force differential tests.
+var DefaultRandomBounds = atlas.Bounds{States: 4, Ops: 3, Resps: 3}
+
+// item is one generated candidate awaiting classification.
+type item struct {
+	key    string
+	source string
+	dims   string
+	typ    spec.Type
+	table  json.RawMessage // Custom JSON for the gallery
+}
+
+// Run executes the census: generate (single-threaded, deterministic),
+// dedup by canonical fingerprint, classify with bounded concurrency and
+// per-type timeouts, then aggregate into an Artifact. See the package
+// comment for the determinism guarantees.
+func Run(ctx context.Context, o Options) (*Artifact, error) {
+	if o.Limit < 2 {
+		return nil, fmt.Errorf("census: limit must be ≥ 2, got %d", o.Limit)
+	}
+	zero := atlas.Bounds{}
+	if o.Bounds == zero && o.Random <= 0 && o.MutantsPerZoo <= 0 {
+		return nil, fmt.Errorf("census: nothing to generate (set Bounds, Random or MutantsPerZoo)")
+	}
+	if o.RandomBounds == zero {
+		o.RandomBounds = DefaultRandomBounds
+	}
+	if o.Random > 0 {
+		rb := o.RandomBounds
+		if rb.States < 2 || rb.Ops < 1 || rb.Resps < 1 {
+			return nil, fmt.Errorf("census: random bounds need ≥2 states, ≥1 op and ≥1 resp, got %+v", rb)
+		}
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	eng := o.Engine
+	if eng == nil {
+		eng = engine.New(engine.Options{})
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = eng.Workers()
+	}
+
+	art := &Artifact{Summary: Summary{
+		Version: Version,
+		Seed:    o.Seed,
+		Limit:   o.Limit,
+		Bounds:  o.Bounds, Random: o.Random, RandomBounds: o.RandomBounds,
+		MutantsPerZoo:   o.MutantsPerZoo,
+		RconsBands:      map[string]int{},
+		ConsBands:       map[string]int{},
+		Levels:          map[string]int{},
+		NovelRconsBands: []string{},
+		Skipped:         []string{},
+		Extremal:        Extremal{PerRconsBand: map[string]Entry{}, Gaps: []Entry{}},
+	}, Rows: map[string]Row{}}
+
+	items, raw, dups, err := generate(o)
+	if err != nil {
+		return nil, err
+	}
+	art.Raw = raw
+	art.Generated = len(items) + dups
+	art.Duplicates = dups
+
+	// Classify, reusing prior rows where possible.
+	var todo []item
+	for _, it := range items {
+		if o.Prior != nil && o.Prior.Limit == o.Limit {
+			if row, ok := o.Prior.Rows[it.key]; ok {
+				art.Rows[it.key] = row
+				continue
+			}
+		}
+		todo = append(todo, it)
+	}
+	var (
+		mu       sync.Mutex
+		skipped  []string
+		firstErr error
+		wg       sync.WaitGroup
+		ch       = make(chan item)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range ch {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop || ctx.Err() != nil {
+					continue
+				}
+				ictx, cancel := context.WithTimeout(ctx, o.Timeout)
+				c, err := eng.Classify(ictx, it.typ, o.Limit)
+				cancel()
+				mu.Lock()
+				switch {
+				case err == nil:
+					art.Rows[it.key] = rowFromClassification(c, it.source, it.dims)
+				case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+					skipped = append(skipped, it.key)
+				default:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("census: classify %s: %w", it.typ.Name(), err)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, it := range todo {
+		ch <- it
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(skipped)
+	art.Skipped = skipped
+	art.Types = len(art.Rows)
+
+	// Zoo comparison at the same limit.
+	zoo, err := eng.Scan(ctx, o.Limit)
+	if err != nil {
+		return nil, fmt.Errorf("census: zoo scan: %w", err)
+	}
+	zooBands := map[string]bool{}
+	for _, c := range zoo {
+		art.Zoo = append(art.Zoo, ZooEntry{
+			Name: c.TypeName, Readable: c.Readable,
+			Cons: c.ConsBand(), Rcons: c.RconsBand(),
+		})
+		zooBands[c.RconsBand()] = true
+	}
+
+	// Aggregates, all in deterministic (sorted-key) order.
+	tables := make(map[string]item, len(items))
+	for _, it := range items {
+		tables[it.key] = it
+	}
+	for _, key := range sortedKeys(art.Rows) {
+		r := art.Rows[key]
+		art.RconsBands[r.Rcons.Display]++
+		art.ConsBands[r.Cons.Display]++
+		art.Levels[r.levelKey()]++
+		if it, ok := tables[key]; ok {
+			entry := Entry{
+				Key: key, Name: r.Name, Source: r.Source,
+				Cons: r.Cons.Display, Rcons: r.Rcons.Display,
+				Table: it.table,
+			}
+			if _, have := art.Extremal.PerRconsBand[r.Rcons.Display]; !have {
+				art.Extremal.PerRconsBand[r.Rcons.Display] = entry
+			}
+			if r.Rcons.Hi != UnboundedHi && r.Cons.Lo > r.Rcons.Hi && len(art.Extremal.Gaps) < GapCap {
+				art.Extremal.Gaps = append(art.Extremal.Gaps, entry)
+			}
+		}
+	}
+	for band := range art.RconsBands {
+		if !zooBands[band] {
+			art.NovelRconsBands = append(art.NovelRconsBands, band)
+		}
+	}
+	sort.Strings(art.NovelRconsBands)
+	return art, nil
+}
+
+// generate produces the full candidate list deterministically:
+// enumeration first, then random sampling, then zoo mutants. Dedup is by
+// key — atlas canonical keys ("atlas:…" labels) for dense tables; for
+// mutants, whose restricted initial-state sets the relabeling quotient
+// cannot express, the exact engine fingerprint computed under a neutral
+// name plus a readability bit (prefixed "f:").
+func generate(o Options) (items []item, raw, dups int, err error) {
+	seen := map[string]bool{}
+	add := func(it item) {
+		if seen[it.key] {
+			dups++
+			return
+		}
+		seen[it.key] = true
+		items = append(items, it)
+	}
+	marshalTable := func(t spec.Type) (json.RawMessage, error) {
+		var c *types.Custom
+		switch v := t.(type) {
+		case *atlas.Table:
+			c = v.Custom()
+		case *types.Custom:
+			c = v
+		default:
+			return nil, fmt.Errorf("census: cannot marshal %T", t)
+		}
+		return json.Marshal(c)
+	}
+
+	zero := atlas.Bounds{}
+	if o.Bounds != zero {
+		var yieldErr error
+		r, _, eerr := atlas.Enumerate(o.Bounds, func(key string, t *atlas.Table) bool {
+			tj, merr := marshalTable(t)
+			if merr != nil {
+				yieldErr = merr
+				return false
+			}
+			add(item{key: key, source: "enum", dims: t.Dims(), typ: t, table: tj})
+			return true
+		})
+		if eerr != nil {
+			return nil, 0, 0, eerr
+		}
+		if yieldErr != nil {
+			return nil, 0, 0, yieldErr
+		}
+		raw = r
+	}
+
+	if o.Random > 0 {
+		rb := o.RandomBounds // validated by Run
+		rng := rand.New(rand.NewSource(o.Seed))
+		for i := 0; i < o.Random; i++ {
+			states := 2 + rng.Intn(rb.States-1)
+			ops := 1 + rng.Intn(rb.Ops)
+			resps := 1 + rng.Intn(rb.Resps)
+			t := atlas.Random(rng, states, ops, resps)
+			canon, key, ok := t.CanonicalWithKey()
+			if !ok {
+				return nil, 0, 0, fmt.Errorf("census: random table %s not canonicalizable", t.Dims())
+			}
+			canon = canon.WithLabel("atlas:" + key)
+			tj, merr := marshalTable(canon)
+			if merr != nil {
+				return nil, 0, 0, merr
+			}
+			add(item{key: key, source: "random", dims: canon.Dims(), typ: canon, table: tj})
+		}
+	}
+
+	if o.MutantsPerZoo > 0 {
+		rng := rand.New(rand.NewSource(o.Seed + 1))
+		for _, zt := range types.Zoo() {
+			base, terr := atlas.Tabulate(zt, 3, 2048)
+			if terr != nil {
+				continue // deterministic: the same types always skip
+			}
+			for m := 0; m < o.MutantsPerZoo; m++ {
+				mut := atlas.Mutate(rng, base, 1+rng.Intn(3))
+				key, ok := mutantKey(mut, o.Limit)
+				if !ok {
+					continue
+				}
+				mut.TypeName = fmt.Sprintf("%s~m%d", zt.Name(), m)
+				tj, merr := marshalTable(mut)
+				if merr != nil {
+					return nil, 0, 0, merr
+				}
+				add(item{key: key, source: "mutant", typ: mut, table: tj})
+			}
+		}
+	}
+	return items, raw, dups, nil
+}
+
+// mutantKey derives the dedup key of a mutated transition table: the
+// exact engine fingerprint computed under a neutral name — so
+// structurally identical mutants collide despite their distinct display
+// names — plus a readability bit, which the transition-table
+// fingerprint does not cover but the classification depends on.
+func mutantKey(c *types.Custom, limit int) (string, bool) {
+	anon := *c
+	anon.TypeName = "mutant"
+	fp, ok := engine.Fingerprint(&anon, limit)
+	if !ok {
+		return "", false
+	}
+	key := "f:" + fp
+	if !c.IsReadable() {
+		key += ":nr"
+	}
+	return key, true
+}

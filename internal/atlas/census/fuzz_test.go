@@ -1,0 +1,107 @@
+package census
+
+import (
+	"testing"
+
+	"rcons/internal/atlas"
+	"rcons/internal/checker"
+	"rcons/internal/types"
+)
+
+// decodeFuzzTable interprets raw bytes as a dense generator spec:
+// byte 0 → states (1..4), byte 1 → ops (1..3), byte 2 → resps (1..3),
+// then 2 bytes per cell. The same bytes always decode to the same
+// table, so findings are reproducible.
+func decodeFuzzTable(data []byte) (*atlas.Table, bool) {
+	if len(data) < 3 {
+		return nil, false
+	}
+	states := int(data[0])%4 + 1
+	ops := int(data[1])%3 + 1
+	resps := int(data[2])%3 + 1
+	cells := states * ops
+	if len(data) < 3+2*cells {
+		return nil, false
+	}
+	next := make([]uint8, cells)
+	resp := make([]uint8, cells)
+	for i := 0; i < cells; i++ {
+		next[i] = data[3+2*i] % uint8(states)
+		resp[i] = data[4+2*i] % uint8(resps)
+	}
+	t, err := atlas.NewTable(states, ops, resps, next, resp)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// FuzzAtlasDecode feeds arbitrary bytes through both decode paths of
+// the atlas pipeline — Custom JSON import and the dense generator
+// spec — and checks the invariants the census relies on: valid inputs
+// validate, classify at n = 2 without panicking, and canonical dedup is
+// idempotent (the canonical form of a canonical form is itself).
+func FuzzAtlasDecode(f *testing.F) {
+	// JSON seeds: a valid two-state table, a non-readable variant, and
+	// near-miss malformed inputs.
+	f.Add([]byte(`{"name":"t","initial":["a"],"transitions":{"a":{"op":{"next":"b","resp":"x"}},"b":{"op":{"next":"b","resp":"y"}}}}`))
+	f.Add([]byte(`{"name":"t","readable":false,"transitions":{"a":{"op":{"next":"a","resp":"x"}}}}`))
+	f.Add([]byte(`{"name":"t","transitions":{"a":{"op":{"next":"MISSING","resp":"x"}}}}`))
+	f.Add([]byte(`{"name":"","transitions":{}}`))
+	// Dense generator-spec seeds.
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x00, 0x00, 0x01})
+	f.Add([]byte{0x03, 0x02, 0x02, 0x00, 0x01, 0x02, 0x00, 0x01, 0x01, 0x00, 0x00, 0x02, 0x01, 0x00, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var typ interface {
+			Name() string
+		}
+		var tbl *atlas.Table
+		if c, err := types.NewCustomFromJSON(data); err == nil {
+			// JSON path: Validate accepted the table; it must classify
+			// and densify without panicking (within small caps).
+			if len(c.Transitions) > 16 || len(c.Ops()) > 6 {
+				t.Skip()
+			}
+			if _, err := checker.Classify(c, 2, nil); err != nil {
+				t.Fatalf("validated Custom failed to classify: %v", err)
+			}
+			dense, err := atlas.FromType(c, 2, 64)
+			if err != nil {
+				t.Skip() // oversized response alphabet etc.
+			}
+			tbl = dense
+			typ = c
+		} else {
+			dense, ok := decodeFuzzTable(data)
+			if !ok {
+				t.Skip()
+			}
+			if _, err := checker.Classify(dense, 2, nil); err != nil {
+				t.Fatalf("generated table failed to classify: %v", err)
+			}
+			tbl = dense
+			typ = dense
+		}
+
+		key, ok := tbl.CanonicalKey()
+		if !ok {
+			t.Skip() // above the canonicalization caps
+		}
+		canon, ok := tbl.Canonical()
+		if !ok {
+			t.Fatalf("%s: CanonicalKey ok but Canonical failed", typ.Name())
+		}
+		again, ok := canon.CanonicalKey()
+		if !ok || again != key {
+			t.Fatalf("%s: canonical dedup not idempotent: %q vs %q", typ.Name(), key, again)
+		}
+		canon2, ok := canon.Canonical()
+		if !ok {
+			t.Fatalf("%s: canonical form not canonicalizable", typ.Name())
+		}
+		k2, _ := canon2.CanonicalKey()
+		if k2 != key {
+			t.Fatalf("%s: double canonicalization drifted: %q vs %q", typ.Name(), key, k2)
+		}
+	})
+}

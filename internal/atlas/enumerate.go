@@ -1,0 +1,200 @@
+package atlas
+
+import (
+	"fmt"
+)
+
+// Bounds delimits an enumeration block: every table with at most States
+// states, at most Ops operations and at most Resps distinct responses.
+type Bounds struct {
+	States int `json:"states"`
+	Ops    int `json:"ops"`
+	Resps  int `json:"resps"`
+}
+
+// Valid checks the bounds are usable by Enumerate (canonical dedup needs
+// the permutation caps).
+func (b Bounds) Valid() error {
+	if b.States < 1 || b.States > CanonMaxStates {
+		return fmt.Errorf("atlas: bounds states must be in 1..%d, got %d", CanonMaxStates, b.States)
+	}
+	if b.Ops < 1 || b.Ops > CanonMaxOps {
+		return fmt.Errorf("atlas: bounds ops must be in 1..%d, got %d", CanonMaxOps, b.Ops)
+	}
+	if b.Resps < 1 {
+		return fmt.Errorf("atlas: bounds resps must be ≥ 1, got %d", b.Resps)
+	}
+	return nil
+}
+
+// String renders the bounds, e.g. "≤3 states, ≤3 ops, ≤1 resps".
+func (b Bounds) String() string {
+	return fmt.Sprintf("≤%d states, ≤%d ops, ≤%d resps", b.States, b.Ops, b.Resps)
+}
+
+// RawCount returns the number of raw tables Enumerate visits before
+// canonical dedup: for each (s, o) block, s^(s·o) next assignments times
+// the number of response assignments in restricted-growth form with at
+// most Resps classes. It overflows to a saturated math guard at 2^62 so
+// callers can budget before enumerating.
+func (b Bounds) RawCount() int64 {
+	const sat = int64(1) << 62
+	total := int64(0)
+	for s := 1; s <= b.States; s++ {
+		for o := 1; o <= b.Ops; o++ {
+			cells := s * o
+			block := int64(1)
+			for i := 0; i < cells; i++ {
+				if block > sat/int64(s) {
+					return sat
+				}
+				block *= int64(s)
+			}
+			r := rgsCount(cells, b.Resps)
+			if r == 0 || block > sat/r {
+				return sat
+			}
+			block *= r
+			if total > sat-block {
+				return sat
+			}
+			total += block
+		}
+	}
+	return total
+}
+
+// rgsCount counts restricted-growth strings of length m with at most r
+// classes (= the number of partitions of m labeled cells into ≤ r
+// response classes).
+func rgsCount(m, r int) int64 {
+	// f[k] = number of partial strings using exactly k classes so far.
+	f := make([]int64, r+1)
+	f[0] = 1
+	for i := 0; i < m; i++ {
+		nf := make([]int64, r+1)
+		for k := 0; k <= r; k++ {
+			if f[k] == 0 {
+				continue
+			}
+			if k >= 1 {
+				nf[k] += f[k] * int64(k) // reuse one of the k classes
+			}
+			if k < r {
+				nf[k+1] += f[k] // open a new class
+			}
+		}
+		f = nf
+	}
+	var out int64
+	for k := 1; k <= r; k++ {
+		out += f[k]
+	}
+	if m == 0 {
+		out = 1
+	}
+	return out
+}
+
+// Enumerate visits every deterministic readable type within bounds
+// exactly once up to relabeling: it iterates all raw transition tables
+// (next assignments as a base-s odometer, response assignments as
+// restricted-growth strings so response relabelings are never generated
+// in the first place), canonicalizes each, and yields the canonical
+// representative — labeled "atlas:<key-prefix>" — the first time its
+// canonical key appears. Iteration order is deterministic.
+//
+// yield returns false to stop early. Enumerate reports the raw and
+// canonical (yielded) counts.
+func Enumerate(b Bounds, yield func(key string, t *Table) bool) (raw, kept int, err error) {
+	if err := b.Valid(); err != nil {
+		return 0, 0, err
+	}
+	seen := make(map[string]struct{})
+	stopped := false
+	for s := 1; s <= b.States && !stopped; s++ {
+		for o := 1; o <= b.Ops && !stopped; o++ {
+			cells := s * o
+			next := make([]uint8, cells)
+			resp := make([]uint8, cells)
+			for {
+				// All response assignments for this next vector, in
+				// restricted-growth order.
+				ok := rgsVisit(resp, b.Resps, func(used int) bool {
+					raw++
+					t, err2 := NewTable(s, o, used, next, resp)
+					if err2 != nil {
+						err = err2
+						return false
+					}
+					canon, key, _ := t.CanonicalWithKey() // dims within caps by Valid
+					if _, dup := seen[key]; dup {
+						return true
+					}
+					seen[key] = struct{}{}
+					kept++
+					return yield(key, canon.WithLabel(labelForKey(key)))
+				})
+				if err != nil {
+					return raw, kept, err
+				}
+				if !ok {
+					stopped = true
+					break
+				}
+				// Advance the next-state odometer.
+				i := 0
+				for ; i < cells; i++ {
+					next[i]++
+					if int(next[i]) < s {
+						break
+					}
+					next[i] = 0
+				}
+				if i == cells {
+					break
+				}
+			}
+		}
+	}
+	return raw, kept, nil
+}
+
+// labelForKey derives the deterministic display name of a generated
+// type from its canonical key. The full key is used: prefixes are not
+// unique (keys share their leading dimension/transition bytes).
+func labelForKey(key string) string {
+	return "atlas:" + key
+}
+
+// rgsVisit enumerates all restricted-growth strings over resp (in
+// place): resp[0] = 0 and resp[i] ≤ max(resp[:i])+1, capped at rmax
+// classes. visit receives the number of classes used and returns false
+// to stop; rgsVisit returns false if stopped early.
+func rgsVisit(resp []uint8, rmax int, visit func(used int) bool) bool {
+	var rec func(i, used int) bool
+	rec = func(i, used int) bool {
+		if i == len(resp) {
+			return visit(used)
+		}
+		hi := used
+		if hi >= rmax {
+			hi = rmax - 1
+		}
+		for v := 0; v <= hi; v++ {
+			resp[i] = uint8(v)
+			nu := used
+			if v == used {
+				nu++
+			}
+			if !rec(i+1, nu) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(resp) == 0 {
+		return visit(0)
+	}
+	return rec(0, 0)
+}

@@ -1,0 +1,211 @@
+// Package atlas generates the "type universe" the census pipeline
+// surveys: machine-made deterministic readable types, produced three
+// ways —
+//
+//   - exhaustive enumeration of all small transition tables up to
+//     (states, ops, resps) bounds, deduplicated by canonical form so
+//     each relabeling class is visited exactly once (Enumerate);
+//   - seeded random sampling of larger tables (Random), the same
+//     generator the checker's brute-force differential tests draw from;
+//   - mutation of the hand-written zoo types (Tabulate + Mutate): edge
+//     rewires, response merges and readability toggles applied to a
+//     type's explicit transition table.
+//
+// Everything is emitted as a spec.Type — either the package's dense
+// Table representation or a types.Custom transition table — so the
+// checker, the classification engine and the census (package
+// atlas/census) consume generated types exactly like hand-written ones.
+//
+// The package deliberately depends only on spec and types, so test
+// packages anywhere (including internal/checker's own tests) can import
+// it without import cycles.
+package atlas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// MaxStates bounds the state count of a Table (indices are stored as
+// bytes; the generator never needs more).
+const MaxStates = 255
+
+// Table is a dense, index-encoded finite deterministic readable type:
+// states 0..S-1, operations 0..O-1 and responses 0..R-1, with the
+// transition function stored as flat next/resp arrays indexed by
+// s*O + o. States render as "s0", "s1", …, operations as "o0", … and
+// responses as "r0", … .
+//
+// Every state is a candidate initial state (InitialStates returns all
+// of them), and a Table is always readable in the paper's sense; the
+// non-readable corner of the universe is covered by types.Custom values
+// produced by Tabulate/Mutate. A Table is immutable after construction
+// and safe for concurrent use.
+type Table struct {
+	states, ops, resps int
+	next, resp         []uint8
+	label              string
+
+	stateNames []spec.State
+	opNames    []spec.Op
+	respNames  []spec.Response
+	stateIdx   map[spec.State]int
+	opIdx      map[spec.Op]int
+}
+
+var _ spec.Type = (*Table)(nil)
+
+// NewTable builds a Table from its dimensions and flat transition
+// arrays (next[s*ops+o] is the successor state, resp[s*ops+o] the
+// response index). It validates that every entry is in range.
+func NewTable(states, ops, resps int, next, resp []uint8) (*Table, error) {
+	if states < 1 || states > MaxStates {
+		return nil, fmt.Errorf("atlas: states must be in 1..%d, got %d", MaxStates, states)
+	}
+	if ops < 1 || ops > MaxStates {
+		return nil, fmt.Errorf("atlas: ops must be in 1..%d, got %d", MaxStates, ops)
+	}
+	if resps < 1 || resps > MaxStates {
+		return nil, fmt.Errorf("atlas: resps must be in 1..%d, got %d", MaxStates, resps)
+	}
+	if len(next) != states*ops || len(resp) != states*ops {
+		return nil, fmt.Errorf("atlas: need %d next/resp entries, got %d/%d",
+			states*ops, len(next), len(resp))
+	}
+	for i := range next {
+		if int(next[i]) >= states {
+			return nil, fmt.Errorf("atlas: next[%d]=%d out of range (states=%d)", i, next[i], states)
+		}
+		if int(resp[i]) >= resps {
+			return nil, fmt.Errorf("atlas: resp[%d]=%d out of range (resps=%d)", i, resp[i], resps)
+		}
+	}
+	t := &Table{
+		states: states, ops: ops, resps: resps,
+		next: append([]uint8(nil), next...),
+		resp: append([]uint8(nil), resp...),
+	}
+	t.buildNames()
+	return t, nil
+}
+
+func (t *Table) buildNames() {
+	t.stateNames = make([]spec.State, t.states)
+	t.stateIdx = make(map[spec.State]int, t.states)
+	for s := 0; s < t.states; s++ {
+		name := spec.State(fmt.Sprintf("s%d", s))
+		t.stateNames[s] = name
+		t.stateIdx[name] = s
+	}
+	t.opNames = make([]spec.Op, t.ops)
+	t.opIdx = make(map[spec.Op]int, t.ops)
+	for o := 0; o < t.ops; o++ {
+		name := spec.Op(fmt.Sprintf("o%d", o))
+		t.opNames[o] = name
+		t.opIdx[name] = o
+	}
+	t.respNames = make([]spec.Response, t.resps)
+	for r := 0; r < t.resps; r++ {
+		t.respNames[r] = spec.Response(fmt.Sprintf("r%d", r))
+	}
+}
+
+// Random draws a table with transition and response entries uniform over
+// the given dimensions — the acid-test generator the checker's
+// brute-force differential tests (and the census's sampling stage) use.
+// It panics on invalid dimensions; callers pass literals or validated
+// bounds. The rng consumption order (next then resp, row-major) is part
+// of the contract: a fixed seed always yields the same table.
+func Random(rng *rand.Rand, states, ops, resps int) *Table {
+	next := make([]uint8, states*ops)
+	resp := make([]uint8, states*ops)
+	for s := 0; s < states; s++ {
+		for o := 0; o < ops; o++ {
+			next[s*ops+o] = uint8(rng.Intn(states))
+			resp[s*ops+o] = uint8(rng.Intn(resps))
+		}
+	}
+	t, err := NewTable(states, ops, resps, next, resp)
+	if err != nil {
+		panic(fmt.Sprintf("atlas: Random(%d,%d,%d): %v", states, ops, resps, err))
+	}
+	t.label = fmt.Sprintf("random(%d,%d)", states, ops)
+	return t
+}
+
+// WithLabel returns a copy of t whose Name reports label. The transition
+// arrays are shared (Tables are immutable).
+func (t *Table) WithLabel(label string) *Table {
+	c := *t
+	c.label = label
+	return &c
+}
+
+// NumStates returns the state count.
+func (t *Table) NumStates() int { return t.states }
+
+// NumOps returns the operation count.
+func (t *Table) NumOps() int { return t.ops }
+
+// NumResps returns the response-alphabet size.
+func (t *Table) NumResps() int { return t.resps }
+
+// Dims renders the dimensions compactly, e.g. "3s2o1r".
+func (t *Table) Dims() string { return fmt.Sprintf("%ds%do%dr", t.states, t.ops, t.resps) }
+
+// Name implements spec.Type.
+func (t *Table) Name() string {
+	if t.label != "" {
+		return t.label
+	}
+	return "atlas(" + t.Dims() + ")"
+}
+
+// InitialStates implements spec.Type: every state is a candidate.
+func (t *Table) InitialStates() []spec.State {
+	return append([]spec.State(nil), t.stateNames...)
+}
+
+// Ops implements spec.Type.
+func (t *Table) Ops() []spec.Op {
+	return append([]spec.Op(nil), t.opNames...)
+}
+
+// Apply implements spec.Type.
+func (t *Table) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	si, ok := t.stateIdx[s]
+	if !ok {
+		return "", "", fmt.Errorf("%w: %q", spec.ErrBadState, s)
+	}
+	oi, ok := t.opIdx[op]
+	if !ok {
+		return "", "", fmt.Errorf("%w: %q", spec.ErrBadOp, op)
+	}
+	i := si*t.ops + oi
+	return t.stateNames[t.next[i]], t.respNames[t.resp[i]], nil
+}
+
+// Custom converts the table to an equivalent types.Custom transition
+// table (all states initial, readable), e.g. for JSON export.
+func (t *Table) Custom() *types.Custom {
+	tr := make(map[string]map[string]types.CustomEdge, t.states)
+	for s := 0; s < t.states; s++ {
+		row := make(map[string]types.CustomEdge, t.ops)
+		for o := 0; o < t.ops; o++ {
+			i := s*t.ops + o
+			row[string(t.opNames[o])] = types.CustomEdge{
+				Next: string(t.stateNames[t.next[i]]),
+				Resp: string(t.respNames[t.resp[i]]),
+			}
+		}
+		tr[string(t.stateNames[s])] = row
+	}
+	initial := make([]string, t.states)
+	for s := 0; s < t.states; s++ {
+		initial[s] = string(t.stateNames[s])
+	}
+	return &types.Custom{TypeName: t.Name(), Initial: initial, Transitions: tr}
+}

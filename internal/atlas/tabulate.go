@@ -1,0 +1,238 @@
+package atlas
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// Tabulate renders an arbitrary spec.Type as an explicit types.Custom
+// transition table: it explores every state reachable from the type's
+// initial states under its candidate operation alphabet for n processes
+// and records the full table with the type's own state/op/response
+// labels. Initial states and readability are preserved, so for
+// fixed-alphabet types the tabulation classifies exactly like the
+// original (the differential round-trip tests assert this); for
+// spec.OpsForN types the alphabet is frozen at n.
+//
+// stateCap bounds the exploration; an error is returned when the
+// reachable state space exceeds it.
+func Tabulate(t spec.Type, n, stateCap int) (*types.Custom, error) {
+	ops := spec.CandidateOps(t, n)
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("atlas: %s has no operations to tabulate", t.Name())
+	}
+	inits := t.InitialStates()
+	if len(inits) == 0 {
+		return nil, fmt.Errorf("atlas: %s has no initial states", t.Name())
+	}
+	order, err := reachable(t, inits, ops, stateCap)
+	if err != nil {
+		return nil, err
+	}
+	tr := make(map[string]map[string]types.CustomEdge, len(order))
+	for _, s := range order {
+		row := make(map[string]types.CustomEdge, len(ops))
+		for _, op := range ops {
+			ns, r, err := t.Apply(s, op)
+			if err != nil {
+				return nil, fmt.Errorf("atlas: tabulate %s: %w", t.Name(), err)
+			}
+			row[string(op)] = types.CustomEdge{Next: string(ns), Resp: string(r)}
+		}
+		tr[string(s)] = row
+	}
+	initial := make([]string, 0, len(inits))
+	seen := map[string]bool{}
+	for _, s := range inits {
+		if !seen[string(s)] {
+			seen[string(s)] = true
+			initial = append(initial, string(s))
+		}
+	}
+	c := &types.Custom{TypeName: t.Name(), Initial: initial, Transitions: tr}
+	if !types.Readable(t) {
+		f := false
+		c.ReadableFlag = &f
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("atlas: tabulate %s: %w", t.Name(), err)
+	}
+	return c, nil
+}
+
+// FromType renders an arbitrary spec.Type as a dense Table over the
+// states reachable from its initial states under its candidate alphabet
+// for n processes: states are numbered in breadth-first discovery order,
+// operations in candidate order and responses by first occurrence.
+//
+// Note the semantic difference from Tabulate: a Table treats EVERY state
+// as a candidate initial state, so when t restricts its initial states
+// the resulting Table is a (possibly more powerful) all-initial variant.
+// FromType exists for the canonicalization machinery — relabeling-class
+// keys, dedup idempotence — not as a classification-preserving cast; use
+// Tabulate for that.
+func FromType(t spec.Type, n, stateCap int) (*Table, error) {
+	if stateCap > MaxStates {
+		stateCap = MaxStates
+	}
+	ops := spec.CandidateOps(t, n)
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("atlas: %s has no operations", t.Name())
+	}
+	inits := t.InitialStates()
+	if len(inits) == 0 {
+		return nil, fmt.Errorf("atlas: %s has no initial states", t.Name())
+	}
+	order, err := reachable(t, inits, ops, stateCap)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[spec.State]int, len(order))
+	for i, s := range order {
+		idx[s] = i
+	}
+	respIdx := map[spec.Response]int{}
+	next := make([]uint8, len(order)*len(ops))
+	resp := make([]uint8, len(order)*len(ops))
+	for i, s := range order {
+		for o, op := range ops {
+			ns, r, err := t.Apply(s, op)
+			if err != nil {
+				return nil, fmt.Errorf("atlas: table %s: %w", t.Name(), err)
+			}
+			ri, ok := respIdx[r]
+			if !ok {
+				ri = len(respIdx)
+				if ri >= MaxStates {
+					return nil, fmt.Errorf("atlas: %s uses more than %d responses", t.Name(), MaxStates)
+				}
+				respIdx[r] = ri
+			}
+			next[i*len(ops)+o] = uint8(idx[ns])
+			resp[i*len(ops)+o] = uint8(ri)
+		}
+	}
+	tbl, err := NewTable(len(order), len(ops), len(respIdx), next, resp)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.WithLabel(t.Name() + "#table"), nil
+}
+
+// reachable explores the state space breadth-first in deterministic
+// order (initial states in order, then discovery order).
+func reachable(t spec.Type, inits []spec.State, ops []spec.Op, cap int) ([]spec.State, error) {
+	seen := make(map[spec.State]bool, len(inits))
+	var order []spec.State
+	for _, s := range inits {
+		if !seen[s] {
+			seen[s] = true
+			order = append(order, s)
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		for _, op := range ops {
+			ns, _, err := t.Apply(order[i], op)
+			if err != nil {
+				return nil, fmt.Errorf("atlas: explore %s: %w", t.Name(), err)
+			}
+			if !seen[ns] {
+				if len(order) >= cap {
+					return nil, fmt.Errorf("atlas: %s exceeds the %d-state exploration cap", t.Name(), cap)
+				}
+				seen[ns] = true
+				order = append(order, ns)
+			}
+		}
+	}
+	return order, nil
+}
+
+// Mutate returns a mutated deep copy of the transition table c, applying
+// nmut mutations drawn uniformly from three kinds:
+//
+//   - edge rewire: one (state, op) transition is redirected to a random
+//     existing state;
+//   - response merge: all occurrences of one response value are renamed
+//     to another, collapsing two response classes;
+//   - readability toggle: the readable flag is flipped, moving the type
+//     between the Theorem 3/8 regime and the unrestricted one.
+//
+// The result is always a valid (total, closed) table; state and
+// operation sets are never changed, so mutants stay within the checker's
+// reach. Mutation draws from rng deterministically (states, ops and
+// responses are considered in sorted order).
+func Mutate(rng *rand.Rand, c *types.Custom, nmut int) *types.Custom {
+	states := make([]string, 0, len(c.Transitions))
+	for s := range c.Transitions {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	var ops []string
+	for op := range c.Transitions[states[0]] {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+
+	out := &types.Custom{
+		TypeName:    c.TypeName + "~mut",
+		Initial:     append([]string(nil), c.Initial...),
+		Transitions: make(map[string]map[string]types.CustomEdge, len(states)),
+	}
+	if c.ReadableFlag != nil {
+		f := *c.ReadableFlag
+		out.ReadableFlag = &f
+	}
+	for _, s := range states {
+		row := make(map[string]types.CustomEdge, len(ops))
+		for _, op := range ops {
+			row[op] = c.Transitions[s][op]
+		}
+		out.Transitions[s] = row
+	}
+
+	for m := 0; m < nmut; m++ {
+		switch rng.Intn(3) {
+		case 0: // edge rewire
+			s := states[rng.Intn(len(states))]
+			op := ops[rng.Intn(len(ops))]
+			e := out.Transitions[s][op]
+			e.Next = states[rng.Intn(len(states))]
+			out.Transitions[s][op] = e
+		case 1: // response merge
+			rset := map[string]bool{}
+			for _, s := range states {
+				for _, op := range ops {
+					rset[out.Transitions[s][op].Resp] = true
+				}
+			}
+			resps := make([]string, 0, len(rset))
+			for r := range rset {
+				resps = append(resps, r)
+			}
+			sort.Strings(resps)
+			if len(resps) < 2 {
+				continue
+			}
+			from := resps[rng.Intn(len(resps))]
+			to := resps[rng.Intn(len(resps))]
+			for _, s := range states {
+				for _, op := range ops {
+					if e := out.Transitions[s][op]; e.Resp == from {
+						e.Resp = to
+						out.Transitions[s][op] = e
+					}
+				}
+			}
+		case 2: // readability toggle
+			readable := out.ReadableFlag == nil || *out.ReadableFlag
+			flipped := !readable
+			out.ReadableFlag = &flipped
+		}
+	}
+	return out
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 
+	"rcons/internal/atlas"
+	"rcons/internal/atlas/census"
 	"rcons/internal/engine"
 	"rcons/internal/harness"
 	"rcons/internal/mc"
@@ -133,6 +135,48 @@ func Registry() []Benchmark {
 			Doc:   "incremental Memory.Digest of the same heap (O(1))",
 			Iters: 2_000_000, QuickIters: 500_000,
 			Run: memoryRunner(func(m *sim.Memory) { _ = m.Digest() }),
+		},
+		Benchmark{
+			Name:  "atlas/enumerate-3x3",
+			Doc:   "canonical enumeration of every ≤3-state ≤3-op ack-only table",
+			Iters: 3, QuickIters: 1,
+			Run: func(iters int) (Metrics, error) {
+				tables := 0.0
+				for i := 0; i < iters; i++ {
+					raw, _, err := atlas.Enumerate(atlas.Bounds{States: 3, Ops: 3, Resps: 1},
+						func(string, *atlas.Table) bool { return true })
+					if err != nil {
+						return nil, err
+					}
+					tables += float64(raw)
+				}
+				return Metrics{"tables": tables}, nil
+			},
+		},
+		Benchmark{
+			Name:  "atlas/census-small",
+			Doc:   "cold census of the ≤2-state ≤2-op universe + 100 random types at limit 3",
+			Iters: 3, QuickIters: 1,
+			Run: func(iters int) (Metrics, error) {
+				classified := 0.0
+				for i := 0; i < iters; i++ {
+					a, err := census.Run(context.Background(), census.Options{
+						Bounds: atlas.Bounds{States: 2, Ops: 2, Resps: 2},
+						Random: 100,
+						Seed:   1,
+						Limit:  3,
+						Engine: engine.New(engine.Options{}),
+					})
+					if err != nil {
+						return nil, err
+					}
+					if len(a.Skipped) > 0 {
+						return nil, fmt.Errorf("census skipped %d types", len(a.Skipped))
+					}
+					classified += float64(a.Types)
+				}
+				return Metrics{"types": classified}, nil
+			},
 		},
 	)
 	return out

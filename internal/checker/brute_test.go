@@ -1,73 +1,26 @@
 package checker
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"rcons/internal/atlas"
 	"rcons/internal/spec"
 	"rcons/internal/types"
 )
 
-// randomType is a randomly generated deterministic readable type over a
-// small state space — transition tables drawn uniformly. Random types
-// are the acid test for the checker: the counts-abstracted engines must
-// agree with the brute-force definitional enumeration on all of them,
-// and the paper's implications (Observations 5/6, Theorem 16) must hold
-// on every witness found.
-type randomType struct {
-	states int
-	ops    int
-	next   [][]int // next[s][o]
-	resp   [][]int // resp[s][o]
-}
-
-var _ spec.Type = (*randomType)(nil)
-
-func newRandomType(rng *rand.Rand, states, ops int) *randomType {
-	t := &randomType{states: states, ops: ops}
-	t.next = make([][]int, states)
-	t.resp = make([][]int, states)
-	for s := 0; s < states; s++ {
-		t.next[s] = make([]int, ops)
-		t.resp[s] = make([]int, ops)
-		for o := 0; o < ops; o++ {
-			t.next[s][o] = rng.Intn(states)
-			t.resp[s][o] = rng.Intn(3)
-		}
-	}
-	return t
-}
-
-func (t *randomType) Name() string { return fmt.Sprintf("random(%d,%d)", t.states, t.ops) }
-
-func (t *randomType) InitialStates() []spec.State {
-	out := make([]spec.State, t.states)
-	for s := 0; s < t.states; s++ {
-		out[s] = spec.State(fmt.Sprintf("s%d", s))
-	}
-	return out
-}
-
-func (t *randomType) Ops() []spec.Op {
-	out := make([]spec.Op, t.ops)
-	for o := 0; o < t.ops; o++ {
-		out[o] = spec.Op(fmt.Sprintf("o%d", o))
-	}
-	return out
-}
-
-func (t *randomType) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
-	var si, oi int
-	if _, err := fmt.Sscanf(string(s), "s%d", &si); err != nil || si < 0 || si >= t.states {
-		return "", "", fmt.Errorf("%w: %q", spec.ErrBadState, s)
-	}
-	if _, err := fmt.Sscanf(string(op), "o%d", &oi); err != nil || oi < 0 || oi >= t.ops {
-		return "", "", fmt.Errorf("%w: %q", spec.ErrBadOp, op)
-	}
-	return spec.State(fmt.Sprintf("s%d", t.next[si][oi])),
-		spec.Response(fmt.Sprintf("r%d", t.resp[si][oi])), nil
+// newRandomType draws a random deterministic readable type from the
+// shared generator in internal/atlas — the SAME sampler the census
+// pipeline surveys, so the brute-force differential tests and the
+// production sampling can never drift apart. Random types are the acid
+// test for the checker: the counts-abstracted engines must agree with
+// the brute-force definitional enumeration on all of them, and the
+// paper's implications (Observations 5/6, Theorem 16) must hold on
+// every witness found. The response alphabet is fixed at 3, matching
+// the generator's historic distribution here.
+func newRandomType(rng *rand.Rand, states, ops int) *atlas.Table {
+	return atlas.Random(rng, states, ops, 3)
 }
 
 // randomWitness draws a witness for t with n processes.

@@ -152,6 +152,7 @@ func All() []Experiment {
 		{ID: "E11", Artifact: "§1 motivation", Title: "consensus vs recoverable consensus, executably", Run: Motivation},
 		{ID: "E12", Artifact: "scaling", Title: "cost scaling of the constructions with process count", Run: Scaling},
 		{ID: "E13", Artifact: "§2 failure models", Title: "systematic crash-schedule model checking of all RC protocols", Run: MCProtocols},
+		{ID: "E14", Artifact: "type atlas", Title: "census of a machine-generated type universe (beyond the curated zoo)", Run: AtlasCensus},
 	}
 }
 
