@@ -17,8 +17,12 @@
 //	rcatlas census [-states 3 -ops 3 -resps 1] [-random 10000]
 //	        [-mutants 2] [-seed 1] [-limit 3] [-parallel 0]
 //	        [-timeout 60s] [-out ATLAS.json] [-resume prior.json]
+//	        [-store DIR]
 //	    run the full census and write the artifact; -resume reuses the
-//	    rows of a previous artifact at the same limit
+//	    rows of a previous artifact at the same limit, and -store
+//	    persists every classified row (and the engine's memoized
+//	    searches) in a crash-safe content-addressed store so reruns —
+//	    and rcserve pointed at the same directory — skip finished work
 //
 //	rcatlas verify -in ATLAS.json [-novel]
 //	    check an artifact's structural invariants; with -novel, also
@@ -43,6 +47,7 @@ import (
 	"rcons/internal/atlas"
 	"rcons/internal/atlas/census"
 	"rcons/internal/engine"
+	"rcons/internal/store"
 	"rcons/internal/types"
 )
 
@@ -180,11 +185,13 @@ func runCensus(args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "per-type classification deadline")
 	out := fs.String("out", "ATLAS.json", `artifact path ("" skips writing)`)
 	resume := fs.String("resume", "", "reuse rows from this prior artifact")
+	storeDir := fs.String("store", "", "persist rows + searches in a content-addressed store under this directory")
 	noEnum := fs.Bool("no-enum", false, "skip the exhaustive enumeration stage")
 	maxRaw := fs.Int64("max-raw", 50_000_000, "refuse bounds whose raw table count exceeds this")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engOpts := engine.Options{Workers: *parallel}
 	o := census.Options{
 		Random:        *random,
 		RandomBounds:  atlas.Bounds{States: *randStates, Ops: *randOps, Resps: *randResps},
@@ -193,8 +200,17 @@ func runCensus(args []string, stdout io.Writer) error {
 		Limit:         *limit,
 		Workers:       *parallel,
 		Timeout:       *timeout,
-		Engine:        engine.New(engine.Options{Workers: *parallel}),
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		o.Store = st
+		engOpts.Persist = st
+		fmt.Fprintf(os.Stderr, "rcatlas: store %s (%d entries)\n", *storeDir, st.Stats().Entries)
+	}
+	o.Engine = engine.New(engOpts)
 	if !*noEnum {
 		if err := b.Valid(); err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"rcons/internal/atlas/census"
+	"rcons/internal/store"
 	"rcons/internal/types"
 )
 
@@ -146,5 +147,42 @@ func TestUnknownSubcommand(t *testing.T) {
 	}
 	if err := run(nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected a usage error for no subcommand")
+	}
+}
+
+// TestCensusStoreFlag: a store-enabled census persists its rows, a
+// rerun on the same directory reuses them, and the artifact stays
+// byte-identical — the CLI face of the persistent resume path.
+func TestCensusStoreFlag(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	art1 := filepath.Join(dir, "A1.json")
+	art2 := filepath.Join(dir, "A2.json")
+	base := []string{
+		"census", "-states", "2", "-ops", "2", "-resps", "1",
+		"-random", "40", "-mutants", "0", "-seed", "3", "-limit", "2",
+		"-store", storeDir,
+	}
+	if err := run(append(base, "-out", art1), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := census.Load(art1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries := st.Stats().Entries; entries < int64(a.Types) {
+		t.Fatalf("store holds %d entries for %d census rows", entries, a.Types)
+	}
+	if err := run(append(base, "-out", art2), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(art1)
+	b2, _ := os.ReadFile(art2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("store-resumed census artifact differs")
 	}
 }

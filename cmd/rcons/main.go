@@ -11,10 +11,15 @@
 //
 // Usage:
 //
-//	rcons -type S_3 [-limit 6] [-parallel 0] [-witness] [-diagram]
+//	rcons -type S_3 [-limit 6] [-parallel 0] [-store DIR] [-witness] [-diagram]
 //	rcons -list
 //	rcons -mc team-sn [-mc-n 2] [-mc-depth 8] [-mc-crashes 1]
 //	rcons -mc-list
+//
+// With -parallel and -store DIR, memoized search results are read from
+// and written through to the same crash-safe content-addressed store
+// rcatlas and rcserve use, so a classification computed once — by any
+// of the three binaries — is never recomputed.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"rcons/internal/harness"
 	"rcons/internal/mc"
 	"rcons/internal/spec"
+	"rcons/internal/store"
 	"rcons/internal/types"
 )
 
@@ -45,6 +51,7 @@ func run(args []string) error {
 	specFile := fs.String("spec", "", "classify a custom type from a JSON transition table instead of a built-in")
 	limit := fs.Int("limit", 6, "scan the properties for n = 2..limit")
 	parallel := fs.Int("parallel", 0, "classify on the sharded engine with this many workers (-1 = all CPUs, 0 = sequential)")
+	storeDir := fs.String("store", "", "with -parallel: persist memoized searches in this store directory")
 	witness := fs.Bool("witness", false, "print the maximal recording/discerning witnesses")
 	diagram := fs.Bool("diagram", false, "print the type's transition diagram")
 	list := fs.Bool("list", false, "list the built-in type zoo and exit")
@@ -101,14 +108,25 @@ func run(args []string) error {
 	}
 	var c checker.Classification
 	var err error
-	if *parallel != 0 {
+	switch {
+	case *parallel != 0:
 		workers := *parallel
 		if workers < 0 {
 			workers = 0 // engine default: all CPUs
 		}
-		eng := engine.New(engine.Options{Workers: workers})
+		opts := engine.Options{Workers: workers}
+		if *storeDir != "" {
+			st, serr := store.Open(*storeDir, store.Options{})
+			if serr != nil {
+				return serr
+			}
+			opts.Persist = st
+		}
+		eng := engine.New(opts)
 		c, err = eng.Classify(context.Background(), t, *limit)
-	} else {
+	case *storeDir != "":
+		return fmt.Errorf("-store needs the engine: pass -parallel N (e.g. -parallel -1)")
+	default:
 		c, err = checker.Classify(t, *limit, nil)
 	}
 	if err != nil {

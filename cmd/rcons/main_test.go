@@ -87,3 +87,18 @@ func TestRunModelCheckErrors(t *testing.T) {
 		t.Error("-mc-n 1 accepted")
 	}
 }
+
+func TestRunClassifyStore(t *testing.T) {
+	dir := t.TempDir()
+	// Cold run computes and persists; warm run must succeed against the
+	// same directory (served from the store).
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"-type", "S_2", "-limit", "4", "-parallel", "2", "-store", dir}); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	// -store without the engine is a usage error.
+	if err := run([]string{"-type", "S_2", "-store", dir}); err == nil {
+		t.Fatal("-store without -parallel accepted")
+	}
+}

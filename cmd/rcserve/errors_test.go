@@ -3,7 +3,6 @@ package main
 import (
 	"encoding/json"
 	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -90,9 +89,7 @@ func TestOversizedBody(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.maxBody = 256 // shrink the cap so the test stays cheap
-	s := newServer(cfg)
-	ts := httptest.NewServer(s.handler())
-	t.Cleanup(ts.Close)
+	_, ts := testServerFromConfig(t, cfg)
 
 	big := strings.Repeat("x", 1024)
 	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader(big))
@@ -114,9 +111,7 @@ func TestDeadlineExceeded(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.timeout = time.Nanosecond
-	s := newServer(cfg)
-	ts := httptest.NewServer(s.handler())
-	t.Cleanup(ts.Close)
+	_, ts := testServerFromConfig(t, cfg)
 
 	for _, path := range []string{
 		"/v1/zoo?limit=5",

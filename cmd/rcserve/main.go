@@ -15,18 +15,38 @@
 //	                                     type universe (memoized; deterministic)
 //	GET  /v1/atlas/type?seed=42&states=3&ops=2&resps=2
 //	                                     generate + classify one seeded type
-//	GET  /healthz                        liveness + cache statistics
+//	POST /v1/jobs                        submit async work ({"kind","params"});
+//	                                     kinds: census, mc, zoo. Duplicate
+//	                                     submissions coalesce onto one job ID.
+//	GET  /v1/jobs                        list retained jobs
+//	GET  /v1/jobs/{id}                   job status + result when done
+//	DELETE /v1/jobs/{id}                 cancel a queued/running job
+//	GET  /healthz                        liveness + cache/store/queue statistics
 //
 // One engine (and therefore one memoization cache) is shared by all
 // requests, so repeated and overlapping queries are served from cache.
 // Requests are bounded: limits/levels are capped, request bodies are
 // size-limited, each request gets a deadline, and an in-flight cap sheds
-// load with 503 instead of queueing unboundedly.
+// load with 503 instead of queueing unboundedly. Work that outlives a
+// request deadline goes through /v1/jobs instead: submissions return a
+// deterministic job ID derived from the request fingerprint and execute
+// on a bounded worker pool.
+//
+// With -store DIR, results persist in a crash-safe content-addressed
+// store under DIR: the engine's memoized searches, census rows and
+// finished job results all survive restarts, and a resubmitted job is
+// answered from disk without recomputation. The same directory can be
+// warmed offline with `rcatlas census -store DIR`.
+//
+// On SIGINT/SIGTERM the server drains: in-flight requests finish,
+// queued and running jobs get the drain timeout to complete, and
+// whatever remains is cancelled.
 //
 // Usage:
 //
 //	rcserve [-addr :8372] [-workers 0] [-max-limit 6] [-cache 4096]
-//	        [-timeout 30s] [-max-inflight 64]
+//	        [-timeout 30s] [-max-inflight 64] [-store DIR]
+//	        [-job-workers 2] [-job-timeout 10m] [-drain 30s]
 package main
 
 import (
@@ -46,9 +66,11 @@ import (
 
 	"rcons/internal/checker"
 	"rcons/internal/engine"
+	"rcons/internal/jobs"
 	"rcons/internal/mc"
 	"rcons/internal/sim"
 	"rcons/internal/spec"
+	"rcons/internal/store"
 	"rcons/internal/types"
 )
 
@@ -67,6 +89,10 @@ type config struct {
 	timeout     time.Duration
 	maxInflight int
 	maxBody     int64
+	storeDir    string
+	jobWorkers  int
+	jobTimeout  time.Duration
+	drain       time.Duration
 }
 
 func parseFlags(args []string) (config, error) {
@@ -78,6 +104,10 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.cacheSize, "cache", 4096, "memoized search results to keep (negative disables)")
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline")
 	fs.IntVar(&cfg.maxInflight, "max-inflight", 64, "concurrent requests before shedding with 503")
+	fs.StringVar(&cfg.storeDir, "store", "", "persist results in a content-addressed store under this directory")
+	fs.IntVar(&cfg.jobWorkers, "job-workers", 2, "concurrently executing async jobs")
+	fs.DurationVar(&cfg.jobTimeout, "job-timeout", 10*time.Minute, "per-job execution deadline")
+	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "shutdown budget for in-flight requests and jobs")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -87,6 +117,9 @@ func parseFlags(args []string) (config, error) {
 	if cfg.maxInflight < 1 {
 		return config{}, fmt.Errorf("-max-inflight must be ≥ 1, got %d", cfg.maxInflight)
 	}
+	if cfg.jobWorkers < 1 {
+		return config{}, fmt.Errorf("-job-workers must be ≥ 1, got %d", cfg.jobWorkers)
+	}
 	return cfg, nil
 }
 
@@ -95,7 +128,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := newServer(cfg)
+	srv, err := newServer(cfg)
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           srv.handler(),
@@ -103,25 +139,40 @@ func run(args []string) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rcserve: listening on %s (workers=%d, max-limit=%d)\n",
-		cfg.addr, srv.eng.Workers(), cfg.maxLimit)
+	fmt.Fprintf(os.Stderr, "rcserve: listening on %s (workers=%d, max-limit=%d, store=%q)\n",
+		cfg.addr, srv.eng.Workers(), cfg.maxLimit, cfg.storeDir)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+		defer cancel()
+		_ = srv.drainJobs(sctx)
 		return err
 	case <-sigc:
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful shutdown: stop accepting, let in-flight limited
+		// handlers finish (Shutdown waits for active requests, and the
+		// explicit drain below additionally waits until every in-flight
+		// slot is released), then give queued/running jobs the remainder
+		// of the budget before cancelling them.
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
-		return hs.Shutdown(ctx)
+		serr := hs.Shutdown(ctx)
+		if derr := srv.drain(ctx); serr == nil {
+			serr = derr
+		}
+		return serr
 	}
 }
 
-// server holds the shared engine and request-limiting state.
+// server holds the shared engine, the optional persistent store, the
+// async job manager and the request-limiting state.
 type server struct {
 	cfg      config
 	eng      *engine.Engine
+	store    *store.Store // nil without -store
+	jobs     *jobs.Manager
 	inflight chan struct{}
 
 	// canonMu/canon memoize CanonicalFingerprint results keyed by the
@@ -145,15 +196,64 @@ type server struct {
 // short hashes; the cap only guards against unbounded custom-type spam).
 const canonCacheCap = 4096
 
-func newServer(cfg config) *server {
-	return &server{
+func newServer(cfg config) (*server, error) {
+	s := &server{
 		cfg:           cfg,
-		eng:           engine.New(engine.Options{Workers: cfg.workers, CacheSize: cfg.cacheSize}),
 		inflight:      make(chan struct{}, cfg.maxInflight),
 		canon:         map[string]string{},
 		atlasCache:    map[string][]byte{},
 		atlasInflight: map[string]chan struct{}{},
 	}
+	// Interface-typed nils must stay nil interfaces, so only assign the
+	// store once it exists.
+	engOpts := engine.Options{Workers: cfg.workers, CacheSize: cfg.cacheSize}
+	jobOpts := jobs.Options{Workers: cfg.jobWorkers, Timeout: cfg.jobTimeout}
+	if cfg.storeDir != "" {
+		st, err := store.Open(cfg.storeDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		engOpts.Persist = st
+		jobOpts.Store = st
+	}
+	s.eng = engine.New(engOpts)
+	s.jobs = jobs.New(jobOpts)
+	s.registerJobKinds()
+	return s, nil
+}
+
+// drainJobs shuts the job manager down within ctx.
+func (s *server) drainJobs(ctx context.Context) error {
+	err := s.jobs.Drain(ctx)
+	if errors.Is(err, jobs.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// drain completes a graceful shutdown: it waits until every in-flight
+// limited handler has released its slot (acquiring all of them proves
+// none is held), then drains the job manager. Jobs that outlive ctx are
+// cancelled by the manager.
+func (s *server) drain(ctx context.Context) error {
+	acquired := 0
+	for ; acquired < cap(s.inflight); acquired++ {
+		select {
+		case s.inflight <- struct{}{}:
+		case <-ctx.Done():
+			// Keep draining jobs even if a handler is wedged.
+			for i := 0; i < acquired; i++ {
+				<-s.inflight
+			}
+			_ = s.drainJobs(ctx)
+			return ctx.Err()
+		}
+	}
+	for i := 0; i < acquired; i++ {
+		<-s.inflight
+	}
+	return s.drainJobs(ctx)
 }
 
 // canonicalFingerprint returns the memoized canonical fingerprint of t
@@ -192,6 +292,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/mc/targets", s.handleModelCheckTargets)
 	mux.HandleFunc("/v1/atlas", s.limited(s.handleAtlas))
 	mux.HandleFunc("/v1/atlas/type", s.limited(s.handleAtlasType))
+	mux.HandleFunc("POST /v1/jobs", s.limited(s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }
@@ -517,11 +621,16 @@ func (s *server) handleModelCheckTargets(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":  "ok",
 		"workers": s.eng.Workers(),
 		"cache":   s.eng.Stats(),
-	})
+		"jobs":    s.jobs.Stats(),
+	}
+	if s.store != nil {
+		resp["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // boundedParam parses an integer query parameter in [lo, hi] (defaulting

@@ -1,27 +1,42 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"rcons/internal/checker"
 	"rcons/internal/spec"
 	"rcons/internal/types"
 )
 
-func testServer(t *testing.T) (*server, *httptest.Server) {
+func testServer(t *testing.T, extraFlags ...string) (*server, *httptest.Server) {
 	t.Helper()
-	cfg, err := parseFlags([]string{"-workers", "4", "-max-limit", "6"})
+	cfg, err := parseFlags(append([]string{"-workers", "4", "-max-limit", "6"}, extraFlags...))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(cfg)
+	return testServerFromConfig(t, cfg)
+}
+
+func testServerFromConfig(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.drainJobs(ctx)
+	})
 	return s, ts
 }
 

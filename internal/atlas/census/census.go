@@ -48,6 +48,24 @@ type Options struct {
 	// Prior, when set, resumes from an earlier artifact: rows recorded
 	// there at the same Limit are reused instead of re-classified.
 	Prior *Artifact
+	// Store, when set, is the persistent resume path: rows found under
+	// their dedup key (at the same Limit and schema version) are reused
+	// instead of re-classified, and every classified row — including
+	// ones reused from Prior — is written through, so census shards
+	// survive restarts and are shared across binaries. Reused rows are
+	// byte-identical to recomputed ones (classification is
+	// deterministic), so the artifact's reproducibility guarantee holds
+	// with or without a warm store.
+	Store engine.Persist
+}
+
+// rowStoreKind namespaces census rows inside the shared store.
+const rowStoreKind = "census-row"
+
+// rowStoreKey addresses one classified row: the generation dedup key
+// qualified by scan limit and artifact schema version.
+func rowStoreKey(key string, limit int) string {
+	return fmt.Sprintf("v%d/limit=%d/%s", Version, limit, key)
 }
 
 // DefaultRandomBounds is used when Options.RandomBounds is zero: up to 4
@@ -119,13 +137,34 @@ func Run(ctx context.Context, o Options) (*Artifact, error) {
 	art.Generated = len(items) + dups
 	art.Duplicates = dups
 
-	// Classify, reusing prior rows where possible.
+	// Classify, reusing rows from the prior artifact and the persistent
+	// store where possible. Prior wins (it needs no I/O); either way a
+	// reused row is written through so the store warms up.
+	putRow := func(key string, row Row) {
+		if o.Store == nil {
+			return
+		}
+		if data, err := json.Marshal(row); err == nil {
+			// Store failures degrade future resumes, never this census.
+			_ = o.Store.Put(rowStoreKind, rowStoreKey(key, o.Limit), data)
+		}
+	}
 	var todo []item
 	for _, it := range items {
 		if o.Prior != nil && o.Prior.Limit == o.Limit {
 			if row, ok := o.Prior.Rows[it.key]; ok {
 				art.Rows[it.key] = row
+				putRow(it.key, row)
 				continue
+			}
+		}
+		if o.Store != nil {
+			if data, ok, err := o.Store.Get(rowStoreKind, rowStoreKey(it.key, o.Limit)); err == nil && ok {
+				var row Row
+				if json.Unmarshal(data, &row) == nil && row.Name != "" {
+					art.Rows[it.key] = row
+					continue
+				}
 			}
 		}
 		todo = append(todo, it)
@@ -151,10 +190,15 @@ func Run(ctx context.Context, o Options) (*Artifact, error) {
 				ictx, cancel := context.WithTimeout(ctx, o.Timeout)
 				c, err := eng.Classify(ictx, it.typ, o.Limit)
 				cancel()
+				var row Row
+				if err == nil {
+					row = rowFromClassification(c, it.source, it.dims)
+					putRow(it.key, row) // store I/O outside the artifact mutex
+				}
 				mu.Lock()
 				switch {
 				case err == nil:
-					art.Rows[it.key] = rowFromClassification(c, it.source, it.dims)
+					art.Rows[it.key] = row
 				case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
 					skipped = append(skipped, it.key)
 				default:

@@ -1,0 +1,211 @@
+package census
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"rcons/internal/atlas"
+	"rcons/internal/engine"
+	"rcons/internal/store"
+)
+
+// countingStore wraps a real on-disk store and counts census-row
+// traffic so tests can prove reuse vs recomputation.
+type countingStore struct {
+	inner   *store.Store
+	mu      sync.Mutex
+	rowGets int
+	rowHits int
+	rowPuts int
+}
+
+func (c *countingStore) Get(kind, key string) ([]byte, bool, error) {
+	data, ok, err := c.inner.Get(kind, key)
+	if kind == rowStoreKind {
+		c.mu.Lock()
+		c.rowGets++
+		if ok {
+			c.rowHits++
+		}
+		c.mu.Unlock()
+	}
+	return data, ok, err
+}
+
+func (c *countingStore) Put(kind, key string, payload []byte) error {
+	if kind == rowStoreKind {
+		c.mu.Lock()
+		c.rowPuts++
+		c.mu.Unlock()
+	}
+	return c.inner.Put(kind, key, payload)
+}
+
+func smallStoreOptions(st engine.Persist, workers int) Options {
+	return Options{
+		Bounds:  atlas.Bounds{States: 2, Ops: 2, Resps: 1},
+		Random:  40,
+		Seed:    7,
+		Limit:   3,
+		Workers: workers,
+		Engine:  engine.New(engine.Options{Workers: workers}),
+		Store:   st,
+	}
+}
+
+// TestStoreResumeAcrossRestart: the second run (fresh engine, fresh
+// store handle on the same dir — a restarted process) must reuse every
+// row from the store, classify nothing, and emit the identical artifact.
+func TestStoreResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *countingStore {
+		t.Helper()
+		s, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &countingStore{inner: s}
+	}
+	ctx := context.Background()
+
+	st1 := open()
+	a1, err := Run(ctx, smallStoreOptions(st1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.rowPuts != a1.Types {
+		t.Fatalf("cold run persisted %d rows for %d types", st1.rowPuts, a1.Types)
+	}
+	enc1, err := a1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := open()
+	a2, err := Run(ctx, smallStoreOptions(st2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.rowHits != a2.Types {
+		t.Fatalf("warm run reused %d of %d rows", st2.rowHits, a2.Types)
+	}
+	if st2.rowPuts != 0 {
+		t.Fatalf("warm run re-classified %d rows", st2.rowPuts)
+	}
+	enc2, err := a2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("store-resumed artifact is not byte-identical to the cold one")
+	}
+}
+
+// TestStoreDeterminismAcrossWorkerCounts is the PR's determinism
+// acceptance gate with persistence enabled: cold store at workers=1,
+// cold store at workers=4, and a warm-store rerun must all encode to
+// identical bytes — and must match the storeless artifact.
+func TestStoreDeterminismAcrossWorkerCounts(t *testing.T) {
+	ctx := context.Background()
+	baseline, err := Run(ctx, func() Options {
+		o := smallStoreOptions(nil, 2)
+		o.Store = nil
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		dir := t.TempDir()
+		for round := 0; round < 2; round++ { // round 1 = cold, round 2 = warm
+			s, err := store.Open(dir, store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := Run(ctx, smallStoreOptions(s, workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("workers=%d round=%d: store-enabled artifact differs from baseline", workers, round)
+			}
+		}
+	}
+}
+
+// TestStoreScopedByLimit: rows stored at one scan limit must not leak
+// into a census at another.
+func TestStoreScopedByLimit(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &countingStore{inner: s}
+	if _, err := Run(ctx, smallStoreOptions(cs, 2)); err != nil {
+		t.Fatal(err)
+	}
+	o := smallStoreOptions(cs, 2)
+	o.Limit = 2
+	cs.rowHits = 0
+	a, err := Run(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.rowHits != 0 {
+		t.Fatalf("limit-3 rows answered a limit-2 census (%d hits)", cs.rowHits)
+	}
+	if a.Limit != 2 {
+		t.Fatalf("artifact limit = %d", a.Limit)
+	}
+}
+
+// TestStoreAndPriorCompose: Prior rows are preferred, but they are
+// written through so the store still ends up complete.
+func TestStoreAndPriorCompose(t *testing.T) {
+	ctx := context.Background()
+	prior, err := Run(ctx, func() Options {
+		o := smallStoreOptions(nil, 2)
+		o.Store = nil
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &countingStore{inner: s}
+	o := smallStoreOptions(cs, 2)
+	o.Prior = prior
+	a, err := Run(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.rowPuts != a.Types {
+		t.Fatalf("prior rows not written through: %d puts for %d types", cs.rowPuts, a.Types)
+	}
+	// A third run with only the store must now reuse everything.
+	cs2 := &countingStore{inner: s}
+	b, err := Run(ctx, smallStoreOptions(cs2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.rowHits != b.Types || cs2.rowPuts != 0 {
+		t.Fatalf("store warmed via prior not reused: hits=%d puts=%d types=%d",
+			cs2.rowHits, cs2.rowPuts, b.Types)
+	}
+}

@@ -137,6 +137,24 @@ func Registry() []Benchmark {
 			Run: memoryRunner(func(m *sim.Memory) { _ = m.Digest() }),
 		},
 		Benchmark{
+			Name:  "store/get-hit",
+			Doc:   "steady-state store read served by the in-memory LRU front",
+			Iters: 200_000, QuickIters: 50_000,
+			Run: storeGetHitRunner(),
+		},
+		Benchmark{
+			Name:  "store/put",
+			Doc:   "crash-safe store write (temp file + fsync + rename), distinct keys",
+			Iters: 2_000, QuickIters: 500,
+			Run: storePutRunner(),
+		},
+		Benchmark{
+			Name:  "jobs/submit-poll",
+			Doc:   "async job round-trip: submit a distinct job, poll it to completion",
+			Iters: 2_000, QuickIters: 500,
+			Run: jobsSubmitPollRunner(),
+		},
+		Benchmark{
 			Name:  "atlas/enumerate-3x3",
 			Doc:   "canonical enumeration of every ≤3-state ≤3-op ack-only table",
 			Iters: 3, QuickIters: 1,

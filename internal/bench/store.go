@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"rcons/internal/jobs"
+	"rcons/internal/store"
+)
+
+// The persistence/async benchmarks measure the store and job subsystem
+// the same way the engine and service use them: small JSON payloads,
+// fingerprint-shaped keys, one manager reused across submissions.
+
+// withTempStore opens a store in a fresh temp directory and cleans up
+// after the measurement.
+func withTempStore(fn func(*store.Store) (Metrics, error)) (Metrics, error) {
+	dir, err := os.MkdirTemp("", "rcbench-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return fn(st)
+}
+
+// storeGetHitRunner measures the hot-path read: the entry sits in the
+// LRU front, so this is the steady-state cost a warm rcserve pays per
+// memoized lookup.
+func storeGetHitRunner() func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		return withTempStore(func(st *store.Store) (Metrics, error) {
+			payload := []byte(`{"found":true,"witness":{"q0":"q1","teams":[0,1,0],"ops":["a","b","a"]}}`)
+			if err := st.Put("search", "bench-key", payload); err != nil {
+				return nil, err
+			}
+			for i := 0; i < iters; i++ {
+				if _, ok, err := st.Get("search", "bench-key"); !ok || err != nil {
+					return nil, fmt.Errorf("store/get-hit: ok=%v err=%v", ok, err)
+				}
+			}
+			return nil, nil
+		})
+	}
+}
+
+// storePutRunner measures the full crash-safe write path — temp file,
+// fsync, rename — with a distinct key per iteration (the realistic
+// census/job write pattern; identical keys would short-circuit into the
+// idempotence no-op).
+func storePutRunner() func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		return withTempStore(func(st *store.Store) (Metrics, error) {
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("bench-key-%08d", i)
+				payload := []byte(fmt.Sprintf(`{"row":%d}`, i))
+				if err := st.Put("census-row", key, payload); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		})
+	}
+}
+
+// jobsSubmitPollRunner measures the manager's full round-trip overhead
+// on a trivial handler: submit a distinct job, spin on Get until it is
+// done. Retention covers the whole run so eviction churn is not part of
+// the measured path.
+func jobsSubmitPollRunner() func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		m := jobs.New(jobs.Options{Workers: 1, Queue: 16, Retention: iters + 1})
+		defer func() {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			_ = m.Drain(ctx)
+		}()
+		m.Register("noop", func(ctx context.Context, p json.RawMessage) (json.RawMessage, error) {
+			return json.RawMessage(`{"ok":true}`), nil
+		})
+		for i := 0; i < iters; i++ {
+			info, _, err := m.Submit("noop", json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)))
+			if err != nil {
+				return nil, err
+			}
+			for {
+				got, ok := m.Get(info.ID)
+				if !ok {
+					return nil, fmt.Errorf("jobs/submit-poll: job %s vanished", info.ID)
+				}
+				if got.State == jobs.StateDone {
+					break
+				}
+				if got.State.Terminal() {
+					return nil, fmt.Errorf("jobs/submit-poll: job ended %s: %s", got.State, got.Error)
+				}
+				runtime.Gosched()
+			}
+		}
+		return nil, nil
+	}
+}

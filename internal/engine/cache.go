@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"sync"
 
 	"rcons/internal/checker"
@@ -24,11 +25,19 @@ type cacheKey struct {
 // CacheStats reports the engine cache's cumulative behavior.
 type CacheStats struct {
 	// Hits and Misses count lookups that did / did not find an entry.
-	Hits, Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Entries is the current number of memoized results.
-	Entries int
+	Entries int `json:"entries"`
 	// Evictions counts entries dropped to respect the size bound.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
+	// PersistHits / PersistMisses count memo misses that were / were not
+	// answered by the persistent result store (zero without one);
+	// PersistErrors counts store reads or writes that failed (the search
+	// proceeds regardless).
+	PersistHits   int64 `json:"persistHits"`
+	PersistMisses int64 `json:"persistMisses"`
+	PersistErrors int64 `json:"persistErrors"`
 }
 
 // searchResult is a memoized witness-search outcome. Found=false is as
@@ -39,49 +48,64 @@ type searchResult struct {
 	witness checker.Witness
 }
 
-// cache is a bounded memoization table for search results, keyed by
-// fingerprint-derived cache keys. Eviction is FIFO: witness searches
-// have no meaningful recency structure (a zoo scan touches every key
-// once), so the simple policy serves as well as LRU here and is cheaper.
+// cache is a bounded LRU memoization table for search results, keyed by
+// fingerprint-derived cache keys. LRU (rather than the FIFO this used
+// to be) keeps a steady request mix — rcserve serving a hot subset of
+// the zoo while census traffic streams thousands of one-off generated
+// types through the same engine — from evicting the hot entries: every
+// hit refreshes its key, so the one-shot census keys age out first.
 type cache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[cacheKey]searchResult
-	order   []cacheKey // insertion order, for FIFO eviction
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
 	stats   CacheStats
 }
 
+// cacheEntry is the list payload.
+type cacheEntry struct {
+	key    cacheKey
+	result searchResult
+}
+
 func newCache(max int) *cache {
-	return &cache{max: max, entries: make(map[cacheKey]searchResult)}
+	if max < 1 {
+		max = 1
+	}
+	return &cache{max: max, entries: make(map[cacheKey]*list.Element), order: list.New()}
 }
 
 func (c *cache) get(key cacheKey) (searchResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.entries[key]
-	if ok {
-		c.stats.Hits++
-	} else {
+	el, ok := c.entries[key]
+	if !ok {
 		c.stats.Misses++
+		return searchResult{}, false
 	}
-	return r, ok
+	c.stats.Hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
 }
 
 func (c *cache) put(key cacheKey, r searchResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
-		c.entries[key] = r
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = r
+		c.order.MoveToFront(el)
 		return
 	}
-	for len(c.entries) >= c.max && len(c.order) > 0 {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
+	for len(c.entries) >= c.max {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
 		c.stats.Evictions++
 	}
-	c.entries[key] = r
-	c.order = append(c.order, key)
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: r})
 }
 
 func (c *cache) Stats() CacheStats {

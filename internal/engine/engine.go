@@ -77,9 +77,14 @@ type Options struct {
 	// Workers is the number of concurrent shard verifications per
 	// search; ≤ 0 means runtime.GOMAXPROCS(0).
 	Workers int
-	// CacheSize bounds the number of memoized search results; 0 means
-	// 4096, negative disables memoization entirely.
+	// CacheSize bounds the number of memoized search results (LRU);
+	// 0 means 4096, negative disables in-memory memoization entirely.
 	CacheSize int
+	// Persist, when non-nil, backs the memo cache with a persistent
+	// result store: cache misses consult it before searching, and every
+	// computed result is written through — so classifications survive
+	// restarts and are shared by every binary opening the same store.
+	Persist Persist
 }
 
 // Engine runs sharded, memoized witness searches. It is safe for
@@ -92,8 +97,10 @@ type Engine struct {
 	// each spawn their own goroutines, but at most `workers` of them
 	// hold a slot and burn CPU at any instant, so nested fan-out cannot
 	// oversubscribe the machine quadratically.
-	sem   chan struct{}
-	cache *cache // nil when memoization is disabled
+	sem     chan struct{}
+	cache   *cache  // nil when memoization is disabled
+	persist Persist // nil when no persistent store is attached
+	pstats  persistStats
 }
 
 // New builds an Engine from opts.
@@ -102,7 +109,7 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: w, sem: make(chan struct{}, w)}
+	e := &Engine{workers: w, sem: make(chan struct{}, w), persist: opts.Persist}
 	switch {
 	case opts.CacheSize == 0:
 		e.cache = newCache(4096)
@@ -116,37 +123,53 @@ func New(opts Options) *Engine {
 func (e *Engine) Workers() int { return e.workers }
 
 // Stats returns cumulative cache statistics (zero values when the cache
-// is disabled).
+// is disabled) merged with the persistent-store counters.
 func (e *Engine) Stats() CacheStats {
-	if e.cache == nil {
-		return CacheStats{}
+	var s CacheStats
+	if e.cache != nil {
+		s = e.cache.Stats()
 	}
-	return e.cache.Stats()
+	s.PersistHits = e.pstats.hits.Load()
+	s.PersistMisses = e.pstats.misses.Load()
+	s.PersistErrors = e.pstats.errors.Load()
+	return s
 }
 
 // Search looks for a witness of property p for type t among n processes,
 // verifying enumeration shards concurrently. It returns nil when no
 // witness exists over the candidate sets — the same exhaustive guarantee
 // as the sequential checker searches. Results (including negative ones)
-// are memoized under the type's canonical fingerprint.
+// are memoized under the type's fingerprint, and — with a persistent
+// store attached — written through to disk, so they survive restarts.
 func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*checker.Witness, error) {
 	verify, err := p.verify()
 	if err != nil {
 		return nil, err
 	}
-	var key cacheKey
-	haveKey := false
-	if e.cache != nil {
-		if fp, ok := Fingerprint(t, n); ok {
+	var (
+		key     cacheKey
+		fp      string
+		haveKey bool
+	)
+	if e.cache != nil || e.persist != nil {
+		if f, ok := Fingerprint(t, n); ok {
+			fp = f
 			key = cacheKey{fp: foldFingerprint(fp), prop: p, n: n}
 			haveKey = true
-			if r, ok := e.cache.get(key); ok {
-				if !r.found {
-					return nil, nil
-				}
-				w := cloneWitness(r.witness)
-				return &w, nil
+		}
+	}
+	if haveKey && e.cache != nil {
+		if r, ok := e.cache.get(key); ok {
+			return resultWitness(r), nil
+		}
+	}
+	if haveKey && e.persist != nil {
+		if r, ok := e.persistGet(fp, p, n); ok {
+			// Promote to the memo cache so the disk is read once.
+			if e.cache != nil {
+				e.cache.put(key, r)
 			}
+			return resultWitness(r), nil
 		}
 	}
 	w, err := e.searchParallel(ctx, t, n, verify)
@@ -158,9 +181,24 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 		if w != nil {
 			r.witness = cloneWitness(*w)
 		}
-		e.cache.put(key, r)
+		if e.cache != nil {
+			e.cache.put(key, r)
+		}
+		if e.persist != nil {
+			e.persistPut(fp, p, n, r)
+		}
 	}
 	return w, nil
+}
+
+// resultWitness converts a cached/stored result back into the Search
+// return convention, deep-copying so callers cannot corrupt the cache.
+func resultWitness(r searchResult) *checker.Witness {
+	if !r.found {
+		return nil
+	}
+	w := cloneWitness(r.witness)
+	return &w
 }
 
 // foldFingerprint packs the leading 128 bits of a canonical fingerprint

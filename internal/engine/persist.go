@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync/atomic"
+
+	"rcons/internal/checker"
+	"rcons/internal/spec"
+)
+
+// Persist is the narrow persistent-cache surface the engine writes
+// memoized search results through. *store.Store satisfies it; the
+// engine deliberately depends only on this interface so the checker
+// core stays storage-free and tests can stub persistence.
+//
+// Get's ok=false means "not stored" (never an integrity failure — the
+// store quarantines those itself); errors are operational (I/O) and the
+// engine treats them as misses.
+type Persist interface {
+	Get(kind, key string) ([]byte, bool, error)
+	Put(kind, key string, payload []byte) error
+}
+
+// persistKind namespaces search results inside the shared store.
+const persistKind = "search"
+
+// persistStats are the engine's store-interaction counters, separate
+// from the cache because persistence works with the memo cache disabled.
+type persistStats struct {
+	hits, misses, errors atomic.Int64
+}
+
+// persistKey names one search result: the exact type fingerprint (a
+// hex SHA-256) qualified by property and level. Deterministic, so every
+// binary sharing a store directory addresses the same computation at
+// the same key.
+func persistKey(fp string, p Property, n int) string {
+	return fp + "/" + p.String() + "/" + strconv.Itoa(n)
+}
+
+// persistedWitness / persistedSearch are the stored JSON form of a
+// search outcome. A stored found=false is as valuable as a witness: it
+// is the exhaustive proof of absence, which is the expensive half.
+type persistedWitness struct {
+	Q0    string   `json:"q0"`
+	Teams []int    `json:"teams"`
+	Ops   []string `json:"ops"`
+}
+
+type persistedSearch struct {
+	Found   bool              `json:"found"`
+	Witness *persistedWitness `json:"witness,omitempty"`
+}
+
+func encodeSearchResult(r searchResult) ([]byte, error) {
+	out := persistedSearch{Found: r.found}
+	if r.found {
+		ops := make([]string, len(r.witness.Ops))
+		for i, op := range r.witness.Ops {
+			ops[i] = string(op)
+		}
+		out.Witness = &persistedWitness{
+			Q0:    string(r.witness.Q0),
+			Teams: append([]int{}, r.witness.Teams...),
+			Ops:   ops,
+		}
+	}
+	return json.Marshal(out)
+}
+
+func decodeSearchResult(data []byte) (searchResult, bool) {
+	var p persistedSearch
+	if json.Unmarshal(data, &p) != nil {
+		return searchResult{}, false
+	}
+	if !p.Found {
+		return searchResult{found: false}, true
+	}
+	if p.Witness == nil || len(p.Witness.Teams) != len(p.Witness.Ops) {
+		return searchResult{}, false
+	}
+	w := checker.Witness{Q0: spec.State(p.Witness.Q0), Teams: p.Witness.Teams}
+	for _, op := range p.Witness.Ops {
+		w.Ops = append(w.Ops, spec.Op(op))
+	}
+	return searchResult{found: true, witness: w}, true
+}
+
+// persistGet consults the store for a previously computed search
+// result. Undecodable or erroring entries are treated as misses; the
+// search simply recomputes and persistPut heals the entry.
+func (e *Engine) persistGet(fp string, p Property, n int) (searchResult, bool) {
+	data, ok, err := e.persist.Get(persistKind, persistKey(fp, p, n))
+	if err != nil {
+		e.pstats.errors.Add(1)
+		return searchResult{}, false
+	}
+	if !ok {
+		e.pstats.misses.Add(1)
+		return searchResult{}, false
+	}
+	r, ok := decodeSearchResult(data)
+	if !ok {
+		e.pstats.misses.Add(1)
+		return searchResult{}, false
+	}
+	e.pstats.hits.Add(1)
+	return r, true
+}
+
+// persistPut writes a computed search result through to the store.
+// Failures are counted but never fail the search: persistence is an
+// accelerator, not a correctness dependency.
+func (e *Engine) persistPut(fp string, p Property, n int, r searchResult) {
+	data, err := encodeSearchResult(r)
+	if err != nil {
+		e.pstats.errors.Add(1)
+		return
+	}
+	if err := e.persist.Put(persistKind, persistKey(fp, p, n), data); err != nil {
+		e.pstats.errors.Add(1)
+	}
+}

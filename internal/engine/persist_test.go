@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rcons/internal/types"
+)
+
+// fakePersist is an in-memory Persist double with call counters and a
+// failure switch.
+type fakePersist struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	gets    int
+	puts    int
+	fail    bool
+}
+
+func newFakePersist() *fakePersist {
+	return &fakePersist{entries: map[string][]byte{}}
+}
+
+func (f *fakePersist) Get(kind, key string) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	if f.fail {
+		return nil, false, errors.New("injected store failure")
+	}
+	data, ok := f.entries[kind+"\x00"+key]
+	return data, ok, nil
+}
+
+func (f *fakePersist) Put(kind, key string, payload []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	if f.fail {
+		return errors.New("injected store failure")
+	}
+	f.entries[kind+"\x00"+key] = append([]byte(nil), payload...)
+	return nil
+}
+
+// TestPersistWriteThroughAndRestart: engine 1 computes and persists;
+// engine 2 (a "restarted process" sharing the store) answers from disk
+// without searching. The sentinel proves no recomputation: engine 2's
+// memo cache is disabled and the stored entry is the only possible
+// source of the exact bytes it returns.
+func TestPersistWriteThroughAndRestart(t *testing.T) {
+	ctx := context.Background()
+	p := newFakePersist()
+	typ := types.NewSn(3)
+
+	e1 := New(Options{Workers: 2, Persist: p})
+	w1, err := e1.Search(ctx, typ, Recording, 3)
+	if err != nil || w1 == nil {
+		t.Fatalf("search: %v, %v", w1, err)
+	}
+	if p.puts == 0 {
+		t.Fatal("computed result not written through")
+	}
+	if s := e1.Stats(); s.PersistMisses == 0 || s.PersistHits != 0 {
+		t.Fatalf("first-run persist stats: %+v", s)
+	}
+	// Negative results persist too.
+	if w, err := e1.Search(ctx, typ, Recording, 4); err != nil || w != nil {
+		t.Fatalf("negative search: %v, %v", w, err)
+	}
+
+	e2 := New(Options{Workers: 2, CacheSize: -1, Persist: p})
+	w2, err := e2.Search(ctx, typ, Recording, 3)
+	if err != nil || w2 == nil {
+		t.Fatalf("restart search: %v, %v", w2, err)
+	}
+	if !reflect.DeepEqual(*w1, *w2) {
+		t.Fatalf("persisted witness differs: %s vs %s", w1, w2)
+	}
+	if w, err := e2.Search(ctx, typ, Recording, 4); err != nil || w != nil {
+		t.Fatalf("persisted negative result: %v, %v", w, err)
+	}
+	if s := e2.Stats(); s.PersistHits != 2 {
+		t.Fatalf("restart persist stats: %+v", s)
+	}
+}
+
+// TestPersistServesStoredResult plants a distinguishable witness in the
+// store and checks the engine serves it verbatim — direct proof that a
+// persist hit skips the search entirely.
+func TestPersistServesStoredResult(t *testing.T) {
+	ctx := context.Background()
+	p := newFakePersist()
+	typ := types.NewSn(3)
+	fp, ok := Fingerprint(typ, 3)
+	if !ok {
+		t.Fatal("S_3 not fingerprintable")
+	}
+	sentinel := persistedSearch{Found: true, Witness: &persistedWitness{
+		Q0: "sentinel-state", Teams: []int{0, 1, 0}, Ops: []string{"a", "b", "c"},
+	}}
+	data, err := json.Marshal(sentinel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(persistKind, persistKey(fp, Recording, 3), data); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 2, Persist: p})
+	w, err := e.Search(ctx, typ, Recording, 3)
+	if err != nil || w == nil {
+		t.Fatalf("search: %v, %v", w, err)
+	}
+	if string(w.Q0) != "sentinel-state" {
+		t.Fatalf("engine recomputed instead of serving the store: %s", w)
+	}
+	// The hit was promoted to the memo cache: a second search must not
+	// re-read the store.
+	gets := p.gets
+	if _, err := e.Search(ctx, typ, Recording, 3); err != nil {
+		t.Fatal(err)
+	}
+	if p.gets != gets {
+		t.Fatal("memo-cached search re-read the store")
+	}
+}
+
+// TestPersistFailureIsSoft: a broken store degrades to plain
+// computation, counted but never surfaced.
+func TestPersistFailureIsSoft(t *testing.T) {
+	ctx := context.Background()
+	p := newFakePersist()
+	p.fail = true
+	e := New(Options{Workers: 2, Persist: p})
+	w, err := e.Search(ctx, types.NewSn(3), Recording, 3)
+	if err != nil || w == nil {
+		t.Fatalf("search with broken store: %v, %v", w, err)
+	}
+	if s := e.Stats(); s.PersistErrors == 0 {
+		t.Fatalf("store failures uncounted: %+v", s)
+	}
+}
+
+// TestPersistCorruptEntryIsMiss: an undecodable stored entry falls back
+// to computation and is healed by the write-through.
+func TestPersistCorruptEntryIsMiss(t *testing.T) {
+	ctx := context.Background()
+	p := newFakePersist()
+	typ := types.NewSn(3)
+	fp, _ := Fingerprint(typ, 3)
+	key := persistKey(fp, Recording, 3)
+	if err := p.Put(persistKind, key, []byte(`{"found":true,"witness":null}`)); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 2, Persist: p})
+	w, err := e.Search(ctx, typ, Recording, 3)
+	if err != nil || w == nil {
+		t.Fatalf("search over corrupt entry: %v, %v", w, err)
+	}
+	if string(w.Q0) == "" {
+		t.Fatal("empty witness served")
+	}
+	healed, ok := p.entries[persistKind+"\x00"+key]
+	if !ok {
+		t.Fatal("write-through did not heal the entry")
+	}
+	r, ok := decodeSearchResult(healed)
+	if !ok || !r.found {
+		t.Fatalf("healed entry undecodable: %s", healed)
+	}
+}
+
+// TestSearchResultCodecRoundTrip exercises the stored-JSON codec over
+// real search outcomes for the whole zoo at a couple of levels.
+func TestSearchResultCodecRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	e := New(Options{Workers: 4})
+	for _, typ := range types.Zoo() {
+		for n := 2; n <= 3; n++ {
+			for _, prop := range []Property{Recording, Discerning} {
+				w, err := e.Search(ctx, typ, prop, n)
+				if err != nil {
+					t.Fatalf("%s %s n=%d: %v", typ.Name(), prop, n, err)
+				}
+				r := searchResult{found: w != nil}
+				if w != nil {
+					r.witness = cloneWitness(*w)
+				}
+				data, err := encodeSearchResult(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				back, ok := decodeSearchResult(data)
+				if !ok {
+					t.Fatalf("%s %s n=%d: round-trip decode failed: %s", typ.Name(), prop, n, data)
+				}
+				if back.found != r.found || (r.found && !reflect.DeepEqual(back.witness, r.witness)) {
+					t.Fatalf("%s %s n=%d: round trip changed the result:\n%+v\nvs\n%+v",
+						typ.Name(), prop, n, back, r)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeSearchResultRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`not json`,
+		`{"found":true}`, // found without witness
+		`{"found":true,"witness":{"teams":[0],"ops":["a","b"]}}`, // length mismatch
+	} {
+		if _, ok := decodeSearchResult([]byte(bad)); ok {
+			t.Errorf("decoded garbage %s", bad)
+		}
+	}
+	if r, ok := decodeSearchResult([]byte(`{"found":false}`)); !ok || r.found {
+		t.Error("negative result failed to decode")
+	}
+}
+
+// TestPersistKeysAreDistinct guards the key schema: property, level and
+// type must all separate.
+func TestPersistKeysAreDistinct(t *testing.T) {
+	fpA, _ := Fingerprint(types.NewSn(3), 3)
+	fpB, _ := Fingerprint(types.NewSn(4), 3)
+	keys := map[string]bool{}
+	for _, fp := range []string{fpA, fpB} {
+		for _, prop := range []Property{Recording, Discerning} {
+			for n := 2; n <= 3; n++ {
+				keys[persistKey(fp, prop, n)] = true
+			}
+		}
+	}
+	if len(keys) != 8 {
+		t.Fatalf("key schema collides: %d distinct keys, want 8", len(keys))
+	}
+	_ = fmt.Sprintf("%v", keys)
+}

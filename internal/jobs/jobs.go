@@ -1,0 +1,610 @@
+// Package jobs is a generic asynchronous job manager: the subsystem
+// behind rcserve's /v1/jobs endpoints, built for work (census runs,
+// exhaustive model checks, zoo scans) that outlives any sane HTTP
+// request deadline. Callers register handlers per job kind, submit a
+// kind plus JSON parameters, and poll the returned ID.
+//
+// Execution is a bounded worker pool in the engine's sharding
+// discipline: jobs queue FIFO, at most Workers run at once, and each
+// running job gets its own cancellable context (plus the configured
+// per-job deadline). Job IDs are deterministic fingerprints of
+// (kind, canonicalized parameters), so duplicate submissions — from
+// retrying clients or a million users asking the same question —
+// coalesce onto one execution and one retained result.
+//
+// With a persistent store attached, finished results are written
+// through and resubmissions after a process restart are answered from
+// disk without recomputation. Terminal jobs are retained up to a cap
+// and evicted oldest-first; Drain stops intake and lets queued and
+// running work finish within a deadline, cancelling whatever remains.
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Handler executes one job kind. The params are the canonical JSON the
+// job was submitted with; the result must be JSON. Handlers must honour
+// ctx — it is how cancellation, deadlines and draining reach them.
+type Handler func(ctx context.Context, params json.RawMessage) (json.RawMessage, error)
+
+// Persist is the narrow persistent-store surface the manager writes
+// finished results through; *store.Store satisfies it.
+type Persist interface {
+	Get(kind, key string) ([]byte, bool, error)
+	Put(kind, key string, payload []byte) error
+}
+
+// storeKind namespaces job results inside the shared store.
+const storeKind = "job"
+
+// Errors returned by Submit and Cancel.
+var (
+	ErrUnknownKind = errors.New("jobs: unknown job kind")
+	ErrQueueFull   = errors.New("jobs: queue full")
+	ErrClosed      = errors.New("jobs: manager draining")
+	ErrNotFound    = errors.New("jobs: no such job")
+	ErrTerminal    = errors.New("jobs: job already finished")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Workers bounds concurrently running jobs; ≤ 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Queue bounds jobs waiting to run; 0 means 256. Submissions beyond
+	// it fail with ErrQueueFull (load shedding, not unbounded buffering).
+	Queue int
+	// Retention caps retained terminal jobs; 0 means 512. The oldest
+	// terminal jobs are evicted first; queued/running jobs never are.
+	Retention int
+	// Timeout is the per-job execution deadline; 0 means none.
+	Timeout time.Duration
+	// Store, when non-nil, persists finished results and answers
+	// resubmissions of completed work across process restarts.
+	Store Persist
+}
+
+// Info is a point-in-time snapshot of one job, safe to retain and
+// serialize (rcserve returns it verbatim).
+type Info struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	State  State           `json:"state"`
+	Params json.RawMessage `json:"params,omitempty"`
+	// Result is set once State is done; Error once failed/cancelled.
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	// FromStore marks a result served from the persistent store without
+	// (re)execution — the cross-restart dedup guarantee in action.
+	FromStore bool       `json:"fromStore,omitempty"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// Stats is the queue-health snapshot /healthz reports.
+type Stats struct {
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queueCap"`
+	// Queued/Running are current; the rest are cumulative.
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Submitted int64 `json:"submitted"`
+	// Coalesced counts submissions answered by an existing live job;
+	// StoreHits those answered from the persistent store.
+	Coalesced int64 `json:"coalesced"`
+	StoreHits int64 `json:"storeHits"`
+	Evicted   int64 `json:"evicted"`
+}
+
+// job is the manager's mutable record; Info snapshots are copied out
+// under the manager lock.
+type job struct {
+	info        Info
+	handler     Handler
+	cancel      context.CancelFunc // set while running
+	cancelAsked bool
+}
+
+// Manager runs jobs. Create with New; all methods are safe for
+// concurrent use.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled when queue gains work or the manager closes
+	handlers map[string]Handler
+	jobs     map[string]*job
+	order    []string // submission order, for listing + eviction
+	queue    []*job   // FIFO of queued jobs (cancellation removes in place)
+	closed   bool
+	stats    Stats
+	wg       sync.WaitGroup
+}
+
+// New builds a Manager and starts its worker pool.
+func New(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 256
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = 512
+	}
+	m := &Manager{
+		opts:     opts,
+		handlers: map[string]Handler{},
+		jobs:     map[string]*job{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.stats.Workers = opts.Workers
+	m.stats.QueueCap = opts.Queue
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Register installs the handler for a job kind. It must be called
+// before any Submit of that kind; re-registering replaces the handler
+// for future jobs.
+func (m *Manager) Register(kind string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[kind] = h
+}
+
+// Kinds lists the registered job kinds in sorted order.
+func (m *Manager) Kinds() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.handlers))
+	for k := range m.handlers {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ID derives the deterministic job ID of (kind, params): a SHA-256 over
+// the kind and the canonicalized parameter JSON (object keys sorted,
+// whitespace dropped), so any two requests for the same work — however
+// formatted — share an ID. This is what makes duplicate submissions
+// coalesce, in-process and across restarts.
+func ID(kind string, params json.RawMessage) (string, error) {
+	canon, err := canonicalJSON(params)
+	if err != nil {
+		return "", fmt.Errorf("jobs: parameters for %q are not valid JSON: %w", kind, err)
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(canon)
+	return "j" + hex.EncodeToString(h.Sum(nil))[:24], nil
+}
+
+// canonicalJSON reduces any JSON document to canonical bytes:
+// encoding/json sorts map keys and emits no insignificant whitespace.
+// Numbers are decoded as json.Number so their digits survive verbatim —
+// an int64 seed above 2^53 must neither collide with its float64
+// neighbour in the job ID nor come back overflowed to the handler.
+func canonicalJSON(raw json.RawMessage) ([]byte, error) {
+	if len(raw) == 0 {
+		raw = json.RawMessage("null")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after JSON document")
+	}
+	return json.Marshal(v)
+}
+
+// persisted is the store payload of a finished job.
+type persisted struct {
+	Kind   string          `json:"kind"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Submit enqueues (kind, params) and returns the job's snapshot.
+// existing is true when no new execution was started: the ID matched a
+// live or completed job (coalescing) or a stored result from a previous
+// process. A job that previously failed or was cancelled is re-run
+// under the same ID.
+func (m *Manager) Submit(kind string, params json.RawMessage) (Info, bool, error) {
+	id, err := ID(kind, params)
+	if err != nil {
+		return Info{}, false, err
+	}
+	canon, err := canonicalJSON(params)
+	if err != nil {
+		return Info{}, false, err
+	}
+
+	m.mu.Lock()
+	h, ok := m.handlers[kind]
+	if !ok {
+		m.mu.Unlock()
+		return Info{}, false, fmt.Errorf("%w %q", ErrUnknownKind, kind)
+	}
+	info, existing, err, handled := m.submitLocked(kind, h, id, canon, m.opts.Store == nil)
+	m.mu.Unlock()
+	if handled {
+		return info, existing, err
+	}
+
+	// Probe the persistent store for a finished result from a previous
+	// process — deliberately outside the manager lock, so disk reads
+	// never stall Get/List/Cancel/Stats.
+	var stored *persisted
+	if data, hit, gerr := m.opts.Store.Get(storeKind, id); gerr == nil && hit {
+		var p persisted
+		if json.Unmarshal(data, &p) == nil && p.Kind == kind {
+			stored = &p
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if stored != nil {
+		if m.closed {
+			return Info{}, false, ErrClosed
+		}
+		if j, ok := m.jobs[id]; ok {
+			// Raced with another submission while we read the disk.
+			m.stats.Coalesced++
+			return snapshot(j), true, nil
+		}
+		now := time.Now()
+		j := &job{info: Info{
+			ID: id, Kind: kind, State: StateDone,
+			Params: canon, Result: stored.Result, FromStore: true,
+			Created: now, Finished: &now,
+		}}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		m.stats.StoreHits++
+		m.stats.Done++
+		m.evictLocked()
+		return snapshot(j), true, nil
+	}
+	info, existing, err, _ = m.submitLocked(kind, h, id, canon, true)
+	return info, existing, err
+}
+
+// submitLocked resolves a submission against the in-memory state:
+// coalesce onto a live/completed job, re-queue failed/cancelled work,
+// or — when enqueue is true — start a fresh queued job. handled=false
+// (only possible with enqueue=false) means the caller should probe the
+// store first. Requires m.mu.
+func (m *Manager) submitLocked(kind string, h Handler, id string, canon json.RawMessage, enqueue bool) (Info, bool, error, bool) {
+	if m.closed {
+		return Info{}, false, ErrClosed, true
+	}
+	if j, ok := m.jobs[id]; ok {
+		switch j.info.State {
+		case StateFailed, StateCancelled:
+			// A fresh attempt reuses the ID (the work is the same work).
+			if len(m.queue) >= m.opts.Queue {
+				return Info{}, false, ErrQueueFull, true
+			}
+			j.info.State = StateQueued
+			j.info.Result = nil
+			j.info.Error = ""
+			j.info.FromStore = false
+			j.info.Created = time.Now()
+			j.info.Started, j.info.Finished = nil, nil
+			j.cancelAsked, j.cancel = false, nil
+			j.handler = h
+			m.queue = append(m.queue, j)
+			m.stats.Submitted++
+			m.cond.Signal()
+			return snapshot(j), false, nil, true
+		default:
+			m.stats.Coalesced++
+			return snapshot(j), true, nil, true
+		}
+	}
+	if !enqueue {
+		return Info{}, false, nil, false
+	}
+	if len(m.queue) >= m.opts.Queue {
+		return Info{}, false, ErrQueueFull, true
+	}
+	j := &job{
+		info:    Info{ID: id, Kind: kind, State: StateQueued, Params: canon, Created: time.Now()},
+		handler: h,
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.queue = append(m.queue, j)
+	m.stats.Submitted++
+	m.evictLocked()
+	m.cond.Signal()
+	return snapshot(j), false, nil, true
+}
+
+// worker pops queued jobs until the manager is closed AND the queue is
+// empty — so a graceful drain still executes everything already queued.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		if j.info.State != StateQueued {
+			m.mu.Unlock()
+			continue
+		}
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if m.opts.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, m.opts.Timeout)
+		} else {
+			ctx, cancel = context.WithCancel(ctx)
+		}
+		j.cancel = cancel
+		now := time.Now()
+		j.info.State = StateRunning
+		j.info.Started = &now
+		m.stats.Running++
+		handler, params := j.handler, j.info.Params
+		m.mu.Unlock()
+
+		result, err := handler(ctx, params)
+		cancel()
+		m.finish(j, result, err)
+	}
+}
+
+// finish records a returned handler's outcome and, for completed work,
+// persists the result (outside the manager lock: an fsync must never
+// stall the API surface).
+func (m *Manager) finish(j *job, result json.RawMessage, err error) {
+	m.mu.Lock()
+	fin := time.Now()
+	j.info.Finished = &fin
+	j.cancel = nil
+	m.stats.Running--
+	var persist []byte
+	switch {
+	case j.cancelAsked:
+		// The result of cancelled work is discarded even if the handler
+		// managed to finish before noticing the dead context.
+		j.info.State = StateCancelled
+		j.info.Error = "cancelled"
+		m.stats.Cancelled++
+	case err != nil:
+		j.info.State = StateFailed
+		j.info.Error = err.Error()
+		m.stats.Failed++
+	default:
+		j.info.State = StateDone
+		j.info.Result = result
+		m.stats.Done++
+		if m.opts.Store != nil {
+			persist, _ = json.Marshal(persisted{Kind: j.info.Kind, Result: result})
+		}
+	}
+	m.evictLocked()
+	m.mu.Unlock()
+	if persist != nil {
+		// Persistence failure degrades restart dedup, never the job.
+		_ = m.opts.Store.Put(storeKind, j.info.ID, persist)
+	}
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (m *Manager) Get(id string) (Info, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Info{}, false
+	}
+	return snapshot(j), true
+}
+
+// List returns snapshots of every retained job, newest submission
+// first, with Params/Result stripped (poll the ID for the payload).
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Info, 0, len(m.order))
+	for i := len(m.order) - 1; i >= 0; i-- {
+		j, ok := m.jobs[m.order[i]]
+		if !ok {
+			continue
+		}
+		info := snapshot(j)
+		info.Params, info.Result = nil, nil
+		out = append(out, info)
+	}
+	return out
+}
+
+// Cancel stops the job with the given ID: a queued job is cancelled
+// immediately, a running job has its context cancelled (the state
+// flips to cancelled when the handler returns). Cancelling an
+// already-cancelled job is a no-op; a done/failed one is ErrTerminal.
+func (m *Manager) Cancel(id string) (Info, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Info{}, ErrNotFound
+	}
+	switch j.info.State {
+	case StateQueued:
+		m.unqueueLocked(j)
+		now := time.Now()
+		j.info.State = StateCancelled
+		j.info.Error = "cancelled"
+		j.info.Finished = &now
+		j.cancelAsked = true
+		m.stats.Cancelled++
+		m.evictLocked()
+	case StateRunning:
+		j.cancelAsked = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	case StateCancelled:
+		// idempotent
+	default:
+		return snapshot(j), ErrTerminal
+	}
+	return snapshot(j), nil
+}
+
+// unqueueLocked removes j from the pending queue, freeing its slot
+// immediately (a cancelled job must not count against the queue cap).
+// Requires m.mu.
+func (m *Manager) unqueueLocked(j *job) {
+	for i, q := range m.queue {
+		if q == j {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats returns the queue-health snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Queued = len(m.queue)
+	return s
+}
+
+// Drain stops intake and shuts the pool down gracefully: queued and
+// running jobs keep executing until done or ctx expires, at which point
+// every remaining job is cancelled and the workers are awaited (their
+// handlers observe the cancelled contexts and return). Returns ctx's
+// error when the deadline forced cancellations, nil on a clean drain.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline hit: cancel everything still alive, then wait for the
+	// workers (handlers return promptly once their contexts die).
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.info.State {
+		case StateQueued:
+			m.unqueueLocked(j)
+			now := time.Now()
+			j.info.State = StateCancelled
+			j.info.Error = "cancelled: shutdown"
+			j.info.Finished = &now
+			j.cancelAsked = true
+			m.stats.Cancelled++
+		case StateRunning:
+			j.cancelAsked = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap.
+// Requires m.mu.
+func (m *Manager) evictLocked() {
+	terminal := 0
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok && j.info.State.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.opts.Retention {
+		return
+	}
+	excess := terminal - m.opts.Retention
+	keep := m.order[:0]
+	for _, id := range m.order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		if excess > 0 && j.info.State.Terminal() {
+			delete(m.jobs, id)
+			m.stats.Evicted++
+			excess--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	m.order = keep
+}
+
+func snapshot(j *job) Info {
+	return j.info // Info's reference fields are never mutated in place
+}

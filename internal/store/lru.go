@@ -1,0 +1,59 @@
+package store
+
+import "container/list"
+
+// lruFront is the store's bounded in-memory payload cache: a plain
+// doubly-linked-list LRU keyed by "kind\x00key". It is not safe for
+// concurrent use on its own — the Store's mutex guards it.
+type lruFront struct {
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type frontEntry struct {
+	key     string
+	payload []byte
+}
+
+func newLRUFront(max int) *lruFront {
+	if max < 1 {
+		max = 1
+	}
+	return &lruFront{max: max, entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// get returns the cached payload and marks it most recently used. The
+// returned slice is the cache's own copy; callers must not mutate it.
+func (l *lruFront) get(key string) ([]byte, bool) {
+	el, ok := l.entries[key]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*frontEntry).payload, true
+}
+
+// put inserts or refreshes key and returns how many entries were
+// evicted to respect the bound (0 or 1).
+func (l *lruFront) put(key string, payload []byte) (evicted int64) {
+	if el, ok := l.entries[key]; ok {
+		el.Value.(*frontEntry).payload = append([]byte(nil), payload...)
+		l.order.MoveToFront(el)
+		return 0
+	}
+	for len(l.entries) >= l.max {
+		back := l.order.Back()
+		if back == nil {
+			break
+		}
+		l.order.Remove(back)
+		delete(l.entries, back.Value.(*frontEntry).key)
+		evicted++
+	}
+	l.entries[key] = l.order.PushFront(&frontEntry{key: key, payload: append([]byte(nil), payload...)})
+	return evicted
+}
+
+// len reports the current entry count.
+func (l *lruFront) len() int { return len(l.entries) }

@@ -1,0 +1,403 @@
+// Package store is a crash-safe, content-addressed, on-disk result
+// store: the persistence layer under the classification engine's memo
+// cache, the census pipeline's resume path and the job manager's
+// results, shared by rcons, rcatlas and rcserve.
+//
+// Entries live in namespaced kinds ("search", "census-row", "job") and
+// are addressed by the SHA-256 of (kind, key) — keys are canonical
+// fingerprints or other deterministic identities, so the same
+// computation always lands in the same file regardless of which binary
+// performed it. Each entry is a versioned JSON envelope carrying the
+// kind, the full key and a SHA-256 checksum of the payload, so reads
+// verify both integrity and identity (a hash collision or a stray file
+// cannot serve the wrong result).
+//
+// Crash safety: writes go to a temporary file in the entry's directory,
+// are fsynced, and are renamed into place — readers never observe a
+// partial entry. Open sweeps the store: leftover temp files from a
+// killed writer are deleted, and entries that fail to parse or whose
+// checksum does not match are moved into a quarantine directory instead
+// of being served or silently deleted (Get does the same if an entry
+// rots after Open). A bounded in-memory LRU fronts the disk with
+// hit/miss/eviction counters.
+//
+// Payloads must be JSON (they are embedded verbatim in the envelope);
+// Put compacts them, so logically equal payloads are byte-identical on
+// disk and re-putting an unchanged result is a no-op that never
+// rewrites the file — which keeps store-enabled runs byte-deterministic.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Version identifies the on-disk envelope schema; entries with another
+// version are quarantined, not misread.
+const Version = 1
+
+const (
+	layoutDir     = "v1"
+	quarantineSub = "quarantine"
+	tmpMarker     = ".tmp"
+)
+
+// envelope is the on-disk form of one entry.
+type envelope struct {
+	Version  int             `json:"version"`
+	Kind     string          `json:"kind"`
+	Key      string          `json:"key"`
+	Checksum string          `json:"checksum"` // "sha256:" + hex of Payload
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// Options configures a Store.
+type Options struct {
+	// CacheEntries bounds the in-memory LRU front; 0 means 1024,
+	// negative disables the front entirely (every Get reads disk).
+	CacheEntries int
+}
+
+// Stats reports a store's cumulative behavior. All counters are
+// monotone for the life of the process except Entries, which tracks the
+// current number of valid entries on disk.
+type Stats struct {
+	// Entries is the number of valid entries on disk (counted at Open,
+	// maintained by Put).
+	Entries int64 `json:"entries"`
+	// MemHits are Gets served by the LRU front; DiskHits read and
+	// verified a file; Misses found nothing.
+	MemHits  int64 `json:"memHits"`
+	DiskHits int64 `json:"diskHits"`
+	Misses   int64 `json:"misses"`
+	// Puts wrote a new or changed entry; PutNoops skipped a write
+	// because an identical entry was already on disk.
+	Puts     int64 `json:"puts"`
+	PutNoops int64 `json:"putNoops"`
+	// Evictions counts LRU-front entries dropped for the size bound.
+	Evictions int64 `json:"evictions"`
+	// Quarantined counts corrupt entries moved aside (at Open or Get).
+	Quarantined int64 `json:"quarantined"`
+}
+
+// Store is a content-addressed result store rooted at one directory.
+// It is safe for concurrent use; two Stores may even share a directory
+// (writes are atomic renames), though they will not share an LRU front.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	front *lruFront // nil when the memory front is disabled
+	stats Stats
+
+	// writeLocks serialize the read-check-then-write sections per entry
+	// address (striped), so concurrent Puts of one key cannot both
+	// observe "absent" and double-count Entries, and a Get racing a Put
+	// on the same entry sees either the old or the new complete state.
+	writeLocks [64]sync.Mutex
+}
+
+// writeLock returns the stripe guarding the given address.
+func (s *Store) writeLock(a string) *sync.Mutex {
+	// a is hex (lowercase); fold the first two characters into 0..63.
+	return &s.writeLocks[(hexVal(a[0])<<4|hexVal(a[1]))%64]
+}
+
+func hexVal(c byte) int {
+	if c >= 'a' {
+		return int(c-'a') + 10
+	}
+	return int(c - '0')
+}
+
+// Open initializes dir (creating it if needed), deletes temp files left
+// by writers that died mid-write, and verifies every entry — parse
+// failures, checksum mismatches and alien versions are moved to
+// dir/quarantine rather than served later. The scan makes Open O(store
+// size); the stores this repository writes hold small JSON results, so
+// the integrity pass is cheap relative to recomputing even one of them.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	for _, sub := range []string{layoutDir, quarantineSub} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: init %s: %w", dir, err)
+		}
+	}
+	s := &Store{dir: dir}
+	switch {
+	case opts.CacheEntries == 0:
+		s.front = newLRUFront(1024)
+	case opts.CacheEntries > 0:
+		s.front = newLRUFront(opts.CacheEntries)
+	}
+	if err := s.sweep(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sweep is Open's integrity pass over dir/v1.
+func (s *Store) sweep() error {
+	root := filepath.Join(s.dir, layoutDir)
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A concurrently-opened store may have swept a file first.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return fmt.Errorf("store: sweep %s: %w", path, err)
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.Contains(d.Name(), tmpMarker) {
+			// A writer died between create and rename; the entry it was
+			// replacing (if any) is still intact under the final name.
+			if rerr := os.Remove(path); rerr != nil && !os.IsNotExist(rerr) {
+				return fmt.Errorf("store: remove stale temp %s: %w", path, rerr)
+			}
+			return nil
+		}
+		if _, ok := readEnvelope(path); !ok {
+			s.quarantine(path)
+			return nil
+		}
+		s.mu.Lock()
+		s.stats.Entries++
+		s.mu.Unlock()
+		return nil
+	})
+}
+
+// quarantine moves a corrupt entry into dir/quarantine under its base
+// name and reports whether this call actually moved it. Failures
+// (including the file vanishing under a concurrent store) are not
+// errors: quarantine is best-effort containment, and the entry is
+// treated as absent either way.
+func (s *Store) quarantine(path string) bool {
+	dest := filepath.Join(s.dir, quarantineSub, filepath.Base(path))
+	moved := os.Rename(path, dest) == nil
+	if moved {
+		s.mu.Lock()
+		s.stats.Quarantined++
+		s.mu.Unlock()
+	}
+	return moved
+}
+
+// addr derives the content address of (kind, key): a SHA-256 over both,
+// hex-encoded. The kind is also a directory level and the first address
+// byte a fan-out level, keeping directories small.
+func addr(kind, key string) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Store) entryPath(kind, key string) (string, error) {
+	if !validKind(kind) {
+		return "", fmt.Errorf("store: invalid kind %q (want lowercase [a-z0-9-])", kind)
+	}
+	a := addr(kind, key)
+	return filepath.Join(s.dir, layoutDir, kind, a[:2], a+".json"), nil
+}
+
+// validKind keeps kinds usable as directory names on every platform.
+func validKind(kind string) bool {
+	if kind == "" {
+		return false
+	}
+	for i := 0; i < len(kind); i++ {
+		c := kind[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func checksum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// readEnvelope loads and fully verifies one entry file.
+func readEnvelope(path string) (*envelope, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if json.Unmarshal(data, &env) != nil {
+		return nil, false
+	}
+	if env.Version != Version || env.Checksum != checksum(env.Payload) {
+		return nil, false
+	}
+	return &env, true
+}
+
+// Get returns the payload stored under (kind, key). ok is false when no
+// (valid) entry exists; a corrupt entry is quarantined and reported as
+// absent, never as an error — the caller recomputes and Put heals the
+// store.
+func (s *Store) Get(kind, key string) ([]byte, bool, error) {
+	path, err := s.entryPath(kind, key)
+	if err != nil {
+		return nil, false, err
+	}
+	ck := kind + "\x00" + key
+	s.mu.Lock()
+	if s.front != nil {
+		if payload, ok := s.front.get(ck); ok {
+			s.stats.MemHits++
+			s.mu.Unlock()
+			return append([]byte(nil), payload...), true, nil
+		}
+	}
+	s.mu.Unlock()
+
+	wl := s.writeLock(addr(kind, key))
+	wl.Lock()
+	env, ok := readEnvelope(path)
+	if !ok {
+		if _, serr := os.Lstat(path); serr == nil && s.quarantine(path) {
+			// The file exists but does not verify: corrupt entry.
+			s.mu.Lock()
+			s.stats.Entries--
+			s.mu.Unlock()
+		}
+		wl.Unlock()
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	wl.Unlock()
+	if env.Kind != kind || env.Key != key {
+		// Address collision or a file moved by hand; identity must match.
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	s.mu.Lock()
+	s.stats.DiskHits++
+	if s.front != nil {
+		s.stats.Evictions += s.front.put(ck, env.Payload)
+	}
+	s.mu.Unlock()
+	return append([]byte(nil), env.Payload...), true, nil
+}
+
+// Put stores payload (which must be valid JSON) under (kind, key),
+// atomically: a reader — or a crash — can only ever observe the old
+// complete entry or the new complete entry. Re-putting a byte-identical
+// payload is a no-op.
+func (s *Store) Put(kind, key string, payload []byte) error {
+	path, err := s.entryPath(kind, key)
+	if err != nil {
+		return err
+	}
+	var compact json.RawMessage
+	if err := json.Unmarshal(payload, &compact); err != nil {
+		return fmt.Errorf("store: payload for %s/%s is not JSON: %w", kind, key, err)
+	}
+	buf, err := json.Marshal(compact) // canonical compact bytes
+	if err != nil {
+		return fmt.Errorf("store: compact payload for %s/%s: %w", kind, key, err)
+	}
+	env := envelope{Version: Version, Kind: kind, Key: key, Checksum: checksum(buf), Payload: buf}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("store: encode entry %s/%s: %w", kind, key, err)
+	}
+
+	wl := s.writeLock(addr(kind, key))
+	wl.Lock()
+	defer wl.Unlock()
+	existed := false
+	if old, ok := readEnvelope(path); ok {
+		existed = true
+		if old.Kind == kind && old.Key == key && old.Checksum == env.Checksum {
+			s.mu.Lock()
+			s.stats.PutNoops++
+			if s.front != nil {
+				s.stats.Evictions += s.front.put(kind+"\x00"+key, buf)
+			}
+			s.mu.Unlock()
+			return nil
+		}
+	}
+	if err := writeAtomic(path, data); err != nil {
+		return fmt.Errorf("store: write %s/%s: %w", kind, key, err)
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	if !existed {
+		s.stats.Entries++
+	}
+	if s.front != nil {
+		s.stats.Evictions += s.front.put(kind+"\x00"+key, buf)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// writeAtomic writes data next to path and renames it into place. The
+// temp name embeds tmpMarker so Open's sweep recognizes debris from a
+// crashed writer.
+func writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+tmpMarker+"*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	// fsync before rename: on a crash the renamed entry must never be
+	// an empty or partial file (the checksum would catch it, but a
+	// verified write keeps the store warm across power loss too).
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,424 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	payload := []byte(`{"found": true, "n": 3}`)
+	if err := s.Put("search", "fp-1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("search", "fp-1")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	// Payloads are compacted to canonical bytes.
+	if want := `{"found":true,"n":3}`; string(got) != want {
+		t.Fatalf("payload = %s, want %s", got, want)
+	}
+	if _, ok, _ := s.Get("search", "fp-2"); ok {
+		t.Fatal("absent key reported present")
+	}
+	if _, ok, _ := s.Get("census-row", "fp-1"); ok {
+		t.Fatal("kinds must not share a namespace")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Puts != 1 || st.MemHits != 1 || st.Misses != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPutRejectsBadInput(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Put("search", "k", []byte(`not json`)); err == nil {
+		t.Fatal("non-JSON payload accepted")
+	}
+	if err := s.Put("Bad/Kind", "k", []byte(`1`)); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	if _, _, err := s.Get("", "k"); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+}
+
+func TestPutIdempotentNoop(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	// Logically equal but differently formatted payloads must coalesce
+	// to one canonical entry and never rewrite the file.
+	if err := s.Put("job", "id", []byte(`{"a": 1, "b": 2}`)); err != nil {
+		t.Fatal(err)
+	}
+	path, err := s.entryPath("job", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info1, _ := os.Stat(path)
+	if err := s.Put("job", "id", []byte("{\"a\":1,\n\"b\":2}")); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("idempotent put changed the entry:\n%s\nvs\n%s", before, after)
+	}
+	info2, _ := os.Stat(path)
+	if !info1.ModTime().Equal(info2.ModTime()) {
+		t.Fatal("idempotent put rewrote the file")
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.PutNoops != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A changed payload DOES rewrite.
+	if err := s.Put("job", "id", []byte(`{"a":1,"b":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Puts != 2 || st.Entries != 1 {
+		t.Fatalf("stats after overwrite: %+v", st)
+	}
+}
+
+// TestKillMidWrite simulates a writer dying between creating its temp
+// file and renaming it: the next Open must delete the debris and keep
+// serving the intact committed entry.
+func TestKillMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("search", "fp", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := s.entryPath("search", "fp")
+
+	// Debris from a crashed overwrite of an existing entry...
+	for i, junk := range []string{`{"v":`, "", `garbage`} {
+		tmp := path + fmt.Sprintf("%s%d", tmpMarker, i)
+		if err := os.WriteFile(tmp, []byte(junk), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...and from a crashed first write of a new entry.
+	orphanDir := filepath.Join(dir, layoutDir, "search", "zz")
+	if err := os.MkdirAll(orphanDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(orphanDir, "deadbeef.json"+tmpMarker+"42")
+	if err := os.WriteFile(orphan, []byte(`{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	got, ok, err := s2.Get("search", "fp")
+	if err != nil || !ok || string(got) != `{"v":1}` {
+		t.Fatalf("entry lost after crash recovery: %s, %v, %v", got, ok, err)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats after sweep: %+v", st)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, layoutDir, "*", "*", "*"+tmpMarker+"*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp debris survived the sweep: %v", matches)
+	}
+	if _, err := os.Lstat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file survived the sweep")
+	}
+}
+
+// TestCorruptEntryQuarantineOnOpen covers every corruption class the
+// sweep must catch: truncation, bit rot in the payload, an alien
+// schema version, and plain non-JSON.
+func TestCorruptEntryQuarantineOnOpen(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(data []byte) []byte
+	}{
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"payload-flip", func(d []byte) []byte {
+			out := bytes.Replace(d, []byte(`"payload":{"v":1`), []byte(`"payload":{"v":9`), 1)
+			if bytes.Equal(out, d) {
+				t.Fatal("corruption did not apply")
+			}
+			return out
+		}},
+		{"future-version", func(d []byte) []byte {
+			return bytes.Replace(d, []byte(`"version":1`), []byte(`"version":99`), 1)
+		}},
+		{"not-json", func(d []byte) []byte { return []byte("<html>not a store entry</html>") }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{})
+			if err := s.Put("job", "good", []byte(`{"keep":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("job", "bad", []byte(`{"v":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			path, _ := s.entryPath("job", "bad")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := mustOpen(t, dir, Options{})
+			if _, ok, err := s2.Get("job", "bad"); ok || err != nil {
+				t.Fatalf("corrupt entry served: ok=%v err=%v", ok, err)
+			}
+			if got, ok, _ := s2.Get("job", "good"); !ok || string(got) != `{"keep":true}` {
+				t.Fatalf("healthy sibling entry lost: %s, %v", got, ok)
+			}
+			if st := s2.Stats(); st.Quarantined != 1 || st.Entries != 1 {
+				t.Fatalf("stats: %+v", st)
+			}
+			// The corpse is preserved for inspection, not deleted.
+			q, _ := os.ReadDir(filepath.Join(dir, quarantineSub))
+			if len(q) != 1 {
+				t.Fatalf("quarantine holds %d files, want 1", len(q))
+			}
+			// A healing re-put restores the entry.
+			if err := s2.Put("job", "bad", []byte(`{"v":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, _ := s2.Get("job", "bad"); !ok || string(got) != `{"v":1}` {
+				t.Fatalf("re-put did not heal: %s, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestCorruptEntryQuarantineOnGet covers rot that happens after Open:
+// Get must quarantine and report a miss rather than fail.
+func TestCorruptEntryQuarantineOnGet(t *testing.T) {
+	dir := t.TempDir()
+	// Disable the memory front so Get actually re-reads the disk.
+	s := mustOpen(t, dir, Options{CacheEntries: -1})
+	if err := s.Put("search", "fp", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := s.entryPath("search", "fp")
+	if err := os.WriteFile(path, []byte(`{"version":1,"truncat`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("search", "fp"); ok || err != nil {
+		t.Fatalf("rotten entry served: ok=%v err=%v", ok, err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Misses != 1 || st.Entries != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if _, err := os.Lstat(path); !os.IsNotExist(err) {
+		t.Fatal("rotten entry still in place")
+	}
+}
+
+// TestConcurrentOpenSharedDir opens the same directory from two
+// goroutines (as rcserve and rcatlas may) and hammers both handles
+// concurrently; every committed write must be readable through either.
+func TestConcurrentOpenSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	var (
+		stores [2]*Store
+		wg     sync.WaitGroup
+		errs   = make([]error, 2)
+	)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stores[i], errs[i] = Open(dir, Options{CacheEntries: 4})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent open %d: %v", i, err)
+		}
+	}
+	const perStore = 25
+	for i, s := range stores {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perStore; k++ {
+				key := fmt.Sprintf("key-%d-%d", i, k)
+				if err := s.Put("job", key, []byte(fmt.Sprintf(`{"n":%d}`, k))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok, err := s.Get("job", key); !ok || err != nil {
+					t.Errorf("read own write %s: ok=%v err=%v", key, ok, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Cross-read: everything either handle wrote is visible to the other.
+	for i := 0; i < 2; i++ {
+		other := stores[1-i]
+		for k := 0; k < perStore; k++ {
+			key := fmt.Sprintf("key-%d-%d", i, k)
+			got, ok, err := other.Get("job", key)
+			if !ok || err != nil || string(got) != fmt.Sprintf(`{"n":%d}`, k) {
+				t.Fatalf("cross-read %s: %s, %v, %v", key, got, ok, err)
+			}
+		}
+	}
+}
+
+func TestLRUFrontBehavior(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CacheEntries: 2})
+	for i := 0; i < 3; i++ {
+		if err := s.Put("search", fmt.Sprintf("k%d", i), []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("3 puts into a 2-entry front: %+v", st)
+	}
+	// k0 was evicted from the front but survives on disk.
+	if _, ok, _ := s.Get("search", "k0"); !ok {
+		t.Fatal("evicted entry lost from disk")
+	}
+	st := s.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("front eviction stats: %+v", st)
+	}
+	// Reading k0 promoted it; k2 stays, k1 is now the LRU victim.
+	if _, ok, _ := s.Get("search", "k2"); !ok {
+		t.Fatal("k2 lost")
+	}
+	if st := s.Stats(); st.MemHits != 1 {
+		t.Fatalf("k2 should be a memory hit: %+v", st)
+	}
+	if _, ok, _ := s.Get("search", "k1"); !ok {
+		t.Fatal("k1 lost")
+	}
+	if st := s.Stats(); st.DiskHits != 2 {
+		t.Fatalf("k1 should have been the LRU victim (disk hit): %+v", st)
+	}
+	// Mutating a returned payload must not corrupt the cached copy.
+	got, _, _ := s.Get("search", "k1")
+	if len(got) > 0 {
+		got[0] = 'X'
+	}
+	again, _, _ := s.Get("search", "k1")
+	if string(again) != "{}" {
+		t.Fatalf("caller mutation corrupted the front: %s", again)
+	}
+}
+
+// TestEnvelopeIdentity checks the defense against serving a file whose
+// address matches but whose recorded identity does not (e.g. a file
+// copied by hand between stores of different kinds).
+func TestEnvelopeIdentity(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CacheEntries: -1})
+	if err := s.Put("search", "fp", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := s.entryPath("search", "fp")
+	dst, _ := s.entryPath("search", "other")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("search", "other"); ok {
+		t.Fatal("entry with mismatched identity served")
+	}
+}
+
+// TestStoreReopenPreservesEntries is the restart-survival core: a fresh
+// Store on the same directory serves every result the old one wrote.
+func TestStoreReopenPreservesEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	var keys []string
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("fp-%02d", i)
+		keys = append(keys, key)
+		if err := s.Put("census-row", key, []byte(fmt.Sprintf(`{"row":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := mustOpen(t, dir, Options{})
+	if st := s2.Stats(); st.Entries != 20 {
+		t.Fatalf("reopened store sees %d entries, want 20", st.Entries)
+	}
+	for i, key := range keys {
+		got, ok, err := s2.Get("census-row", key)
+		if !ok || err != nil || string(got) != fmt.Sprintf(`{"row":%d}`, i) {
+			t.Fatalf("entry %s lost across reopen: %s, %v, %v", key, got, ok, err)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	// A file where the store root should be.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("file-as-root accepted")
+	}
+}
+
+func TestEnvelopeOnDiskShape(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("job", "the-key", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := s.entryPath("job", "the-key")
+	if !strings.HasPrefix(path, filepath.Join(dir, "v1", "job")) {
+		t.Fatalf("unexpected layout: %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Version != Version || env.Kind != "job" || env.Key != "the-key" ||
+		!strings.HasPrefix(env.Checksum, "sha256:") || string(env.Payload) != `{"x":1}` {
+		t.Fatalf("envelope: %+v", env)
+	}
+}
