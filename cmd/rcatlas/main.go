@@ -17,7 +17,7 @@
 //	rcatlas census [-states 3 -ops 3 -resps 1] [-random 10000]
 //	        [-mutants 2] [-seed 1] [-limit 3] [-parallel 0]
 //	        [-timeout 60s] [-out ATLAS.json] [-resume prior.json]
-//	        [-store DIR]
+//	        [-store DIR] [-progress 2s]
 //	    run the full census and write the artifact; -resume reuses the
 //	    rows of a previous artifact at the same limit, and -store
 //	    persists every classified row (and the engine's memoized
@@ -47,6 +47,7 @@ import (
 	"rcons/internal/atlas"
 	"rcons/internal/atlas/census"
 	"rcons/internal/engine"
+	"rcons/internal/obs"
 	"rcons/internal/store"
 	"rcons/internal/types"
 )
@@ -188,6 +189,7 @@ func runCensus(args []string, stdout io.Writer) error {
 	storeDir := fs.String("store", "", "persist rows + searches in a content-addressed store under this directory")
 	noEnum := fs.Bool("no-enum", false, "skip the exhaustive enumeration stage")
 	maxRaw := fs.Int64("max-raw", 50_000_000, "refuse bounds whose raw table count exceeds this")
+	progress := fs.Duration("progress", 0, "print live rows-done/nodes progress lines to stderr at this interval (e.g. 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -200,6 +202,10 @@ func runCensus(args []string, stdout io.Writer) error {
 		Limit:         *limit,
 		Workers:       *parallel,
 		Timeout:       *timeout,
+	}
+	if *progress > 0 {
+		o.Progress = obs.NewLineSink(os.Stderr)
+		o.ProgressInterval = *progress
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{})

@@ -27,6 +27,7 @@ import (
 	"regexp"
 
 	"rcons/internal/bench"
+	"rcons/internal/obs"
 )
 
 func main() {
@@ -137,7 +138,12 @@ func run(args []string, stdout io.Writer) int {
 	bench.SortResults(results)
 
 	if outPath != "" {
-		if err := bench.NewFile(mode, results).WriteJSON(outPath); err != nil {
+		f := bench.NewFile(mode, results)
+		// The runners published their work totals (mc nodes, census
+		// rows, ...) through the process-wide registry; freeze them
+		// into the artifact.
+		f.Telemetry = obs.Default().Snapshot()
+		if err := f.WriteJSON(outPath); err != nil {
 			fmt.Fprintf(stdout, "rcbench: writing artifact: %v\n", err)
 			return 1
 		}

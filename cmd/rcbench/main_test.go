@@ -14,7 +14,7 @@ func TestListRuns(t *testing.T) {
 	if code := run([]string{"-list"}, &out); code != 0 {
 		t.Fatalf("rcbench -list exited %d:\n%s", code, out.String())
 	}
-	for _, want := range []string{"harness/E10", "mc/fingerprint-incremental", "mc/fingerprint-legacy", "sim/snapshot"} {
+	for _, want := range []string{"harness/E10", "mc/fingerprint-incremental", "mc/fingerprint-legacy", "sim/snapshot", "obs/counter-inc", "obs/histogram-observe"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %s", want)
 		}
@@ -52,6 +52,35 @@ func TestQuickSubsetWritesArtifact(t *testing.T) {
 	for _, r := range f.Results {
 		if r.NsPerOp <= 0 {
 			t.Errorf("%s: ns_per_op = %v", r.Name, r.NsPerOp)
+		}
+	}
+}
+
+// TestObsMicrosAndTelemetrySnapshot runs the telemetry micro-benchmarks
+// end to end and checks the artifact carries the registry snapshot.
+func TestObsMicrosAndTelemetrySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "BENCH_0.json")
+	var out strings.Builder
+	code := run([]string{"-quick", "-run", `^obs/`, "-dir", dir, "-out", outPath}, &out)
+	if code != 0 {
+		t.Fatalf("rcbench exited %d:\n%s", code, out.String())
+	}
+	f, err := bench.ReadJSON(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 2 {
+		t.Fatalf("got %d results, want obs/counter-inc + obs/histogram-observe", len(f.Results))
+	}
+	// The obs micros use private registries, so the process-wide
+	// snapshot may be empty here — but if any mc benchmark ran earlier
+	// in this process, its published totals must round-trip.
+	if f.Telemetry != nil {
+		for k, v := range f.Telemetry {
+			if v < 0 {
+				t.Errorf("telemetry %s = %v", k, v)
+			}
 		}
 	}
 }

@@ -16,6 +16,10 @@
 //	rcons -mc team-sn [-mc-n 2] [-mc-depth 8] [-mc-crashes 1]
 //	rcons -mc-list
 //
+// With -progress DURATION (and -parallel or -mc), live search-progress
+// lines — nodes explored, nodes/sec, depth, memoization hit rates — are
+// printed to stderr at that interval, plus one final line on completion.
+//
 // With -parallel and -store DIR, memoized search results are read from
 // and written through to the same crash-safe content-addressed store
 // rcatlas and rcserve use, so a classification computed once — by any
@@ -28,11 +32,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rcons/internal/checker"
 	"rcons/internal/engine"
 	"rcons/internal/harness"
 	"rcons/internal/mc"
+	"rcons/internal/obs"
 	"rcons/internal/spec"
 	"rcons/internal/store"
 	"rcons/internal/types"
@@ -61,6 +67,7 @@ func run(args []string) error {
 	mcDepth := fs.Int("mc-depth", 8, "schedule-depth bound for -mc")
 	mcCrashes := fs.Int("mc-crashes", 1, "crash-budget bound for -mc")
 	mcBudget := fs.Int("mc-budget", 0, "node budget before -mc falls back to swarm fuzzing (0 = default)")
+	progress := fs.Duration("progress", 0, "print live search-progress lines to stderr at this interval (e.g. 1s; needs -parallel or -mc)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,8 +78,13 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	var progressSink obs.Sink
+	if *progress > 0 {
+		progressSink = obs.NewLineSink(os.Stderr)
+	}
+
 	if *mcTarget != "" {
-		return runModelCheck(*mcTarget, *mcN, *mcDepth, *mcCrashes, *mcBudget)
+		return runModelCheck(*mcTarget, *mcN, *mcDepth, *mcCrashes, *mcBudget, progressSink, *progress)
 	}
 
 	if *list {
@@ -123,9 +135,15 @@ func run(args []string) error {
 			opts.Persist = st
 		}
 		eng := engine.New(opts)
+		if progressSink != nil {
+			stop := eng.PublishProgress(*progress, progressSink, "")
+			defer stop()
+		}
 		c, err = eng.Classify(context.Background(), t, *limit)
 	case *storeDir != "":
 		return fmt.Errorf("-store needs the engine: pass -parallel N (e.g. -parallel -1)")
+	case progressSink != nil:
+		return fmt.Errorf("-progress needs a publishing search: pass -parallel N or -mc TARGET")
 	default:
 		c, err = checker.Classify(t, *limit, nil)
 	}
@@ -165,15 +183,17 @@ func run(args []string) error {
 
 // runModelCheck drives internal/mc for the -mc mode and renders the
 // verdict, stats and any counterexample.
-func runModelCheck(target string, n, depth, crashes, nodeBudget int) error {
+func runModelCheck(target string, n, depth, crashes, nodeBudget int, progress obs.Sink, interval time.Duration) error {
 	tgt, err := mc.TargetByName(target, n)
 	if err != nil {
 		return err
 	}
 	res, err := mc.Check(context.Background(), tgt, mc.Options{
-		MaxDepth:    depth,
-		CrashBudget: crashes,
-		NodeBudget:  nodeBudget,
+		MaxDepth:         depth,
+		CrashBudget:      crashes,
+		NodeBudget:       nodeBudget,
+		Progress:         progress,
+		ProgressInterval: interval,
 	})
 	if err != nil {
 		return err

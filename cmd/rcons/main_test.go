@@ -88,6 +88,19 @@ func TestRunModelCheckErrors(t *testing.T) {
 	}
 }
 
+func TestRunProgress(t *testing.T) {
+	// -progress needs a search that publishes: engine (-parallel) or -mc.
+	if err := run([]string{"-type", "S_2", "-limit", "3", "-progress", "5ms"}); err == nil {
+		t.Error("-progress without -parallel/-mc accepted")
+	}
+	if err := run([]string{"-type", "S_2", "-limit", "4", "-parallel", "2", "-progress", "5ms"}); err != nil {
+		t.Fatalf("-parallel -progress: %v", err)
+	}
+	if err := run([]string{"-mc", "cas", "-mc-depth", "8", "-progress", "5ms"}); err != nil {
+		t.Fatalf("-mc -progress: %v", err)
+	}
+}
+
 func TestRunClassifyStore(t *testing.T) {
 	dir := t.TempDir()
 	// Cold run computes and persists; warm run must succeed against the

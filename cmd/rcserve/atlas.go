@@ -128,11 +128,13 @@ func (s *server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 		Limit:         limit,
 		Workers:       s.cfg.workers,
 		Engine:        s.eng,
+		Progress:      s.progress,
 	})
 	if err != nil {
 		s.writeEngineError(w, r, err)
 		return
 	}
+	s.recordCensusRun(a)
 	payload, err := json.Marshal(a.Summary)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())

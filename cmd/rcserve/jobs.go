@@ -191,6 +191,7 @@ func (s *server) censusJob(ctx context.Context, raw json.RawMessage) (json.RawMe
 		Limit:         p.Limit,
 		Workers:       s.cfg.workers,
 		Engine:        s.eng,
+		Progress:      s.progress,
 	}
 	if p.States > 0 && p.Ops > 0 {
 		o.Bounds = atlas.Bounds{States: p.States, Ops: p.Ops, Resps: p.Resps}
@@ -202,6 +203,7 @@ func (s *server) censusJob(ctx context.Context, raw json.RawMessage) (json.RawMe
 	if err != nil {
 		return nil, err
 	}
+	s.recordCensusRun(a)
 	return json.Marshal(a.Summary)
 }
 
@@ -219,10 +221,12 @@ func (s *server) mcJob(ctx context.Context, raw json.RawMessage) (json.RawMessag
 		CrashBudget: p.Crashes,
 		NodeBudget:  mcNodeBudget,
 		Workers:     s.cfg.workers,
+		Progress:    s.progress,
 	})
 	if err != nil {
 		return nil, err
 	}
+	s.recordMCRun(res)
 	return json.Marshal(map[string]any{
 		"target":         res.Target,
 		"n":              p.N,

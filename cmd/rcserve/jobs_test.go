@@ -6,12 +6,36 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"rcons/internal/jobs"
 )
+
+// leakCheck snapshots the goroutine count and, after every cleanup
+// registered later has run (server closed, jobs drained), polls until
+// the count is back at the baseline. A telemetry goroutine that
+// outlives -drain — a progress publisher left running, a sink still
+// flushing — fails the test here with a full stack dump.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak after teardown: %d before, %d now\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
 
 // jobInfoJSON mirrors the wire form of jobs.Info.
 type jobInfoJSON struct {
@@ -268,6 +292,7 @@ func TestJobCancelMidRun(t *testing.T) {
 // and the duplicate submission must return the same job ID without
 // recomputation.
 func TestJobsSurviveRestart(t *testing.T) {
+	leakCheck(t)
 	dir := t.TempDir()
 	body := `{"kind":"census","params":{"states":2,"ops":2,"random":60}}`
 

@@ -56,7 +56,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -68,6 +70,7 @@ import (
 	"rcons/internal/engine"
 	"rcons/internal/jobs"
 	"rcons/internal/mc"
+	"rcons/internal/obs"
 	"rcons/internal/sim"
 	"rcons/internal/spec"
 	"rcons/internal/store"
@@ -93,6 +96,9 @@ type config struct {
 	jobWorkers  int
 	jobTimeout  time.Duration
 	drain       time.Duration
+	pprofOn     bool
+	logFormat   string
+	logLevel    string
 }
 
 func parseFlags(args []string) (config, error) {
@@ -108,8 +114,21 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.jobWorkers, "job-workers", 2, "concurrently executing async jobs")
 	fs.DurationVar(&cfg.jobTimeout, "job-timeout", 10*time.Minute, "per-job execution deadline")
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "shutdown budget for in-flight requests and jobs")
+	fs.BoolVar(&cfg.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured log format: text or json")
+	fs.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
+	}
+	switch cfg.logFormat {
+	case "text", "json":
+	default:
+		return config{}, fmt.Errorf("-log-format must be text or json, got %q", cfg.logFormat)
+	}
+	switch cfg.logLevel {
+	case "debug", "info", "warn", "error":
+	default:
+		return config{}, fmt.Errorf("-log-level must be debug, info, warn or error, got %q", cfg.logLevel)
 	}
 	if cfg.maxLimit < 2 {
 		return config{}, fmt.Errorf("-max-limit must be ≥ 2, got %d", cfg.maxLimit)
@@ -139,8 +158,9 @@ func run(args []string) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rcserve: listening on %s (workers=%d, max-limit=%d, store=%q)\n",
-		cfg.addr, srv.eng.Workers(), cfg.maxLimit, cfg.storeDir)
+	srv.logger.Info("listening",
+		"addr", cfg.addr, "workers", srv.eng.Workers(),
+		"maxLimit", cfg.maxLimit, "store", cfg.storeDir, "pprof", cfg.pprofOn)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -155,13 +175,18 @@ func run(args []string) error {
 		// handlers finish (Shutdown waits for active requests, and the
 		// explicit drain below additionally waits until every in-flight
 		// slot is released), then give queued/running jobs the remainder
-		// of the budget before cancelling them.
+		// of the budget before cancelling them. Progress publishers are
+		// per-run and flushed by the runs they instrument, so a finished
+		// drain leaves no telemetry goroutines behind; the access logger
+		// writes synchronously and needs no flush.
+		srv.logger.Info("shutting down", "drain", cfg.drain)
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
 		serr := hs.Shutdown(ctx)
 		if derr := srv.drain(ctx); serr == nil {
 			serr = derr
 		}
+		srv.logger.Info("drained", "err", serr)
 		return serr
 	}
 }
@@ -174,6 +199,15 @@ type server struct {
 	store    *store.Store // nil without -store
 	jobs     *jobs.Manager
 	inflight chan struct{}
+
+	// reg is this server's metrics registry (per-server, not process-
+	// global, so test servers never share counters); m holds the hot-path
+	// metric handles, logger the structured root logger, and progress the
+	// sink long-running jobs publish live search state through.
+	reg      *obs.Registry
+	m        metrics
+	logger   *slog.Logger
+	progress obs.Sink
 
 	// canonMu/canon memoize CanonicalFingerprint results keyed by the
 	// exact (label-sensitive) fingerprint: the canonical form is a pure
@@ -203,11 +237,18 @@ func newServer(cfg config) (*server, error) {
 		canon:         map[string]string{},
 		atlasCache:    map[string][]byte{},
 		atlasInflight: map[string]chan struct{}{},
+		reg:           obs.NewRegistry(),
+		logger:        obs.NewLogger(os.Stderr, cfg.logFormat, cfg.logLevel),
 	}
+	s.progress = obs.RegistrySink(s.reg)
 	// Interface-typed nils must stay nil interfaces, so only assign the
 	// store once it exists.
 	engOpts := engine.Options{Workers: cfg.workers, CacheSize: cfg.cacheSize}
-	jobOpts := jobs.Options{Workers: cfg.jobWorkers, Timeout: cfg.jobTimeout}
+	jobOpts := jobs.Options{
+		Workers: cfg.jobWorkers,
+		Timeout: cfg.jobTimeout,
+		Logger:  s.logger.With("subsystem", "jobs"),
+	}
 	if cfg.storeDir != "" {
 		st, err := store.Open(cfg.storeDir, store.Options{})
 		if err != nil {
@@ -219,6 +260,7 @@ func newServer(cfg config) (*server, error) {
 	}
 	s.eng = engine.New(engOpts)
 	s.jobs = jobs.New(jobOpts)
+	s.setupMetrics()
 	s.registerJobKinds()
 	return s, nil
 }
@@ -282,21 +324,36 @@ func (s *server) canonicalFingerprint(t spec.Type, limit int) string {
 	return fp
 }
 
-// handler builds the route table with the limiting middleware applied.
+// handler builds the route table. Every route passes through instrument
+// (trace ID, metrics, access log); the expensive ones additionally pass
+// through limited (in-flight cap + deadline). The route pattern — not
+// the raw URL — is the metrics path label, keeping the label space
+// bounded.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/classify", s.limited(s.handleClassify))
-	mux.HandleFunc("/v1/search", s.limited(s.handleSearch))
-	mux.HandleFunc("/v1/zoo", s.limited(s.handleZoo))
-	mux.HandleFunc("/v1/mc", s.limited(s.handleModelCheck))
-	mux.HandleFunc("/v1/mc/targets", s.handleModelCheckTargets)
-	mux.HandleFunc("/v1/atlas", s.limited(s.handleAtlas))
-	mux.HandleFunc("/v1/atlas/type", s.limited(s.handleAtlasType))
-	mux.HandleFunc("POST /v1/jobs", s.limited(s.handleJobSubmit))
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("/healthz", s.handleHealth)
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(label, h))
+	}
+	route("/v1/classify", "/v1/classify", s.limited(s.handleClassify))
+	route("/v1/search", "/v1/search", s.limited(s.handleSearch))
+	route("/v1/zoo", "/v1/zoo", s.limited(s.handleZoo))
+	route("/v1/mc", "/v1/mc", s.limited(s.handleModelCheck))
+	route("/v1/mc/targets", "/v1/mc/targets", s.handleModelCheckTargets)
+	route("/v1/atlas", "/v1/atlas", s.limited(s.handleAtlas))
+	route("/v1/atlas/type", "/v1/atlas/type", s.limited(s.handleAtlasType))
+	route("POST /v1/jobs", "/v1/jobs", s.limited(s.handleJobSubmit))
+	route("GET /v1/jobs", "/v1/jobs", s.handleJobList)
+	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobGet)
+	route("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobCancel)
+	route("/healthz", "/healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	if s.cfg.pprofOn {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
@@ -307,6 +364,7 @@ func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
 		default:
+			markOutcome(w, "shed")
 			writeError(w, http.StatusServiceUnavailable, "server at capacity, retry later")
 			return
 		}
@@ -585,11 +643,13 @@ func (s *server) handleModelCheck(w http.ResponseWriter, r *http.Request) {
 		CrashBudget: crashes,
 		NodeBudget:  mcNodeBudget,
 		Workers:     s.cfg.workers, // honour the operator's -workers bound
+		Progress:    s.progress,
 	})
 	if err != nil {
 		s.writeEngineError(w, r, err)
 		return
 	}
+	s.recordMCRun(res)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"target":         res.Target,
 		"n":              n,
@@ -621,14 +681,18 @@ func (s *server) handleModelCheckTargets(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Every stat here is read back out of the metrics registry (whose
+	// func-backed series sample the subsystems' own counters), so this
+	// JSON and /metrics can never disagree. The structs keep the exact
+	// pre-registry wire shape.
 	resp := map[string]any{
 		"status":  "ok",
 		"workers": s.eng.Workers(),
-		"cache":   s.eng.Stats(),
-		"jobs":    s.jobs.Stats(),
+		"cache":   s.cacheStatsFromRegistry(),
+		"jobs":    s.jobsStatsFromRegistry(),
 	}
 	if s.store != nil {
-		resp["store"] = s.store.Stats()
+		resp["store"] = s.storeStatsFromRegistry()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -665,6 +729,7 @@ func (s *server) intParam(w http.ResponseWriter, r *http.Request, name string, d
 // is a client-visible 422 (e.g. a custom table a theorem rejects).
 func (s *server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		markOutcome(w, "deadline")
 		writeError(w, http.StatusServiceUnavailable, "request exceeded its time budget")
 		return
 	}

@@ -17,7 +17,9 @@ import (
 
 func testServer(t *testing.T, extraFlags ...string) (*server, *httptest.Server) {
 	t.Helper()
-	cfg, err := parseFlags(append([]string{"-workers", "4", "-max-limit", "6"}, extraFlags...))
+	// -log-level error keeps per-request access logs out of test output
+	// (job polls alone would emit thousands of lines).
+	cfg, err := parseFlags(append([]string{"-workers", "4", "-max-limit", "6", "-log-level", "error"}, extraFlags...))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,272 @@
+package main
+
+// Telemetry wiring: every rcserve instance owns one obs.Registry. HTTP
+// middleware feeds the rc_http_* series directly; the engine memo
+// cache, persistent store and job manager are re-published through
+// func-backed metrics that sample each subsystem's own Stats() atomics
+// at collection time — the subsystem counter stays the single source of
+// truth, and /healthz (rebuilt from the same registry reads) can never
+// drift from /metrics.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"rcons/internal/atlas/census"
+	"rcons/internal/engine"
+	"rcons/internal/jobs"
+	"rcons/internal/mc"
+	"rcons/internal/obs"
+	"rcons/internal/store"
+)
+
+// metrics holds the hot-path handles the middleware and job handlers
+// update directly (func-backed series need no handles).
+type metrics struct {
+	requests   *obs.CounterVec // rc_http_requests_total{method,path,code}
+	latency    *obs.HistogramVec
+	inFlight   *obs.Gauge
+	shed       *obs.CounterVec
+	mcRuns     *obs.Counter
+	mcNodes    *obs.Counter
+	mcSwarm    *obs.Counter
+	censusRuns *obs.Counter
+	censusRows *obs.Counter
+}
+
+// setupMetrics registers every rcserve metric family on s.reg. Called
+// once from newServer, after engine/store/jobs exist.
+func (s *server) setupMetrics() {
+	r := s.reg
+	s.m = metrics{
+		requests: r.Counter("rc_http_requests_total",
+			"HTTP requests served, by method, route and status code.",
+			"method", "path", "code"),
+		latency: r.Histogram("rc_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", nil, "path"),
+		inFlight: r.Gauge("rc_http_in_flight",
+			"HTTP requests currently being served.").With(),
+		shed: r.Counter("rc_http_shed_total",
+			"Requests shed with 503 at the in-flight cap, by route.", "path"),
+		mcRuns: r.Counter("rc_mc_runs_total",
+			"Model-checker runs completed (sync requests and jobs).").With(),
+		mcNodes: r.Counter("rc_mc_nodes_total",
+			"Schedule prefixes executed across all model-checker runs.").With(),
+		mcSwarm: r.Counter("rc_mc_swarm_runs_total",
+			"Randomized swarm schedules executed across all runs.").With(),
+		censusRuns: r.Counter("rc_census_runs_total",
+			"Census runs completed (sync requests and jobs).").With(),
+		censusRows: r.Counter("rc_census_rows_total",
+			"Census rows produced across all runs.").With(),
+	}
+
+	// Engine memo cache + persistent-store counters.
+	eng := s.eng
+	ctrf := func(name, help string, f func(engine.CacheStats) int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(f(eng.Stats())) })
+	}
+	ctrf("rc_engine_memo_hits_total", "Engine memo-cache hits.",
+		func(c engine.CacheStats) int64 { return c.Hits })
+	ctrf("rc_engine_memo_misses_total", "Engine memo-cache misses.",
+		func(c engine.CacheStats) int64 { return c.Misses })
+	ctrf("rc_engine_memo_evictions_total", "Engine memo-cache evictions.",
+		func(c engine.CacheStats) int64 { return c.Evictions })
+	ctrf("rc_engine_persist_hits_total", "Engine persistent-store hits.",
+		func(c engine.CacheStats) int64 { return c.PersistHits })
+	ctrf("rc_engine_persist_misses_total", "Engine persistent-store misses.",
+		func(c engine.CacheStats) int64 { return c.PersistMisses })
+	ctrf("rc_engine_persist_errors_total", "Engine persistent-store errors.",
+		func(c engine.CacheStats) int64 { return c.PersistErrors })
+	r.GaugeFunc("rc_engine_memo_entries", "Engine memo-cache entries.",
+		func() float64 { return float64(eng.Stats().Entries) })
+
+	// Job-manager lifecycle counters and queue gauges.
+	jm := s.jobs
+	jctr := func(name, help string, f func(jobs.Stats) int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(f(jm.Stats())) })
+	}
+	jctr("rc_jobs_done_total", "Jobs finished successfully.",
+		func(j jobs.Stats) int64 { return j.Done })
+	jctr("rc_jobs_failed_total", "Jobs that failed.",
+		func(j jobs.Stats) int64 { return j.Failed })
+	jctr("rc_jobs_cancelled_total", "Jobs cancelled.",
+		func(j jobs.Stats) int64 { return j.Cancelled })
+	jctr("rc_jobs_submitted_total", "Job executions enqueued.",
+		func(j jobs.Stats) int64 { return j.Submitted })
+	jctr("rc_jobs_coalesced_total", "Submissions coalesced onto a live job.",
+		func(j jobs.Stats) int64 { return j.Coalesced })
+	jctr("rc_jobs_store_hits_total", "Submissions answered from the persistent store.",
+		func(j jobs.Stats) int64 { return j.StoreHits })
+	jctr("rc_jobs_evicted_total", "Terminal jobs evicted past the retention cap.",
+		func(j jobs.Stats) int64 { return j.Evicted })
+	jg := func(name, help string, f func(jobs.Stats) int) {
+		r.GaugeFunc(name, help, func() float64 { return float64(f(jm.Stats())) })
+	}
+	jg("rc_jobs_queued", "Jobs currently queued.", func(j jobs.Stats) int { return j.Queued })
+	jg("rc_jobs_running", "Jobs currently running.", func(j jobs.Stats) int { return j.Running })
+	jg("rc_jobs_workers", "Configured job workers.", func(j jobs.Stats) int { return j.Workers })
+	jg("rc_jobs_queue_cap", "Configured job queue capacity.", func(j jobs.Stats) int { return j.QueueCap })
+
+	// Content-addressed store counters (only with -store).
+	if st := s.store; st != nil {
+		r.CounterFunc("rc_store_hits_total", "Store gets served from the memory front.",
+			func() float64 { return float64(st.Stats().MemHits) }, "tier", "mem")
+		r.CounterFunc("rc_store_hits_total", "Store gets served from disk.",
+			func() float64 { return float64(st.Stats().DiskHits) }, "tier", "disk")
+		sctr := func(name, help string, f func(store.Stats) int64) {
+			r.CounterFunc(name, help, func() float64 { return float64(f(st.Stats())) })
+		}
+		sctr("rc_store_misses_total", "Store gets that found nothing.",
+			func(t store.Stats) int64 { return t.Misses })
+		sctr("rc_store_puts_total", "Store puts that wrote an entry.",
+			func(t store.Stats) int64 { return t.Puts })
+		sctr("rc_store_put_noops_total", "Store puts skipped as identical.",
+			func(t store.Stats) int64 { return t.PutNoops })
+		sctr("rc_store_evictions_total", "Memory-front entries evicted.",
+			func(t store.Stats) int64 { return t.Evictions })
+		sctr("rc_store_quarantined_total", "Corrupt store entries quarantined.",
+			func(t store.Stats) int64 { return t.Quarantined })
+		r.GaugeFunc("rc_store_entries", "Valid entries on disk.",
+			func() float64 { return float64(st.Stats().Entries) })
+	}
+}
+
+// recordMCRun folds one finished model-checker run into the cumulative
+// rc_mc_* counters (sync /v1/mc requests and async mc jobs alike).
+func (s *server) recordMCRun(res *mc.Result) {
+	s.m.mcRuns.Inc()
+	s.m.mcNodes.Add(int64(res.Stats.Nodes))
+	s.m.mcSwarm.Add(int64(res.Stats.SwarmRuns))
+}
+
+// recordCensusRun folds one finished census into the rc_census_*
+// counters (sync /v1/atlas requests and async census jobs alike).
+func (s *server) recordCensusRun(a *census.Artifact) {
+	s.m.censusRuns.Inc()
+	s.m.censusRows.Add(int64(a.Types))
+}
+
+// Registry-backed views of the subsystem stats, consumed by /healthz.
+// Rebuilding the exact Stats structs from Registry.Value reads keeps
+// the JSON shape byte-compatible with the pre-registry handler while
+// guaranteeing /healthz and /metrics expose the same numbers — both
+// flow through the same func-backed series.
+
+func (s *server) cacheStatsFromRegistry() engine.CacheStats {
+	v := s.reg.Value
+	return engine.CacheStats{
+		Hits:          int64(v("rc_engine_memo_hits_total")),
+		Misses:        int64(v("rc_engine_memo_misses_total")),
+		Entries:       int(v("rc_engine_memo_entries")),
+		Evictions:     int64(v("rc_engine_memo_evictions_total")),
+		PersistHits:   int64(v("rc_engine_persist_hits_total")),
+		PersistMisses: int64(v("rc_engine_persist_misses_total")),
+		PersistErrors: int64(v("rc_engine_persist_errors_total")),
+	}
+}
+
+func (s *server) jobsStatsFromRegistry() jobs.Stats {
+	v := s.reg.Value
+	return jobs.Stats{
+		Workers:   int(v("rc_jobs_workers")),
+		QueueCap:  int(v("rc_jobs_queue_cap")),
+		Queued:    int(v("rc_jobs_queued")),
+		Running:   int(v("rc_jobs_running")),
+		Done:      int64(v("rc_jobs_done_total")),
+		Failed:    int64(v("rc_jobs_failed_total")),
+		Cancelled: int64(v("rc_jobs_cancelled_total")),
+		Submitted: int64(v("rc_jobs_submitted_total")),
+		Coalesced: int64(v("rc_jobs_coalesced_total")),
+		StoreHits: int64(v("rc_jobs_store_hits_total")),
+		Evicted:   int64(v("rc_jobs_evicted_total")),
+	}
+}
+
+func (s *server) storeStatsFromRegistry() store.Stats {
+	v := s.reg.Value
+	return store.Stats{
+		Entries:     int64(v("rc_store_entries")),
+		MemHits:     int64(v("rc_store_hits_total", "mem")),
+		DiskHits:    int64(v("rc_store_hits_total", "disk")),
+		Misses:      int64(v("rc_store_misses_total")),
+		Puts:        int64(v("rc_store_puts_total")),
+		PutNoops:    int64(v("rc_store_put_noops_total")),
+		Evictions:   int64(v("rc_store_evictions_total")),
+		Quarantined: int64(v("rc_store_quarantined_total")),
+	}
+}
+
+// statusWriter captures the response status plus the request's outcome
+// class for metrics and the access log. limited() marks sheds,
+// writeEngineError marks deadline 503s — the two causes share a status
+// code but mean opposite things for capacity planning.
+type statusWriter struct {
+	http.ResponseWriter
+	status  int
+	outcome string // "", "shed", "deadline"
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// markOutcome tags the in-flight request's statusWriter (a no-op for
+// writers that did not pass through instrument, e.g. in unit tests that
+// call handlers directly).
+func markOutcome(w http.ResponseWriter, outcome string) {
+	if sw, ok := w.(*statusWriter); ok && sw.outcome == "" {
+		sw.outcome = outcome
+	}
+}
+
+// instrument is the outermost per-route middleware: it mints the
+// request's trace ID, stashes a trace-tagged logger in the context,
+// records the rc_http_* metrics and emits one structured access-log
+// line per request. path is the route pattern, not the raw URL, so the
+// label space stays bounded.
+func (s *server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.m.latency.With(path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, trace := obs.EnsureTrace(r.Context())
+		logger := s.logger.With("trace", trace)
+		ctx = obs.ContextWithLogger(ctx, logger)
+
+		sw := &statusWriter{ResponseWriter: w}
+		s.m.inFlight.Add(1)
+		h(sw, r.WithContext(ctx))
+		s.m.inFlight.Add(-1)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		lat.Observe(dur.Seconds())
+		s.m.requests.With(r.Method, path, strconv.Itoa(sw.status)).Inc()
+		outcome := sw.outcome
+		if outcome == "" {
+			outcome = "ok"
+		}
+		if outcome == "shed" {
+			s.m.shed.With(path).Inc()
+		}
+		logger.Info("request",
+			"method", r.Method,
+			"path", path,
+			"status", sw.status,
+			"outcome", outcome,
+			"durMs", dur.Milliseconds(),
+		)
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcons/internal/atlas"
 	"rcons/internal/engine"
+	"rcons/internal/obs"
 	"rcons/internal/spec"
 	"rcons/internal/types"
 )
@@ -48,6 +50,14 @@ type Options struct {
 	// Prior, when set, resumes from an earlier artifact: rows recorded
 	// there at the same Limit are reused instead of re-classified.
 	Prior *Artifact
+	// Progress, when non-nil, receives periodic samples of rows done vs
+	// total (plus the engine's memo/persist hit ratios) every
+	// ProgressInterval during the classification stage, and one final
+	// flush when the run ends. Publishing samples atomics off the worker
+	// hot path; artifacts are byte-identical with or without a sink.
+	Progress obs.Sink
+	// ProgressInterval is the progress sampling period; 0 means 1s.
+	ProgressInterval time.Duration
 	// Store, when set, is the persistent resume path: rows found under
 	// their dedup key (at the same Limit and schema version) are reused
 	// instead of re-classified, and every classified row — including
@@ -169,6 +179,37 @@ func Run(ctx context.Context, o Options) (*Artifact, error) {
 		}
 		todo = append(todo, it)
 	}
+
+	// Progress: rows reused from Prior or the store count as done
+	// immediately; workers bump the counter as they classify.
+	var rowsDone atomic.Int64
+	rowsDone.Store(int64(len(art.Rows)))
+	start := time.Now()
+	trace := obs.TraceID(ctx)
+	stopProgress := obs.PublishEvery(o.ProgressInterval, o.Progress, func() obs.Progress {
+		done := rowsDone.Load()
+		elapsed := time.Since(start)
+		var rate float64
+		if secs := elapsed.Seconds(); secs > 0 {
+			rate = float64(done) / secs
+		}
+		es := eng.Stats()
+		return obs.Progress{
+			Task:          "census",
+			TraceID:       trace,
+			Nodes:         done,
+			NodesPerSec:   rate,
+			RowsDone:      done,
+			RowsTotal:     int64(len(items)),
+			MemoHits:      es.Hits,
+			MemoMisses:    es.Misses,
+			PersistHits:   es.PersistHits,
+			PersistMisses: es.PersistMisses,
+			Elapsed:       elapsed,
+		}
+	})
+	defer stopProgress()
+
 	var (
 		mu       sync.Mutex
 		skipped  []string
@@ -190,6 +231,7 @@ func Run(ctx context.Context, o Options) (*Artifact, error) {
 				ictx, cancel := context.WithTimeout(ctx, o.Timeout)
 				c, err := eng.Classify(ictx, it.typ, o.Limit)
 				cancel()
+				rowsDone.Add(1)
 				var row Row
 				if err == nil {
 					row = rowFromClassification(c, it.source, it.dims)

@@ -9,6 +9,7 @@ import (
 	"rcons/internal/engine"
 	"rcons/internal/harness"
 	"rcons/internal/mc"
+	"rcons/internal/obs"
 	"rcons/internal/sim"
 	"rcons/internal/types"
 )
@@ -155,6 +156,37 @@ func Registry() []Benchmark {
 			Run: jobsSubmitPollRunner(),
 		},
 		Benchmark{
+			Name:  "obs/counter-inc",
+			Doc:   "labelled counter increment on the telemetry registry hot path",
+			Iters: 5_000_000, QuickIters: 1_000_000,
+			Run: func(iters int) (Metrics, error) {
+				c := obs.NewRegistry().
+					Counter("bench_ops_total", "obs benchmark counter", "path").
+					With("/bench")
+				for i := 0; i < iters; i++ {
+					c.Inc()
+				}
+				if c.Value() != int64(iters) {
+					return nil, fmt.Errorf("counter lost increments: %d != %d", c.Value(), iters)
+				}
+				return nil, nil
+			},
+		},
+		Benchmark{
+			Name:  "obs/histogram-observe",
+			Doc:   "histogram observation: bucket binary search + atomic count/sum",
+			Iters: 2_000_000, QuickIters: 500_000,
+			Run: func(iters int) (Metrics, error) {
+				h := obs.NewRegistry().
+					Histogram("bench_latency_seconds", "obs benchmark histogram", nil).
+					With()
+				for i := 0; i < iters; i++ {
+					h.Observe(float64(i%97) / 1000)
+				}
+				return nil, nil
+			},
+		},
+		Benchmark{
 			Name:  "atlas/enumerate-3x3",
 			Doc:   "canonical enumeration of every ≤3-state ≤3-op ack-only table",
 			Iters: 3, QuickIters: 1,
@@ -176,6 +208,7 @@ func Registry() []Benchmark {
 			Doc:   "cold census of the ≤2-state ≤2-op universe + 100 random types at limit 3",
 			Iters: 3, QuickIters: 1,
 			Run: func(iters int) (Metrics, error) {
+				rows := obs.Default().Counter("rc_bench_census_rows_total", "census rows classified by rcbench").With()
 				classified := 0.0
 				for i := 0; i < iters; i++ {
 					a, err := census.Run(context.Background(), census.Options{
@@ -191,6 +224,7 @@ func Registry() []Benchmark {
 					if len(a.Skipped) > 0 {
 						return nil, fmt.Errorf("census skipped %d types", len(a.Skipped))
 					}
+					rows.Add(int64(a.Types))
 					classified += float64(a.Types)
 				}
 				return Metrics{"types": classified}, nil
@@ -240,8 +274,12 @@ func experimentRunner(e harness.Experiment) func(int) (Metrics, error) {
 // mcCheckRunner model-checks a builtin target every iteration and
 // totals the executed search nodes, so the result carries a
 // nodes_per_sec rate — the model checker's primary throughput metric.
+// The totals are also published through the process-wide telemetry
+// registry, which rcbench snapshots into the artifact's telemetry map.
 func mcCheckRunner(target string, n int, opts mc.Options, wantSafe bool) func(int) (Metrics, error) {
 	return func(iters int) (Metrics, error) {
+		runs := obs.Default().Counter("rc_bench_mc_runs_total", "model-checker runs executed by rcbench").With()
+		benchNodes := obs.Default().Counter("rc_bench_mc_nodes_total", "search nodes executed by rcbench model-checker benchmarks").With()
 		nodes := 0.0
 		for i := 0; i < iters; i++ {
 			tgt, err := mc.TargetByName(target, n)
@@ -255,6 +293,8 @@ func mcCheckRunner(target string, n int, opts mc.Options, wantSafe bool) func(in
 			if res.Safe != wantSafe {
 				return nil, fmt.Errorf("mc %s: safe=%v, want %v", target, res.Safe, wantSafe)
 			}
+			runs.Inc()
+			benchNodes.Add(int64(res.Stats.Nodes))
 			nodes += float64(res.Stats.Nodes)
 		}
 		return Metrics{"nodes": nodes}, nil

@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"rcons/internal/checker"
+	"rcons/internal/obs"
 	"rcons/internal/spec"
 	"rcons/internal/types"
 )
@@ -135,6 +137,35 @@ func (e *Engine) Stats() CacheStats {
 	return s
 }
 
+// PublishProgress starts periodic publication of the engine's
+// cumulative counters (lookups as the work unit, memo and persist hit
+// ratios) to sink, tagged with the given trace ID. The returned stop
+// function flushes one final sample and waits for the publisher to
+// exit; a nil sink makes both no-ops. interval ≤ 0 means 1s.
+func (e *Engine) PublishProgress(interval time.Duration, sink obs.Sink, trace string) (stop func()) {
+	start := time.Now()
+	return obs.PublishEvery(interval, sink, func() obs.Progress {
+		s := e.Stats()
+		nodes := s.Hits + s.Misses
+		elapsed := time.Since(start)
+		var rate float64
+		if secs := elapsed.Seconds(); secs > 0 {
+			rate = float64(nodes) / secs
+		}
+		return obs.Progress{
+			Task:          "engine",
+			TraceID:       trace,
+			Nodes:         nodes,
+			NodesPerSec:   rate,
+			MemoHits:      s.Hits,
+			MemoMisses:    s.Misses,
+			PersistHits:   s.PersistHits,
+			PersistMisses: s.PersistMisses,
+			Elapsed:       elapsed,
+		}
+	})
+}
+
 // Search looks for a witness of property p for type t among n processes,
 // verifying enumeration shards concurrently. It returns nil when no
 // witness exists over the candidate sets — the same exhaustive guarantee
@@ -176,6 +207,10 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 	if err != nil {
 		return nil, err
 	}
+	// Cached paths return above untouched; only genuinely computed
+	// searches are worth a (debug-level, usually discarded) log line.
+	obs.LoggerFrom(ctx).Debug("engine search computed",
+		"type", t.Name(), "property", p.String(), "n", n, "witness", w != nil)
 	if haveKey {
 		r := searchResult{found: w != nil}
 		if w != nil {

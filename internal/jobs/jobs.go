@@ -28,10 +28,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"rcons/internal/obs"
 )
 
 // State is a job's lifecycle phase.
@@ -90,6 +93,11 @@ type Options struct {
 	// Store, when non-nil, persists finished results and answers
 	// resubmissions of completed work across process restarts.
 	Store Persist
+	// Logger, when non-nil, receives job-lifecycle records (start,
+	// finish, state, duration), each tagged with the job's trace ID —
+	// which IS the deterministic job ID, so one grep over server logs
+	// reconstructs a job's full path through handler and engine.
+	Logger *slog.Logger
 }
 
 // Info is a point-in-time snapshot of one job, safe to retain and
@@ -397,16 +405,33 @@ func (m *Manager) worker() {
 		handler, params := j.handler, j.info.Params
 		m.mu.Unlock()
 
+		// The deterministic job ID doubles as the trace ID: handler,
+		// engine and census log lines all carry it via the context.
+		// Without a configured logger this is trace propagation only —
+		// no logger clone, no record building — so an uninstrumented
+		// manager's per-job overhead stays one context allocation.
+		ctx = obs.WithTrace(ctx, j.info.ID)
+		logger := m.opts.Logger
+		if logger != nil {
+			logger = logger.With("trace", j.info.ID, "kind", j.info.Kind)
+			ctx = obs.ContextWithLogger(ctx, logger)
+			logger.Info("job start", "queuedFor", now.Sub(j.info.Created))
+		}
+
 		result, err := handler(ctx, params)
 		cancel()
-		m.finish(j, result, err)
+		state, dur := m.finish(j, result, err)
+		if logger != nil {
+			logger.Info("job finish", "state", state, "duration", dur)
+		}
 	}
 }
 
 // finish records a returned handler's outcome and, for completed work,
 // persists the result (outside the manager lock: an fsync must never
-// stall the API surface).
-func (m *Manager) finish(j *job, result json.RawMessage, err error) {
+// stall the API surface). It returns the final state and run duration
+// for the worker's lifecycle log line.
+func (m *Manager) finish(j *job, result json.RawMessage, err error) (State, time.Duration) {
 	m.mu.Lock()
 	fin := time.Now()
 	j.info.Finished = &fin
@@ -432,12 +457,18 @@ func (m *Manager) finish(j *job, result json.RawMessage, err error) {
 			persist, _ = json.Marshal(persisted{Kind: j.info.Kind, Result: result})
 		}
 	}
+	state := j.info.State
+	var dur time.Duration
+	if j.info.Started != nil {
+		dur = fin.Sub(*j.info.Started)
+	}
 	m.evictLocked()
 	m.mu.Unlock()
 	if persist != nil {
 		// Persistence failure degrades restart dedup, never the job.
 		_ = m.opts.Store.Put(storeKind, j.info.ID, persist)
 	}
+	return state, dur
 }
 
 // Get returns a snapshot of the job with the given ID.

@@ -51,7 +51,9 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
+	"rcons/internal/obs"
 	"rcons/internal/sim"
 )
 
@@ -118,6 +120,14 @@ type Options struct {
 	// MaxSteps caps any single execution (guards accidental livelock in
 	// fair completions). Default 20_000.
 	MaxSteps int
+	// Progress, when non-nil, receives periodic search-progress samples
+	// (nodes explored, rate, current depth, frontier) every
+	// ProgressInterval, plus one final flush when the run ends. The
+	// publisher samples lock-free counters off the search's hot path, so
+	// a nil sink costs nothing and verdicts are identical either way.
+	Progress obs.Sink
+	// ProgressInterval is the progress sampling period; 0 means 1s.
+	ProgressInterval time.Duration
 	// LegacyFingerprint switches configuration-fingerprint pruning back
 	// to the original pipeline: a full textual Memory.Snapshot plus a
 	// re-walk of the entire event trace, hashed with SHA-256, at every
@@ -249,10 +259,21 @@ func Check(ctx context.Context, tgt Target, opts Options) (*Result, error) {
 		MaxDepth:    opts.MaxDepth,
 		CrashBudget: opts.CrashBudget,
 	}
-	s := &search{tgt: tgt, opts: opts}
+	s := &search{tgt: tgt, opts: opts, start: time.Now()}
+	trace := obs.TraceID(ctx)
+	stopProgress := obs.PublishEvery(opts.ProgressInterval, opts.Progress, func() obs.Progress {
+		return s.progress(trace)
+	})
+	defer stopProgress()
+	logger := obs.LoggerFrom(ctx)
 
 	for depth := opts.MinDepth; ; {
+		s.curDepth.Store(int64(depth))
 		viol, closed, err := s.round(ctx, depth)
+		logger.Debug("mc round done",
+			"target", tgt.Name, "depth", depth,
+			"nodes", s.nodes.Load(), "pruned", s.pruned.Load(),
+			"violation", viol != nil, "closed", closed)
 		res.Stats = s.snapshotStats()
 		if err != nil {
 			return nil, err

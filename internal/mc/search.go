@@ -8,8 +8,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rcons/internal/intern"
+	"rcons/internal/obs"
 	"rcons/internal/sim"
 )
 
@@ -22,8 +24,9 @@ type violation struct {
 // search carries the shared state of one Check invocation across
 // deepening rounds, worker goroutines and the swarm fallback.
 type search struct {
-	tgt  Target
-	opts Options
+	tgt   Target
+	opts  Options
+	start time.Time
 
 	nodes        atomic.Int64
 	pruned       atomic.Int64
@@ -33,6 +36,32 @@ type search struct {
 	depthReached atomic.Int64
 	rounds       int
 	exceeded     atomic.Bool
+	// curDepth and frontier exist only for progress reporting: the
+	// deepening round in flight and the number of root subtrees not yet
+	// finished in it.
+	curDepth atomic.Int64
+	frontier atomic.Int64
+}
+
+// progress samples the search counters for the progress publisher. It
+// reads only atomics, so it is safe concurrently with the search and
+// perturbs nothing.
+func (s *search) progress(trace string) obs.Progress {
+	nodes := s.nodes.Load() + s.swarmRuns.Load()
+	elapsed := time.Since(s.start)
+	var rate float64
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(nodes) / secs
+	}
+	return obs.Progress{
+		Task:        "mc",
+		TraceID:     trace,
+		Nodes:       nodes,
+		NodesPerSec: rate,
+		Depth:       int(s.curDepth.Load()),
+		Frontier:    s.frontier.Load(),
+		Elapsed:     elapsed,
+	}
 }
 
 func (s *search) snapshotStats() Stats {
@@ -301,6 +330,8 @@ func (s *search) searchRoots(ctx context.Context, roots []node, depth int) (*vio
 	if len(roots) == 0 {
 		return nil, nil
 	}
+	s.frontier.Store(int64(len(roots)))
+	defer s.frontier.Store(0)
 	workers := min(s.opts.Workers, len(roots))
 	var (
 		mu      sync.Mutex
@@ -328,6 +359,7 @@ func (s *search) searchRoots(ctx context.Context, roots []node, depth int) (*vio
 
 				visited := map[Fingerprint]uint64{}
 				v, err := s.dfs(rctx, roots[i], depth, visited)
+				s.frontier.Add(-1)
 
 				mu.Lock()
 				delete(active, i)

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type for WritePrometheus output,
+// per the Prometheus text exposition format version 0.0.4.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the registry in Prometheus
+// text exposition format: families in name order, series within a
+// family in label-value order, histograms expanded into cumulative
+// _bucket series plus _sum and _count. Output is deterministic for a
+// fixed registry state, which the golden test relies on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry as /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// write renders one family: HELP, TYPE, then each series.
+func (f *family) write(w io.Writer) error {
+	f.mu.RLock()
+	all := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		all = append(all, s)
+	}
+	f.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		return seriesKey(all[i].values) < seriesKey(all[j].values)
+	})
+
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, s := range all {
+		if err := f.writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer, s *series) error {
+	if s.hist != nil {
+		return f.writeHistogram(w, s)
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n",
+		renderSeriesName(f.name, f.labels, s.values), formatValue(s.value()))
+	return err
+}
+
+// writeHistogram renders the cumulative bucket series, sum and count.
+func (f *family) writeHistogram(w io.Writer, s *series) error {
+	counts, sum, total := s.hist.snapshot()
+	cum := int64(0)
+	for i, bound := range s.hist.bounds {
+		cum += counts[i]
+		name := renderSeriesName(f.name+"_bucket", append(f.labels, "le"),
+			append(s.values, formatValue(bound)))
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(s.hist.bounds)]
+	inf := renderSeriesName(f.name+"_bucket", append(f.labels, "le"),
+		append(s.values, "+Inf"))
+	if _, err := fmt.Fprintf(w, "%s %d\n", inf, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n",
+		renderSeriesName(f.name+"_sum", f.labels, s.values), formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n",
+		renderSeriesName(f.name+"_count", f.labels, s.values), total)
+	return err
+}
+
+// renderSeriesName renders name{k1="v1",k2="v2"} (bare name when there
+// are no labels), escaping label values per the exposition format.
+func renderSeriesName(name string, keys, values []string) string {
+	if len(keys) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline, the
+// three characters the exposition format requires escaping in values.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus clients expect:
+// integers without a decimal point, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full exposition output: family
+// ordering, series ordering within a family, HELP/TYPE lines, label
+// escaping and histogram expansion. Any format drift fails here first.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	req := r.Counter("rc_http_requests_total", "HTTP requests served.", "method", "path", "code")
+	req.With("GET", "/healthz", "200").Add(2)
+	req.With("POST", "/v1/classify", "422").Inc()
+	r.Gauge("rc_http_in_flight", "Requests currently being served.").With().Set(1)
+	h := r.Histogram("rc_http_request_duration_seconds", "Request latency.", []float64{0.01, 0.1, 1}, "path")
+	h.With("/healthz").Observe(0.005)
+	h.With("/healthz").Observe(0.005)
+	h.With("/healthz").Observe(0.5)
+	r.Counter("rc_escape_total", `help with \ backslash`, "v").
+		With("quote\"back\\slash\nnewline").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rc_escape_total help with \\ backslash
+# TYPE rc_escape_total counter
+rc_escape_total{v="quote\"back\\slash\nnewline"} 1
+# HELP rc_http_in_flight Requests currently being served.
+# TYPE rc_http_in_flight gauge
+rc_http_in_flight 1
+# HELP rc_http_request_duration_seconds Request latency.
+# TYPE rc_http_request_duration_seconds histogram
+rc_http_request_duration_seconds_bucket{path="/healthz",le="0.01"} 2
+rc_http_request_duration_seconds_bucket{path="/healthz",le="0.1"} 2
+rc_http_request_duration_seconds_bucket{path="/healthz",le="1"} 3
+rc_http_request_duration_seconds_bucket{path="/healthz",le="+Inf"} 3
+rc_http_request_duration_seconds_sum{path="/healthz"} 0.51
+rc_http_request_duration_seconds_count{path="/healthz"} 3
+# HELP rc_http_requests_total HTTP requests served.
+# TYPE rc_http_requests_total counter
+rc_http_requests_total{method="GET",path="/healthz",code="200"} 2
+rc_http_requests_total{method="POST",path="/v1/classify",code="422"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusDeterministic renders twice and requires byte equality.
+func TestPrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	v := r.Counter("rc_z_total", "", "a", "b")
+	for _, pair := range [][2]string{{"1", "x"}, {"0", "y"}, {"2", "w"}} {
+		v.With(pair[0], pair[1]).Inc()
+	}
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("rendering not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	// Series must come out in label-value order.
+	out := b1.String()
+	i0 := strings.Index(out, `a="0"`)
+	i1 := strings.Index(out, `a="1"`)
+	i2 := strings.Index(out, `a="2"`)
+	if !(i0 < i1 && i1 < i2) {
+		t.Errorf("series not sorted by label values:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rc_x_total", "").With().Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ExpositionContentType {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "rc_x_total 1") {
+		t.Fatalf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

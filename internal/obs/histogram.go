@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency bucket layout, in seconds: tuned so
+// sub-millisecond cache hits, multi-second census jobs and everything
+// between land in distinct buckets. p50/p99/p999 are derivable from the
+// cumulative counts (see Quantile).
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is a coarse power-of-roughly-4 layout for byte and count
+// distributions (request bodies, result sizes, nodes per search).
+var SizeBuckets = []float64{
+	1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+}
+
+// Histogram is a fixed-bucket histogram. Observations land in the first
+// bucket whose upper bound is ≥ the value; values above every bound go
+// to the implicit +Inf bucket. All updates are lock-free atomics, so
+// Observe is safe on hot paths; snapshots taken during concurrent
+// observation are internally consistent enough for monitoring (counts
+// and sum may be momentarily offset by in-flight observations, never
+// corrupted).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	total  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// sort.SearchFloat64s finds the first bound >= v via "!(bound < v)".
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot reads per-bucket counts, sum and total in one pass.
+func (h *Histogram) snapshot() (counts []int64, sum float64, total int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.Sum(), h.total.Load()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the target rank, the same estimate
+// Prometheus's histogram_quantile computes. The lowest bucket
+// interpolates from 0; a rank landing in the +Inf bucket returns the
+// highest finite bound (the estimate is then a lower bound). Returns
+// NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, total := h.snapshot()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			if len(h.bounds) == 0 {
+				return math.NaN()
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		prev := float64(cum - c)
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}

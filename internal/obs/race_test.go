@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpdatesWhileRendering hammers counters, gauges and
+// histograms — including creation of new labelled series — while other
+// goroutines render the exposition and take snapshots. Run under
+// -race this is the package's main concurrency safety net.
+func TestConcurrentUpdatesWhileRendering(t *testing.T) {
+	r := NewRegistry()
+	ctr := r.Counter("rc_race_total", "", "worker")
+	g := r.Gauge("rc_race_gauge", "")
+	h := r.Histogram("rc_race_seconds", "", []float64{0.01, 0.1, 1}, "worker")
+
+	const (
+		writers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			label := string(rune('a' + id))
+			c := ctr.With(label)
+			hist := h.With(label)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.With().Add(1)
+				hist.Observe(float64(i%100) / 100)
+				if i%100 == 0 {
+					// Exercise series creation racing with rendering.
+					ctr.With(label + "-extra").Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("render: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+			_ = r.Value("rc_race_total", "a")
+			_ = h.With("a").Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+
+	var total int64
+	for w := 0; w < writers; w++ {
+		total += ctr.With(string(rune('a' + w))).Value()
+	}
+	wantMin := int64(writers * iters)
+	if total < wantMin {
+		t.Fatalf("counters lost updates: total = %d, want >= %d", total, wantMin)
+	}
+	if got := g.With().Value(); got != float64(writers*iters) {
+		t.Fatalf("gauge = %v, want %v", got, writers*iters)
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ctxKey is the private key type for context values stored by this
+// package (trace IDs and loggers).
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	loggerKey
+)
+
+// NewTraceID mints a 16-hex-character random trace ID. Job handlers use
+// the deterministic job ID instead; this is for HTTP requests and CLI
+// invocations, where IDs only need to be unique, not reproducible.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a fixed ID
+		// still lets the request proceed and correlates its log lines.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace returns ctx carrying the given trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "" if none.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey).(string)
+	return id
+}
+
+// EnsureTrace returns ctx unchanged if it already carries a trace ID,
+// otherwise a child context carrying a freshly minted one. The second
+// return is the effective ID either way.
+func EnsureTrace(ctx context.Context) (context.Context, string) {
+	if id := TraceID(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewTraceID()
+	return WithTrace(ctx, id), id
+}
+
+// ContextWithLogger returns ctx carrying l for retrieval by LoggerFrom.
+func ContextWithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// LoggerFrom returns the logger carried by ctx. When none is present it
+// returns a discard logger, so deep call sites can log unconditionally
+// without nil checks and without forcing every caller to wire one.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return nopLogger
+}
+
+var nopLogger = slog.New(slog.DiscardHandler)
+
+// NopLogger returns a logger that discards everything, for tests and
+// for subsystems whose caller passed no logger.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// NewLogger builds a slog.Logger writing to w in the given format
+// ("json" or "text"; anything else falls back to text) at the given
+// minimum level ("debug", "info", "warn", "error"; default info).
+func NewLogger(w io.Writer, format, level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if strings.ToLower(format) == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

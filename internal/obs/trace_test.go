@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Fatalf("empty ctx trace = %q, want \"\"", got)
+	}
+	ctx = WithTrace(ctx, "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("trace = %q, want abc123", got)
+	}
+}
+
+func TestEnsureTrace(t *testing.T) {
+	ctx, id := EnsureTrace(context.Background())
+	if id == "" || TraceID(ctx) != id {
+		t.Fatalf("EnsureTrace minted %q, ctx carries %q", id, TraceID(ctx))
+	}
+	ctx2, id2 := EnsureTrace(ctx)
+	if ctx2 != ctx || id2 != id {
+		t.Fatal("EnsureTrace must be a no-op when a trace exists")
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLoggerFromDefaultsToNop(t *testing.T) {
+	l := LoggerFrom(context.Background())
+	if l == nil {
+		t.Fatal("LoggerFrom returned nil")
+	}
+	// Must not panic; output is discarded.
+	l.Info("dropped")
+}
+
+func TestContextWithLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "text", "info")
+	ctx := ContextWithLogger(context.Background(), l)
+	LoggerFrom(ctx).Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), "hello") || !strings.Contains(buf.String(), "k=v") {
+		t.Fatalf("log output missing fields: %q", buf.String())
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, "json", "info").Info("m", "a", 1)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json format did not produce JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "m" {
+		t.Fatalf("json record = %v", rec)
+	}
+
+	buf.Reset()
+	NewLogger(&buf, "text", "warn").Info("suppressed")
+	if buf.Len() != 0 {
+		t.Fatalf("info at warn level should be suppressed: %q", buf.String())
+	}
+	NewLogger(&buf, "text", "warn").Warn("kept")
+	if !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("warn at warn level should appear: %q", buf.String())
+	}
+
+	buf.Reset()
+	NewLogger(&buf, "bogus", "bogus").Info("fallback")
+	if !strings.Contains(buf.String(), "fallback") {
+		t.Fatalf("unknown format/level must fall back to text/info: %q", buf.String())
+	}
+}
