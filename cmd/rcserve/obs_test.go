@@ -140,6 +140,28 @@ func TestJobMetricsAfterRun(t *testing.T) {
 	if got := s.reg.Value("rc_progress_nodes", "mc"); got <= 0 {
 		t.Errorf("rc_progress_nodes{mc} = %v, want > 0", got)
 	}
+	if got := s.reg.Value("rc_progress_frontier", "mc"); got != 0 {
+		t.Errorf("rc_progress_frontier{mc} = %v, want 0 after the run", got)
+	}
+
+	// A violating run stops early with most roots unclaimed — the
+	// sensitive case for the frontier's exact accounting (there is no
+	// blanket end-of-round reset hiding a leak).
+	body = strings.NewReader(`{"kind":"mc","params":{"target":"unsafe-noyield","n":2,"depth":12}}`)
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if done := pollJob(t, ts.URL, info.ID); done.State != string(jobs.StateDone) {
+		t.Fatalf("violating job finished %s: %s", done.State, done.Error)
+	}
+	if got := s.reg.Value("rc_progress_frontier", "mc"); got != 0 {
+		t.Errorf("rc_progress_frontier{mc} = %v, want 0 after early stop", got)
+	}
 }
 
 // TestPprofFlag checks that /debug/pprof is absent by default and

@@ -132,6 +132,15 @@ func lessBytes(a, b []byte) bool {
 	return false
 }
 
+// Permutations returns all permutations of 0..k-1 in lexicographic
+// order. The returned slices are shared and memoized process-wide for
+// small k — callers must not mutate them. Exposed for the compiled
+// core's automorphism-group search (internal/compile), which reuses the
+// same relabeling machinery as canonicalization.
+func Permutations(k int) [][]int {
+	return permutations(k)
+}
+
 // permutations returns all permutations of 0..k-1 in lexicographic
 // order. k is capped by CanonMaxStates/CanonMaxOps; results are memoized
 // process-wide since the same small k values recur millions of times

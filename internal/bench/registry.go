@@ -6,6 +6,7 @@ import (
 
 	"rcons/internal/atlas"
 	"rcons/internal/atlas/census"
+	"rcons/internal/compile"
 	"rcons/internal/engine"
 	"rcons/internal/harness"
 	"rcons/internal/mc"
@@ -83,6 +84,59 @@ func Registry() []Benchmark {
 					}
 				}
 				return nil, nil
+			},
+		},
+		Benchmark{
+			Name:  "engine/classify-compiled",
+			Doc:   "cold compiled-path classification of the full zoo at limit 4",
+			Iters: 3, QuickIters: 1,
+			Run: func(iters int) (Metrics, error) {
+				for i := 0; i < iters; i++ {
+					eng := engine.New(engine.Options{})
+					if _, err := eng.ClassifyAll(context.Background(), types.Zoo(), 4); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+		Benchmark{
+			Name:  "compile/build-table",
+			Doc:   "dense transition-table compilation of T_5 (reachable sweep + interning)",
+			Iters: 2_000, QuickIters: 500,
+			Run: func(iters int) (Metrics, error) {
+				t5 := types.NewTn(5)
+				for i := 0; i < iters; i++ {
+					if _, err := compile.Compile(t5, 5); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			},
+		},
+		Benchmark{
+			Name:  "compile/apply",
+			Doc:   "compiled table Apply: two flat array reads per protocol step",
+			Iters: 20_000_000, QuickIters: 5_000_000,
+			Run: func(iters int) (Metrics, error) {
+				c, err := compile.Compile(types.NewTn(5), 5)
+				if err != nil {
+					return nil, err
+				}
+				nOps := uint16(c.NumOps())
+				si, oi := uint16(0), uint16(0)
+				var sink uint16
+				for i := 0; i < iters; i++ {
+					ns, r := c.Apply(si, oi)
+					sink ^= r
+					si = ns
+					oi++
+					if oi == nOps {
+						oi = 0
+					}
+				}
+				_ = sink
+				return Metrics{"applies": float64(iters)}, nil
 			},
 		},
 		Benchmark{

@@ -1,0 +1,361 @@
+package checker
+
+// Compiled-table verifiers: semantically exact mirrors of
+// VerifyRecording / VerifyDiscerning that run on a compile.Compiled
+// table instead of interpreting spec.Type. The (state × remaining
+// counts [× j-response]) memoization graph is identical to the
+// interpreted explorers'; only the representation changes — states,
+// ops and responses become uint16 indices, Apply becomes two flat array
+// reads, and the string memo keys become a mixed-radix integer (the
+// remaining-counts vector is bounded by per-op totals, so each slot is
+// a digit with radix total+1). Witnesses whose initial state or
+// operations lie outside the table, or with more processes than the
+// dense counts encoding supports, fall back to the interpreted
+// verifier on the table's source type, so the compiled VerifyFuncs are
+// total and return bit-identical verdicts everywhere.
+
+import (
+	"rcons/internal/compile"
+	"rcons/internal/spec"
+)
+
+// maxCompiledN bounds the process count for the mixed-radix counts
+// encoding: the product of (total_k+1) over alphabet slots is at most
+// 2^n, kept below 2^15 so index arithmetic stays far from overflow even
+// multiplied by the state and response dimensions.
+const maxCompiledN = 15
+
+// maxDenseBits is the visited-set size (in entries) up to which a flat
+// bitset is used; larger key spaces fall back to a hash set, which is
+// still allocation-light compared to the interpreted string keys.
+const maxDenseBits = 1 << 25
+
+// CompiledRecording returns a VerifyFunc that checks Definition 4 on
+// c's flat tables. It ignores the spec.Type argument (the table already
+// fixes the type) and is interchangeable with VerifyRecording: verdicts
+// are bit-identical for every witness.
+func CompiledRecording(c *compile.Compiled) VerifyFunc {
+	return func(_ spec.Type, w Witness) (Result, error) {
+		return compiledRecording(c, w)
+	}
+}
+
+// CompiledDiscerning returns a VerifyFunc that checks Definition 2 on
+// c's flat tables, interchangeable with VerifyDiscerning.
+func CompiledDiscerning(c *compile.Compiled) VerifyFunc {
+	return func(_ spec.Type, w Witness) (Result, error) {
+		return compiledDiscerning(c, w)
+	}
+}
+
+// CompiledVerify selects the compiled verifier for a recording
+// (recording=true) or discerning property check.
+func CompiledVerify(c *compile.Compiled, recording bool) VerifyFunc {
+	if recording {
+		return CompiledRecording(c)
+	}
+	return CompiledDiscerning(c)
+}
+
+// indexSet is a visited/membership set over dense integer keys: a flat
+// bitset when the key space is small enough, a hash set otherwise.
+type indexSet struct {
+	bits []uint64
+	m    map[int]struct{}
+}
+
+func newIndexSet(size int) *indexSet {
+	if size <= maxDenseBits {
+		return &indexSet{bits: make([]uint64, (size+63)/64)}
+	}
+	return &indexSet{m: make(map[int]struct{}, 1024)}
+}
+
+// insert adds key and reports whether it was absent.
+func (s *indexSet) insert(key int) bool {
+	if s.bits != nil {
+		w, b := key/64, uint64(1)<<(key%64)
+		if s.bits[w]&b != 0 {
+			return false
+		}
+		s.bits[w] |= b
+		return true
+	}
+	if _, ok := s.m[key]; ok {
+		return false
+	}
+	s.m[key] = struct{}{}
+	return true
+}
+
+func (s *indexSet) has(key int) bool {
+	if s.bits != nil {
+		return s.bits[key/64]&(uint64(1)<<(key%64)) != 0
+	}
+	_, ok := s.m[key]
+	return ok
+}
+
+// memberSet is an indexSet that also records members in insertion
+// order, for iteration (DFS order is deterministic, so so is this).
+type memberSet struct {
+	set     *indexSet
+	members []int
+}
+
+func newMemberSet(size int) *memberSet { return &memberSet{set: newIndexSet(size)} }
+
+func (s *memberSet) insert(key int) {
+	if s.set.insert(key) {
+		s.members = append(s.members, key)
+	}
+}
+
+func (s *memberSet) has(key int) bool { return s.set.has(key) }
+
+// cAlphabet is the compiled analogue of Witness.alphabet for a subset
+// of the witness's processes: the distinct operations (sorted by their
+// string encoding, matching the interpreted explorers exactly) resolved
+// to table indices, with per-slot totals and the mixed-radix layout of
+// the remaining-counts vector.
+type cAlphabet struct {
+	opTab   []uint16 // table op index per alphabet slot
+	totals  []int    // per-slot process count (both teams)
+	strides []int    // mixed-radix stride per slot
+	prod    int      // Π(totals+1): size of the counts dimension
+	fullIdx int      // radix index of the full totals vector
+}
+
+// buildAlphabet resolves the distinct ops of the selected witness
+// processes (include(i) true) against the table. ok is false when any
+// op is missing from the table, which forces the interpreted fallback.
+func buildAlphabet(c *compile.Compiled, w Witness, include func(i int) bool) (a cAlphabet, slotOf map[spec.Op]int, ok bool) {
+	set := map[spec.Op]bool{}
+	for i, op := range w.Ops {
+		if include(i) {
+			set[op] = true
+		}
+	}
+	ops := make([]spec.Op, 0, len(set))
+	for op := range set {
+		ops = append(ops, op)
+	}
+	// Insertion sort keeps this allocation-free for the tiny alphabets
+	// (≤ n distinct ops) seen here, and matches the interpreted sort.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j] < ops[j-1]; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+	a.opTab = make([]uint16, len(ops))
+	slotOf = make(map[spec.Op]int, len(ops))
+	for k, op := range ops {
+		oi, found := c.OpIndex(op)
+		if !found {
+			return cAlphabet{}, nil, false
+		}
+		a.opTab[k] = oi
+		slotOf[op] = k
+	}
+	a.totals = make([]int, len(ops))
+	for i, op := range w.Ops {
+		if include(i) {
+			a.totals[slotOf[op]]++
+		}
+	}
+	a.strides = make([]int, len(ops))
+	a.prod = 1
+	for k, t := range a.totals {
+		a.strides[k] = a.prod
+		a.prod *= t + 1
+	}
+	for k, t := range a.totals {
+		a.fullIdx += t * a.strides[k]
+	}
+	return a, slotOf, true
+}
+
+// cqExplorer mirrors qExplorer on table indices.
+type cqExplorer struct {
+	c       *compile.Compiled
+	a       cAlphabet
+	visited *indexSet
+	out     *memberSet
+}
+
+func (e *cqExplorer) dfs(si uint16, rem []int, remIdx int) {
+	if !e.visited.insert(int(si)*e.a.prod + remIdx) {
+		return
+	}
+	e.out.insert(int(si))
+	for k := range rem {
+		if rem[k] == 0 {
+			continue
+		}
+		ns := e.c.Next(si, e.a.opTab[k])
+		rem[k]--
+		e.dfs(ns, rem, remIdx-e.a.strides[k])
+		rem[k]++
+	}
+}
+
+// compiledQSet computes the Q_x set of Definition 4 as a memberSet of
+// state indices, mirroring QSet.
+func compiledQSet(c *compile.Compiled, q0 uint16, a cAlphabet, countsX []int) *memberSet {
+	e := &cqExplorer{
+		c:       c,
+		a:       a,
+		visited: newIndexSet(c.NumStates() * a.prod),
+		out:     newMemberSet(c.NumStates()),
+	}
+	merged := append([]int(nil), a.totals...)
+	for k := range a.opTab {
+		if countsX[k] == 0 {
+			continue
+		}
+		ns := c.Next(q0, a.opTab[k])
+		merged[k]--
+		e.dfs(ns, merged, a.fullIdx-a.strides[k])
+		merged[k]++
+	}
+	return e.out
+}
+
+func compiledRecording(c *compile.Compiled, w Witness) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	q0, ok := c.StateIndex(w.Q0)
+	if !ok || w.N() > maxCompiledN {
+		return VerifyRecording(c.Source(), w)
+	}
+	a, slotOf, ok := buildAlphabet(c, w, func(int) bool { return true })
+	if !ok {
+		return VerifyRecording(c.Source(), w)
+	}
+	counts := [2][]int{make([]int, len(a.opTab)), make([]int, len(a.opTab))}
+	for i, op := range w.Ops {
+		counts[w.Teams[i]][slotOf[op]]++
+	}
+	qa := compiledQSet(c, q0, a, counts[TeamA])
+	qb := compiledQSet(c, q0, a, counts[TeamB])
+	for _, s := range qa.members {
+		if qb.has(s) {
+			return fail("condition 1: state %q is in both Q_A and Q_B", c.StateAt(uint16(s))), nil
+		}
+	}
+	if qa.has(int(q0)) && w.TeamSize(TeamB) != 1 {
+		return fail("condition 2: q0 ∈ Q_A but |B| = %d ≠ 1", w.TeamSize(TeamB)), nil
+	}
+	if qb.has(int(q0)) && w.TeamSize(TeamA) != 1 {
+		return fail("condition 3: q0 ∈ Q_B but |A| = %d ≠ 1", w.TeamSize(TeamA)), nil
+	}
+	return Result{OK: true}, nil
+}
+
+// crExplorer mirrors rExplorer on table indices. The j-tracking
+// dimension folds into the memo key as a factor of NumResps+1: slot 0
+// is "j not yet applied", slot 1+r is "j applied, returned response r".
+type crExplorer struct {
+	c          *compile.Compiled
+	a          cAlphabet
+	opJ        uint16
+	respFactor int
+	visited    *indexSet
+	out        *memberSet // keys: respIdx*NumStates + stateIdx
+}
+
+func (e *crExplorer) dfs(si uint16, rem []int, remIdx, jSlot int) {
+	if !e.visited.insert((int(si)*e.a.prod+remIdx)*e.respFactor + jSlot) {
+		return
+	}
+	if jSlot > 0 {
+		e.out.insert((jSlot-1)*e.c.NumStates() + int(si))
+	}
+	for k := range rem {
+		if rem[k] == 0 {
+			continue
+		}
+		ns := e.c.Next(si, e.a.opTab[k])
+		rem[k]--
+		e.dfs(ns, rem, remIdx-e.a.strides[k], jSlot)
+		rem[k]++
+	}
+	if jSlot == 0 {
+		ns, r := e.c.Apply(si, e.opJ)
+		e.dfs(ns, rem, remIdx, 1+int(r))
+	}
+}
+
+// compiledRSet computes R_{x,j} of Definition 2 as a memberSet of
+// (response, state) index pairs, mirroring RSet. ok is false when some
+// operation is outside the table.
+func compiledRSet(c *compile.Compiled, w Witness, q0 uint16, x, j int) (*memberSet, bool) {
+	a, slotOf, ok := buildAlphabet(c, w, func(i int) bool { return i != j })
+	if !ok {
+		return nil, false
+	}
+	opJ, ok := c.OpIndex(w.Ops[j])
+	if !ok {
+		return nil, false
+	}
+	countsX := make([]int, len(a.opTab))
+	for i, op := range w.Ops {
+		if i != j && w.Teams[i] == x {
+			countsX[slotOf[op]]++
+		}
+	}
+	e := &crExplorer{
+		c:          c,
+		a:          a,
+		opJ:        opJ,
+		respFactor: c.NumResps() + 1,
+		visited:    newIndexSet(c.NumStates() * a.prod * (c.NumResps() + 1)),
+		out:        newMemberSet(c.NumStates() * c.NumResps()),
+	}
+	merged := append([]int(nil), a.totals...)
+	// Case 1: process j goes first (only admissible if j is on team x).
+	if w.Teams[j] == x {
+		ns, r := c.Apply(q0, opJ)
+		e.dfs(ns, merged, a.fullIdx, 1+int(r))
+	}
+	// Case 2: another process on team x goes first.
+	for k := range a.opTab {
+		if countsX[k] == 0 {
+			continue
+		}
+		ns := c.Next(q0, a.opTab[k])
+		merged[k]--
+		e.dfs(ns, merged, a.fullIdx-a.strides[k], 0)
+		merged[k]++
+	}
+	return e.out, true
+}
+
+func compiledDiscerning(c *compile.Compiled, w Witness) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	q0, ok := c.StateIndex(w.Q0)
+	if !ok || w.N() > maxCompiledN {
+		return VerifyDiscerning(c.Source(), w)
+	}
+	for j := 0; j < w.N(); j++ {
+		ra, ok := compiledRSet(c, w, q0, TeamA, j)
+		if !ok {
+			return VerifyDiscerning(c.Source(), w)
+		}
+		rb, ok := compiledRSet(c, w, q0, TeamB, j)
+		if !ok {
+			return VerifyDiscerning(c.Source(), w)
+		}
+		for _, p := range ra.members {
+			if rb.has(p) {
+				ri, si := p/c.NumStates(), p%c.NumStates()
+				return fail("R_{A,%d} ∩ R_{B,%d} contains (resp=%q, state=%q)",
+					j, j, c.RespAt(uint16(ri)), c.StateAt(uint16(si))), nil
+			}
+		}
+	}
+	return Result{OK: true}, nil
+}

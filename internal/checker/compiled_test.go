@@ -1,0 +1,91 @@
+package checker
+
+import (
+	"context"
+	"testing"
+
+	"rcons/internal/compile"
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// dualVerify returns a VerifyFunc that runs every candidate through
+// both the interpreted verifier and the compiled one and fails the test
+// on any OK disagreement. Reasons are not compared: fail messages
+// legitimately differ in wording between the two paths.
+func dualVerify(t *testing.T, typ spec.Type, c *compile.Compiled, recording bool) VerifyFunc {
+	t.Helper()
+	interp := VerifyRecording
+	if !recording {
+		interp = VerifyDiscerning
+	}
+	comp := CompiledVerify(c, recording)
+	return func(_ spec.Type, w Witness) (Result, error) {
+		ri, erri := interp(typ, w)
+		rc, errc := comp(typ, w)
+		if (erri == nil) != (errc == nil) {
+			t.Fatalf("%s %v: interpreted err %v, compiled err %v", typ.Name(), w, erri, errc)
+		}
+		if erri == nil && ri.OK != rc.OK {
+			t.Fatalf("%s %v (recording=%v): interpreted OK=%v, compiled OK=%v (%q vs %q)",
+				typ.Name(), w, recording, ri.OK, rc.OK, ri.Reason, rc.Reason)
+		}
+		return rc, errc
+	}
+}
+
+// TestCompiledVerifierMatchesInterpreted sweeps the full shard
+// enumeration for every compilable zoo type at n = 2..3 and checks the
+// compiled and interpreted verifiers agree candidate by candidate, for
+// both properties, including the returned witnesses.
+func TestCompiledVerifierMatchesInterpreted(t *testing.T) {
+	maxN := 3
+	if testing.Short() {
+		maxN = 2
+	}
+	ctx := context.Background()
+	for _, typ := range types.Zoo() {
+		for n := 2; n <= maxN; n++ {
+			c, err := compile.Compile(typ, n)
+			if err != nil {
+				continue
+			}
+			shards, err := Shards(typ, n, nil)
+			if err != nil {
+				t.Fatalf("%s n=%d: Shards: %v", typ.Name(), n, err)
+			}
+			for _, recording := range []bool{true, false} {
+				verify := dualVerify(t, typ, c, recording)
+				for _, s := range shards {
+					if _, err := SearchShard(ctx, typ, s, verify); err != nil {
+						t.Fatalf("%s n=%d: SearchShard: %v", typ.Name(), n, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledVerifierFallback drives the compiled verifier with a
+// witness whose operation is outside the compiled alphabet; it must
+// fall back to the interpreted path and agree with it rather than
+// erroring out.
+func TestCompiledVerifierFallback(t *testing.T) {
+	cas := types.NewCAS()
+	c, err := compile.Compile(cas, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "cas(⊥,zz)" is a valid CAS op but not in CandidateOps(cas, 2),
+	// so it is absent from the compiled table.
+	w := Witness{
+		Q0:    spec.State(types.Bottom),
+		Teams: []int{TeamA, TeamB},
+		Ops:   []spec.Op{spec.FormatOp("cas", types.Bottom, "zz"), spec.FormatOp("cas", types.Bottom, "v0")},
+	}
+	ri, erri := VerifyRecording(cas, w)
+	rc, errc := CompiledRecording(c)(cas, w)
+	if (erri == nil) != (errc == nil) || (erri == nil && ri.OK != rc.OK) {
+		t.Fatalf("fallback diverged: interpreted (%+v, %v), compiled (%+v, %v)", ri, erri, rc, errc)
+	}
+}

@@ -241,13 +241,19 @@ func (m MaxLevel) String() string {
 	return fmt.Sprintf("%d", m.Max)
 }
 
-// scanMax finds the largest n ≤ limit at which search succeeds. Both
-// properties are downward closed for n ≥ 3 (Observation 6 for recording;
-// dropping a process preserves discerning likewise), so a linear upward
-// scan that stops at the first failure is exact; to be robust against
-// hypothetical non-monotone candidate sets we keep scanning after an
-// early failure only if the next level succeeds is impossible — we stop,
-// documenting the monotonicity assumption.
+// scanMax finds the largest n ≤ limit at which search succeeds, by
+// scanning n = 2, 3, … upward and stopping at the first level whose
+// search finds no witness. Stopping early is exact because both
+// properties are downward closed: an n-recording type is k-recording
+// for every 2 ≤ k ≤ n (Observation 6), and an n-discerning witness
+// restricts to a (n−1)-discerning one by dropping a process from a
+// team of size ≥ 2 — so the set of levels at which a property holds is
+// always a prefix {2, …, max}, and no higher success can hide above a
+// failure. This closure argument assumes the candidate sets cover the
+// restricted witnesses, which holds for SearchOptions derived from the
+// type (the default) since dropping a process only shrinks the ops
+// used; with hand-picked candidate sets the result is still a sound
+// lower bound on the maximum.
 func scanMax(
 	t spec.Type, limit int, opts *SearchOptions,
 	search func(spec.Type, int, *SearchOptions) (*Witness, error),

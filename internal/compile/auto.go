@@ -1,0 +1,168 @@
+// Automorphism groups of compiled tables, powering search-time symmetry
+// reduction.
+//
+// An automorphism is a pair of relabelings (π over state indices, σ over
+// op indices) under which the table is invariant:
+//
+//	next[π(s), σ(o)] = π(next[s, o])    for every (s, o)
+//	resp[π(s), σ(o)] = resp[s, o]       (responses preserved EXACTLY)
+//	π(inits) = inits                    (initial-state set fixed setwise)
+//
+// Exact response preservation (rather than preservation up to renaming)
+// is what makes the reduction sound for the n-discerning property, whose
+// R-sets contain concrete (response, state) pairs: relabeling a witness
+// by an automorphism maps its Q/R sets through π while leaving every
+// response untouched, so all three recording conditions and the
+// discerning disjointness condition hold for the witness iff they hold
+// for its relabeling. Witness-search shards in the same orbit therefore
+// contain witnesses iff their orbit-mates do, and all but the first
+// shard of each orbit can be skipped without changing any verdict — see
+// engine's symmetric-shard pruning for the determinism argument.
+package compile
+
+import (
+	"rcons/internal/atlas"
+)
+
+// Caps on the brute-force automorphism search. The candidate space is
+// states! × ops!; beyond these bounds Automorphisms reports the trivial
+// group, which simply disables symmetry pruning.
+const (
+	autoMaxStates = 7
+	autoMaxOps    = 6
+	autoMaxCombos = 250000
+)
+
+// Element is one automorphism: State[s] is the relabeled index of state
+// s, Op[o] the relabeled index of op o.
+type Element struct {
+	State []int
+	Op    []int
+}
+
+// Group is the automorphism group of a compiled table. The identity is
+// always elems[0]; a group of size 1 is trivial and disables pruning.
+type Group struct {
+	elems []Element
+}
+
+// Size returns the group order (≥ 1; the identity is always present).
+func (g *Group) Size() int { return len(g.elems) }
+
+// Nontrivial reports whether the group contains a non-identity element —
+// the gate for all symmetry pruning.
+func (g *Group) Nontrivial() bool { return len(g.elems) > 1 }
+
+// Elements returns the group's elements, identity first. Callers must
+// not mutate the returned slices.
+func (g *Group) Elements() []Element { return g.elems }
+
+// Automorphisms returns the table's automorphism group, computing it on
+// first use and caching it. Tables beyond the brute-force caps get the
+// trivial group (sound: pruning just never activates).
+func (c *Compiled) Automorphisms() *Group {
+	c.autoOnce.Do(func() { c.auto = c.computeAutomorphisms() })
+	return c.auto
+}
+
+func (c *Compiled) computeAutomorphisms() *Group {
+	S, O := len(c.states), len(c.ops)
+	identity := func() *Group {
+		return &Group{elems: []Element{{State: identityPerm(S), Op: identityPerm(O)}}}
+	}
+	if S > autoMaxStates || O > autoMaxOps {
+		return identity()
+	}
+	statePerms := atlas.Permutations(S)
+	opPerms := atlas.Permutations(O)
+	if len(statePerms)*len(opPerms) > autoMaxCombos {
+		return identity()
+	}
+	isInit := make([]bool, S)
+	for _, i := range c.inits {
+		isInit[i] = true
+	}
+	var elems []Element
+	for _, ps := range statePerms {
+		if !preservesInits(ps, isInit) {
+			continue
+		}
+		for _, po := range opPerms {
+			if c.isAutomorphism(ps, po) {
+				elems = append(elems, Element{State: ps, Op: po})
+			}
+		}
+	}
+	// atlas.Permutations is lexicographic, so the identity pair is the
+	// first accepted element by construction.
+	return &Group{elems: elems}
+}
+
+// preservesInits reports whether ps maps the initial-state set onto
+// itself.
+func preservesInits(ps []int, isInit []bool) bool {
+	for s, init := range isInit {
+		if init && !isInit[ps[s]] {
+			return false
+		}
+	}
+	return true
+}
+
+// isAutomorphism checks table invariance under (ps, po).
+func (c *Compiled) isAutomorphism(ps, po []int) bool {
+	O := len(c.ops)
+	for s := range c.states {
+		for o := range c.ops {
+			k := s*O + o
+			pk := ps[s]*O + po[o]
+			if int(c.nextTab[pk]) != ps[c.nextTab[k]] || c.respTab[pk] != c.respTab[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func identityPerm(k int) []int {
+	p := make([]int, k)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// CanonicalShardKey returns a key identifying the orbit of the witness
+// shard (q0, team-A op multiset) under the group: the lexicographically
+// minimal encoding of (π(q0), counts∘σ⁻¹) over all group elements. Two
+// shards get the same key exactly when some automorphism maps one to
+// the other; keeping only the first shard of each orbit preserves every
+// search verdict. counts must have NumOps entries (the per-op team-A
+// multiplicities in table op order).
+func (g *Group) CanonicalShardKey(q0 uint16, counts []int) string {
+	cand := make([]byte, 2+2*len(counts))
+	var best []byte
+	for _, el := range g.elems {
+		q := el.State[q0]
+		cand[0], cand[1] = byte(q), byte(q>>8)
+		for o, c := range counts {
+			no := el.Op[o]
+			cand[2+2*no], cand[3+2*no] = byte(c), byte(c>>8)
+		}
+		if best == nil || lexLess(cand, best) {
+			best = append(best[:0], cand...)
+		}
+	}
+	return string(best)
+}
+
+// lexLess reports a < b lexicographically; lengths are equal by
+// construction.
+func lexLess(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,278 @@
+// Package compile turns any spec.Type into a dense, index-based
+// transition table — the "compiled core" the hot search paths run on.
+//
+// The interpreted representation used throughout the repository keeps
+// states, operations and responses as canonical strings, so every node
+// the checker, engine or model checker explores pays for map lookups,
+// string parsing inside Apply, and string-keyed memoization. Compiling
+// replaces all of that with two flat arrays indexed by
+// state*numOps+op: one for successor states, one for responses. The
+// original strings are interned in index order, so anything rendered
+// from a compiled run — verdicts, witnesses, fingerprints,
+// counterexamples — is byte-identical to the interpreted output.
+//
+// A Compiled table is built once per (type, n) via spec.Reachable and
+// shared across shards, memo probes and model-checking runs. Its
+// optional automorphism group (see auto.go) powers search-time symmetry
+// reduction.
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// StateCap bounds the number of distinct states a compiled table may
+// hold. It matches the engine's fingerprint exploration cap and keeps
+// indices comfortably inside uint16.
+const StateCap = 1 << 14
+
+// Compiled is a spec.Type lowered to dense uint16 index space.
+//
+// States, ops and responses are assigned indices once at compile time;
+// the transition function is the array pair next/resp with
+// next[s*numOps+o] the successor state index and resp[s*numOps+o] the
+// response index. All slices are immutable after Compile returns, so a
+// Compiled value is safe for concurrent use.
+type Compiled struct {
+	src      spec.Type
+	n        int
+	states   []spec.State
+	ops      []spec.Op
+	resps    []spec.Response
+	stateIdx map[spec.State]uint16
+	opIdx    map[spec.Op]uint16
+	nextTab  []uint16
+	respTab  []uint16
+	inits    []uint16 // sorted unique indices of src.InitialStates()
+	readable bool
+
+	autoOnce sync.Once
+	auto     *Group
+}
+
+// Compile lowers t to a dense transition table for searches among n
+// processes. The operation alphabet is spec.CandidateOps(t, n) — the
+// same alphabet checker.Shards enumerates — and the state universe is
+// the union of spec.Reachable closures from every initial state, so the
+// table is closed: Apply never leaves it.
+//
+// Compile fails when an operation encoding is malformed (ParseOp), the
+// alphabet contains duplicates, or the reachable state space exceeds
+// StateCap; callers are expected to fall back to the interpreted path.
+func Compile(t spec.Type, n int) (*Compiled, error) {
+	ops := spec.CandidateOps(t, n)
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("compile %s: type has no update operations", t.Name())
+	}
+	opIdx := make(map[spec.Op]uint16, len(ops))
+	for i, op := range ops {
+		if _, _, err := spec.ParseOp(op); err != nil {
+			return nil, fmt.Errorf("compile %s: %w", t.Name(), err)
+		}
+		if _, dup := opIdx[op]; dup {
+			return nil, fmt.Errorf("compile %s: duplicate operation %q in candidate alphabet", t.Name(), op)
+		}
+		opIdx[op] = uint16(i)
+	}
+
+	inits := t.InitialStates()
+	if len(inits) == 0 {
+		return nil, fmt.Errorf("compile %s: type has no initial states", t.Name())
+	}
+	union := map[spec.State]bool{}
+	for _, q0 := range inits {
+		reach, err := spec.Reachable(t, q0, ops, StateCap)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", t.Name(), err)
+		}
+		for _, s := range reach {
+			union[s] = true
+		}
+	}
+	if len(union) > StateCap {
+		return nil, fmt.Errorf("compile %s: %d reachable states exceed cap %d", t.Name(), len(union), StateCap)
+	}
+	states := make([]spec.State, 0, len(union))
+	for s := range union {
+		states = append(states, s)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+
+	c := &Compiled{
+		src:      t,
+		n:        n,
+		states:   states,
+		ops:      ops,
+		stateIdx: make(map[spec.State]uint16, len(states)),
+		opIdx:    opIdx,
+		nextTab:  make([]uint16, len(states)*len(ops)),
+		respTab:  make([]uint16, len(states)*len(ops)),
+		readable: types.Readable(t),
+	}
+	for i, s := range states {
+		c.stateIdx[s] = uint16(i)
+	}
+	// Responses are interned by first occurrence in row-major table
+	// order — deterministic because the state list is sorted and the op
+	// list is the fixed candidate order.
+	respIdx := map[spec.Response]uint16{}
+	for si, s := range states {
+		for oi, op := range ops {
+			ns, r, err := t.Apply(s, op)
+			if err != nil {
+				return nil, fmt.Errorf("compile %s: apply %s to %q: %w", t.Name(), op, s, err)
+			}
+			ni, ok := c.stateIdx[ns]
+			if !ok {
+				// Unreachable: the state set is a Reachable closure.
+				return nil, fmt.Errorf("compile %s: successor %q of (%q, %s) escapes the reachable closure", t.Name(), ns, s, op)
+			}
+			ri, ok := respIdx[r]
+			if !ok {
+				ri = uint16(len(c.resps))
+				respIdx[r] = ri
+				c.resps = append(c.resps, r)
+			}
+			c.nextTab[si*len(ops)+oi] = ni
+			c.respTab[si*len(ops)+oi] = ri
+		}
+	}
+	seenInit := map[uint16]bool{}
+	for _, q0 := range inits {
+		i := c.stateIdx[q0] // present: Reachable includes its seed
+		if !seenInit[i] {
+			seenInit[i] = true
+			c.inits = append(c.inits, i)
+		}
+	}
+	sort.Slice(c.inits, func(i, j int) bool { return c.inits[i] < c.inits[j] })
+	return c, nil
+}
+
+// Source returns the interpreted type the table was compiled from.
+func (c *Compiled) Source() spec.Type { return c.src }
+
+// N returns the process count the candidate alphabet was built for.
+func (c *Compiled) N() int { return c.n }
+
+// NumStates returns the number of states in the table.
+func (c *Compiled) NumStates() int { return len(c.states) }
+
+// NumOps returns the number of operations in the table.
+func (c *Compiled) NumOps() int { return len(c.ops) }
+
+// NumResps returns the number of distinct responses in the table.
+func (c *Compiled) NumResps() int { return len(c.resps) }
+
+// StateIndex resolves a state string to its table index.
+func (c *Compiled) StateIndex(s spec.State) (uint16, bool) {
+	i, ok := c.stateIdx[s]
+	return i, ok
+}
+
+// OpIndex resolves an operation string to its table index.
+func (c *Compiled) OpIndex(op spec.Op) (uint16, bool) {
+	i, ok := c.opIdx[op]
+	return i, ok
+}
+
+// StateAt returns the interned state string for a table index.
+func (c *Compiled) StateAt(i uint16) spec.State { return c.states[i] }
+
+// OpAt returns the interned operation string for a table index.
+func (c *Compiled) OpAt(i uint16) spec.Op { return c.ops[i] }
+
+// RespAt returns the interned response string for a table index.
+func (c *Compiled) RespAt(i uint16) spec.Response { return c.resps[i] }
+
+// Next returns the successor state index of applying op oi in state si.
+func (c *Compiled) Next(si, oi uint16) uint16 {
+	return c.nextTab[int(si)*len(c.ops)+int(oi)]
+}
+
+// Apply is the compiled transition function: a pair of flat array
+// lookups, no strings, no allocation.
+func (c *Compiled) Apply(si, oi uint16) (next, resp uint16) {
+	k := int(si)*len(c.ops) + int(oi)
+	return c.nextTab[k], c.respTab[k]
+}
+
+// InitIndices returns the (sorted, deduplicated) table indices of the
+// source type's initial states. Callers must not mutate the slice.
+func (c *Compiled) InitIndices() []uint16 { return c.inits }
+
+// Type returns a spec.Type view of the table: Apply resolves both
+// arguments through the index maps and answers from the flat arrays,
+// falling back to the source type for states or operations outside the
+// table (protocol code occasionally applies richer-argument ops than
+// the candidate alphabet). Name, InitialStates and Ops delegate to the
+// source, so every rendered artifact is unchanged.
+//
+// The view preserves the source's spec.OpsForN implementation and its
+// types.NonReadable marker, so types.Readable reports the same answer
+// for the view as for the source. Note that types.Readable special-cases
+// some concrete types (Queue, Stack, Custom); the view freezes the
+// answer observed at compile time.
+func (c *Compiled) Type() spec.Type {
+	_, hasN := c.src.(spec.OpsForN)
+	switch {
+	case c.readable && !hasN:
+		return wrapped{c}
+	case c.readable && hasN:
+		return wrappedOps{wrapped{c}}
+	case !c.readable && !hasN:
+		return wrappedNR{wrapped{c}}
+	default:
+		return wrappedOpsNR{wrappedOps{wrapped{c}}}
+	}
+}
+
+// wrapped is the spec.Type view over a compiled table.
+type wrapped struct{ c *Compiled }
+
+// Name implements spec.Type by delegating to the source type.
+func (w wrapped) Name() string { return w.c.src.Name() }
+
+// InitialStates implements spec.Type by delegating to the source type.
+func (w wrapped) InitialStates() []spec.State { return w.c.src.InitialStates() }
+
+// Ops implements spec.Type by delegating to the source type.
+func (w wrapped) Ops() []spec.Op { return w.c.src.Ops() }
+
+// Apply implements spec.Type via the flat tables, falling back to the
+// source for inputs outside the compiled universe.
+func (w wrapped) Apply(s spec.State, op spec.Op) (spec.State, spec.Response, error) {
+	si, ok := w.c.stateIdx[s]
+	if !ok {
+		return w.c.src.Apply(s, op)
+	}
+	oi, ok := w.c.opIdx[op]
+	if !ok {
+		return w.c.src.Apply(s, op)
+	}
+	k := int(si)*len(w.c.ops) + int(oi)
+	return w.c.states[w.c.nextTab[k]], w.c.resps[w.c.respTab[k]], nil
+}
+
+// wrappedOps adds the source's OpsForN implementation to the view.
+type wrappedOps struct{ wrapped }
+
+// OpsFor implements spec.OpsForN by delegating to the source type.
+func (w wrappedOps) OpsFor(n int) []spec.Op { return w.c.src.(spec.OpsForN).OpsFor(n) }
+
+// wrappedNR marks the view of a non-readable source type.
+type wrappedNR struct{ wrapped }
+
+// NonReadable implements the types.NonReadable marker.
+func (wrappedNR) NonReadable() {}
+
+// wrappedOpsNR combines OpsForN delegation with the NonReadable marker.
+type wrappedOpsNR struct{ wrappedOps }
+
+// NonReadable implements the types.NonReadable marker.
+func (wrappedOpsNR) NonReadable() {}

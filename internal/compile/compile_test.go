@@ -1,0 +1,219 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// TestCompileZooTables compiles every compilable zoo type and checks
+// each table cell against the interpreted Apply: same successor state,
+// same response, for every (state, op) in the compiled universe.
+func TestCompileZooTables(t *testing.T) {
+	const n = 3
+	compiledAny := false
+	for _, typ := range types.Zoo() {
+		c, err := Compile(typ, n)
+		if err != nil {
+			t.Logf("%s: not compiled: %v", typ.Name(), err)
+			continue
+		}
+		compiledAny = true
+		for si := 0; si < c.NumStates(); si++ {
+			for oi := 0; oi < c.NumOps(); oi++ {
+				ni, ri := c.Apply(uint16(si), uint16(oi))
+				ns, r, err := typ.Apply(c.StateAt(uint16(si)), c.OpAt(uint16(oi)))
+				if err != nil {
+					t.Fatalf("%s: interpreted Apply(%q, %s): %v", typ.Name(), c.StateAt(uint16(si)), c.OpAt(uint16(oi)), err)
+				}
+				if c.StateAt(ni) != ns || c.RespAt(ri) != r {
+					t.Fatalf("%s: cell (%q, %s): compiled (%q, %q) != interpreted (%q, %q)",
+						typ.Name(), c.StateAt(uint16(si)), c.OpAt(uint16(oi)),
+						c.StateAt(ni), c.RespAt(ri), ns, r)
+				}
+			}
+		}
+		// Every initial state must be in the table, round-tripping by
+		// index.
+		for _, q0 := range typ.InitialStates() {
+			i, ok := c.StateIndex(q0)
+			if !ok {
+				t.Fatalf("%s: initial state %q missing from table", typ.Name(), q0)
+			}
+			if c.StateAt(i) != q0 {
+				t.Fatalf("%s: state round trip %q -> %d -> %q", typ.Name(), q0, i, c.StateAt(i))
+			}
+		}
+	}
+	if !compiledAny {
+		t.Fatal("no zoo type compiled")
+	}
+}
+
+// TestWrapperDelegates pins the spec.Type view's contract: identical
+// Name/InitialStates/Ops, identical Apply on table inputs, source
+// fallback outside the table, and preserved OpsForN / readability.
+func TestWrapperDelegates(t *testing.T) {
+	src := types.NewSn(3)
+	c, err := Compile(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Type()
+	if w.Name() != src.Name() {
+		t.Fatalf("Name = %q, want %q", w.Name(), src.Name())
+	}
+	if len(w.InitialStates()) != len(src.InitialStates()) || w.InitialStates()[0] != src.InitialStates()[0] {
+		t.Fatalf("InitialStates = %v, want %v", w.InitialStates(), src.InitialStates())
+	}
+	for _, q0 := range src.InitialStates() {
+		for _, op := range spec.CandidateOps(src, 3) {
+			ns1, r1, err1 := w.Apply(q0, op)
+			ns2, r2, err2 := src.Apply(q0, op)
+			if ns1 != ns2 || r1 != r2 || (err1 == nil) != (err2 == nil) {
+				t.Fatalf("Apply(%q, %s): view (%q,%q,%v) != src (%q,%q,%v)", q0, op, ns1, r1, err1, ns2, r2, err2)
+			}
+		}
+	}
+	// Out-of-table inputs fall back to the source, including its errors.
+	if _, _, err := w.Apply("no-such-state", "opA"); err == nil {
+		t.Fatal("view accepted a state the source rejects")
+	}
+	if _, _, err := w.Apply(src.InitialStates()[0], "no-such-op"); err == nil {
+		t.Fatal("view accepted an op the source rejects")
+	}
+}
+
+// TestWrapperPreservesInterfaces checks that the view keeps the
+// source's OpsForN implementation and its readability classification.
+func TestWrapperPreservesInterfaces(t *testing.T) {
+	cas := types.NewCAS()
+	c, err := Compile(cas, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := c.Type()
+	g, ok := v.(spec.OpsForN)
+	if !ok {
+		t.Fatal("view of an OpsForN type lost OpsFor")
+	}
+	want := spec.CandidateOps(cas, 4)
+	got := g.OpsFor(4)
+	if len(got) != len(want) {
+		t.Fatalf("OpsFor(4) = %v, want %v", got, want)
+	}
+	if !types.Readable(v) {
+		t.Fatal("view of a readable type reports non-readable")
+	}
+
+	q := types.NewQueue(2) // non-readable by default
+	if types.Readable(q) {
+		t.Skip("queue unexpectedly readable; marker test void")
+	}
+	cq, err := Compile(q, 2)
+	if err != nil {
+		t.Skipf("queue not compilable: %v", err)
+	}
+	if types.Readable(cq.Type()) {
+		t.Fatal("view of a non-readable type reports readable")
+	}
+}
+
+// TestCompileRejectsMalformedOp exercises the ParseOp gate: an
+// operation with unbalanced parentheses must fail compilation with
+// ErrBadOp.
+func TestCompileRejectsMalformedOp(t *testing.T) {
+	bad := &types.Custom{
+		TypeName: "badop",
+		Initial:  []string{"q"},
+		Transitions: map[string]map[string]types.CustomEdge{
+			"q": {"f(a": {Next: "q", Resp: "ack"}},
+		},
+	}
+	if _, err := Compile(bad, 2); err == nil || !strings.Contains(err.Error(), "unsupported operation") {
+		t.Fatalf("Compile(badop) error = %v, want ErrBadOp", err)
+	}
+}
+
+// symmetricType builds a two-state table with a state-swap automorphism:
+// "flip" swaps the states, "stay" fixes them, every response is "ack",
+// and both states are initial.
+func symmetricType() *types.Custom {
+	return &types.Custom{
+		TypeName: "sym2",
+		Initial:  []string{"a", "b"},
+		Transitions: map[string]map[string]types.CustomEdge{
+			"a": {"flip": {Next: "b", Resp: "ack"}, "stay": {Next: "a", Resp: "ack"}},
+			"b": {"flip": {Next: "a", Resp: "ack"}, "stay": {Next: "b", Resp: "ack"}},
+		},
+	}
+}
+
+func TestAutomorphismsSymmetric(t *testing.T) {
+	c, err := Compile(symmetricType(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Automorphisms()
+	if !g.Nontrivial() {
+		t.Fatal("state-swap symmetry not found")
+	}
+	if g.Size() != 2 {
+		t.Fatalf("group size = %d, want 2 (identity + state swap)", g.Size())
+	}
+	// The identity must always be an element, listed first.
+	id := g.Elements()[0]
+	for i, v := range id.State {
+		if v != i {
+			t.Fatalf("first element is not the identity: %v", id.State)
+		}
+	}
+
+	// Orbit keys: the shards (q0=a, counts) and (q0=b, counts) are
+	// relabelings of each other, shards with different counts are not.
+	ai, _ := c.StateIndex("a")
+	bi, _ := c.StateIndex("b")
+	if g.CanonicalShardKey(ai, []int{1, 0}) != g.CanonicalShardKey(bi, []int{1, 0}) {
+		t.Fatal("orbit-mate shards got different canonical keys")
+	}
+	if g.CanonicalShardKey(ai, []int{1, 0}) == g.CanonicalShardKey(ai, []int{0, 1}) {
+		t.Fatal("distinct-orbit shards share a canonical key")
+	}
+}
+
+// TestAutomorphismsRespectResponses pins the exactness requirement:
+// a swap that preserves transitions but exchanges observable responses
+// is NOT an automorphism (it would be unsound for discerning checks).
+func TestAutomorphismsRespectResponses(t *testing.T) {
+	typ := &types.Custom{
+		TypeName: "respsym",
+		Initial:  []string{"a", "b"},
+		Transitions: map[string]map[string]types.CustomEdge{
+			"a": {"flip": {Next: "b", Resp: "ra"}, "stay": {Next: "a", Resp: "ra"}},
+			"b": {"flip": {Next: "a", Resp: "rb"}, "stay": {Next: "b", Resp: "rb"}},
+		},
+	}
+	c, err := Compile(typ, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Automorphisms(); g.Nontrivial() {
+		t.Fatalf("group size = %d; the state swap changes responses and must be rejected", g.Size())
+	}
+}
+
+// TestAutomorphismsFixInits: symmetry that moves an initial state out
+// of the initial set must be rejected.
+func TestAutomorphismsFixInits(t *testing.T) {
+	typ := symmetricType()
+	typ.Initial = []string{"a"} // break the setwise init symmetry
+	c, err := Compile(typ, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Automorphisms(); g.Nontrivial() {
+		t.Fatalf("group size = %d; the swap moves q0 out of the initial set", g.Size())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"rcons/internal/checker"
+	"rcons/internal/compile"
 	"rcons/internal/obs"
 	"rcons/internal/spec"
 	"rcons/internal/types"
@@ -87,6 +88,12 @@ type Options struct {
 	// computed result is written through — so classifications survive
 	// restarts and are shared by every binary opening the same store.
 	Persist Persist
+	// Interpreted disables the compiled fast path: searches verify
+	// witnesses by interpreting spec.Type directly instead of compiling
+	// it to dense transition tables first, and symmetric-shard pruning
+	// is off. This is the parity oracle — results must be bit-identical
+	// either way (asserted by the compiled-parity batteries).
+	Interpreted bool
 }
 
 // Engine runs sharded, memoized witness searches. It is safe for
@@ -103,7 +110,34 @@ type Engine struct {
 	cache   *cache  // nil when memoization is disabled
 	persist Persist // nil when no persistent store is attached
 	pstats  persistStats
+
+	// interpreted switches verification to the parity-oracle path.
+	interpreted bool
+	// compiled caches one dense transition table per (type, n), shared
+	// by every shard and memo probe of every search on that type. A nil
+	// entry value records that compilation failed (e.g. the state space
+	// exceeds compile.StateCap) so the failure is not retried per search.
+	cmu      sync.Mutex
+	compiled map[compiledKey]*compiledEntry
 }
+
+// compiledKey identifies a compiled table by folded type fingerprint
+// and process count.
+type compiledKey struct {
+	fp [2]uint64
+	n  int
+}
+
+// compiledEntry delays compilation until the first search needs the
+// table; concurrent searches share the one compile.
+type compiledEntry struct {
+	once sync.Once
+	c    *compile.Compiled
+}
+
+// compiledCacheCap bounds the compiled-table cache; on overflow an
+// arbitrary entry is evicted (tables are cheap to rebuild).
+const compiledCacheCap = 4096
 
 // New builds an Engine from opts.
 func New(opts Options) *Engine {
@@ -111,7 +145,13 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{workers: w, sem: make(chan struct{}, w), persist: opts.Persist}
+	e := &Engine{
+		workers:     w,
+		sem:         make(chan struct{}, w),
+		persist:     opts.Persist,
+		interpreted: opts.Interpreted,
+		compiled:    map[compiledKey]*compiledEntry{},
+	}
 	switch {
 	case opts.CacheSize == 0:
 		e.cache = newCache(4096)
@@ -203,7 +243,14 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 			return resultWitness(r), nil
 		}
 	}
-	w, err := e.searchParallel(ctx, t, n, verify)
+	// Only genuinely computed searches pay for compilation; cached paths
+	// returned above. A nil table (interpreted mode, or the type exceeds
+	// the compiler's caps) falls back to the interpreted verifier.
+	comp := e.compiledFor(t, n, key, haveKey)
+	if comp != nil {
+		verify = checker.CompiledVerify(comp, p == Recording)
+	}
+	w, err := e.searchParallel(ctx, t, n, verify, comp)
 	if err != nil {
 		return nil, err
 	}
@@ -266,16 +313,98 @@ func cloneWitness(w checker.Witness) checker.Witness {
 	}
 }
 
+// compiledFor returns the dense transition table for (t, n), compiling
+// and caching it on first use, or nil when the engine runs interpreted
+// or the type cannot be compiled (caps exceeded, malformed ops). The
+// cache key reuses the already-folded search fingerprint; searches
+// without one (memoization disabled and no store) compile fresh, which
+// costs one Apply per table cell.
+func (e *Engine) compiledFor(t spec.Type, n int, key cacheKey, haveKey bool) *compile.Compiled {
+	if e.interpreted {
+		return nil
+	}
+	if !haveKey {
+		c, _ := compile.Compile(t, n)
+		return c
+	}
+	ck := compiledKey{fp: key.fp, n: n}
+	e.cmu.Lock()
+	ent := e.compiled[ck]
+	if ent == nil {
+		if len(e.compiled) >= compiledCacheCap {
+			for k := range e.compiled {
+				delete(e.compiled, k)
+				break
+			}
+		}
+		ent = &compiledEntry{}
+		e.compiled[ck] = ent
+	}
+	e.cmu.Unlock()
+	ent.once.Do(func() { ent.c, _ = compile.Compile(t, n) })
+	return ent.c
+}
+
+// pruneSymmetricShards drops witness-search shards that are relabelings
+// of earlier ones under the table's automorphism group, keeping the
+// first shard of each orbit. Keeping first occurrences preserves the
+// search verdict AND the canonical witness: if the lowest-indexed
+// witness-containing shard were pruned as the orbit-mate of an earlier
+// kept shard, that earlier shard would contain the relabeled witness —
+// contradicting minimality — so it is never pruned, and every shard
+// before it is witness-free with or without pruning.
+//
+// The reduction only fires when the shard alphabet is exactly the
+// compiled alphabet (it is, for searches with default candidate sets:
+// both come from spec.CandidateOps) and the group is nontrivial.
+func pruneSymmetricShards(shards []checker.Shard, c *compile.Compiled) []checker.Shard {
+	if len(shards) == 0 {
+		return shards
+	}
+	g := c.Automorphisms()
+	if !g.Nontrivial() {
+		return shards
+	}
+	ops := shards[0].Ops
+	if len(ops) != c.NumOps() {
+		return shards
+	}
+	for k, op := range ops {
+		if c.OpAt(uint16(k)) != op {
+			return shards
+		}
+	}
+	seen := make(map[string]bool, len(shards))
+	out := shards[:0]
+	for _, s := range shards {
+		q0, ok := c.StateIndex(s.Q0)
+		if !ok {
+			out = append(out, s)
+			continue
+		}
+		key := g.CanonicalShardKey(q0, s.ACounts)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, s)
+	}
+	return out
+}
+
 // searchParallel fans the enumeration shards for (t, n) out over the
 // worker pool. To keep the result identical to the sequential search it
 // tracks the lowest shard index that has produced a witness: workers
 // stop claiming shards past it, in-flight later shards are cancelled
 // through their contexts, and earlier in-flight shards run to completion
 // because they could still yield the canonical (first-in-order) witness.
-func (e *Engine) searchParallel(ctx context.Context, t spec.Type, n int, verify checker.VerifyFunc) (*checker.Witness, error) {
+func (e *Engine) searchParallel(ctx context.Context, t spec.Type, n int, verify checker.VerifyFunc, comp *compile.Compiled) (*checker.Witness, error) {
 	shards, err := checker.Shards(t, n, nil)
 	if err != nil || len(shards) == 0 {
 		return nil, err
+	}
+	if comp != nil {
+		shards = pruneSymmetricShards(shards, comp)
 	}
 	workers := min(e.workers, len(shards))
 	if workers <= 1 {

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"rcons/internal/checker"
+	"rcons/internal/compile"
+	"rcons/internal/types"
+)
+
+// symType is a two-state table with a state-swap automorphism: both
+// states are initial, "flip" swaps them, "stay" fixes them, responses
+// are constant. Its automorphism group has order 2, so shard pruning
+// fires.
+func symType() *types.Custom {
+	return &types.Custom{
+		TypeName: "prune-sym2",
+		Initial:  []string{"a", "b"},
+		Transitions: map[string]map[string]types.CustomEdge{
+			"a": {"flip": {Next: "b", Resp: "ack"}, "stay": {Next: "a", Resp: "ack"}},
+			"b": {"flip": {Next: "a", Resp: "ack"}, "stay": {Next: "b", Resp: "ack"}},
+		},
+	}
+}
+
+// TestPruneSymmetricShards checks the reduction itself: on a type with
+// a nontrivial automorphism group the shard list shrinks, every kept
+// shard is the first of its orbit, and on a trivial group the list is
+// returned untouched.
+func TestPruneSymmetricShards(t *testing.T) {
+	typ := symType()
+	const n = 3
+	c, err := compile.Compile(typ, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Automorphisms().Nontrivial() {
+		t.Fatal("expected a nontrivial automorphism group")
+	}
+	shards, err := checker.Shards(typ, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]checker.Shard(nil), shards...)
+	pruned := pruneSymmetricShards(shards, c)
+	if len(pruned) >= len(orig) {
+		t.Fatalf("pruning kept %d of %d shards; expected a strict reduction", len(pruned), len(orig))
+	}
+	// Kept shards must be a subsequence of the original order (first
+	// orbit occurrences), starting with shard 0.
+	if !reflect.DeepEqual(pruned[0], orig[0]) {
+		t.Fatalf("first shard was pruned: %+v", pruned[0])
+	}
+	j := 0
+	for _, s := range pruned {
+		for j < len(orig) && !reflect.DeepEqual(orig[j], s) {
+			j++
+		}
+		if j == len(orig) {
+			t.Fatalf("pruned shard %+v is not in original order", s)
+		}
+	}
+
+	// A trivial group must leave the list untouched.
+	asym := &types.Custom{
+		TypeName: "prune-asym",
+		Initial:  []string{"a"},
+		Transitions: map[string]map[string]types.CustomEdge{
+			"a": {"f": {Next: "b", Resp: "r0"}, "g": {Next: "a", Resp: "r1"}},
+			"b": {"f": {Next: "b", Resp: "r1"}, "g": {Next: "a", Resp: "r0"}},
+		},
+	}
+	ca, err := compile.Compile(asym, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Automorphisms().Nontrivial() {
+		t.Fatal("asym type unexpectedly has symmetry")
+	}
+	shards2, err := checker.Shards(asym, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pruneSymmetricShards(shards2, ca); len(got) != len(shards2) {
+		t.Fatalf("trivial group pruned %d shards", len(shards2)-len(got))
+	}
+}
+
+// TestPrunedSearchMatchesInterpreted pins end-to-end soundness: the
+// default engine (compiled tables + symmetry pruning) must classify the
+// symmetric type and return witnesses bit-identically to the
+// interpreted engine, which enumerates every shard.
+func TestPrunedSearchMatchesInterpreted(t *testing.T) {
+	typ := symType()
+	fast := New(Options{Workers: 4, CacheSize: -1})
+	slow := New(Options{Workers: 4, CacheSize: -1, Interpreted: true})
+	ctx := context.Background()
+	for n := 2; n <= 4; n++ {
+		for _, p := range []Property{Recording, Discerning} {
+			wf, err := fast.Search(ctx, typ, p, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, err := slow.Search(ctx, typ, p, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wf, ws) {
+				t.Fatalf("n=%d %v: pruned witness %+v != interpreted %+v", n, p, wf, ws)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package mc
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"rcons/internal/obs"
+)
+
+// captureSink records every published progress sample.
+type captureSink struct {
+	mu      sync.Mutex
+	samples []obs.Progress
+}
+
+func (s *captureSink) Publish(p obs.Progress) {
+	s.mu.Lock()
+	s.samples = append(s.samples, p)
+	s.mu.Unlock()
+}
+
+func (s *captureSink) last(t *testing.T) obs.Progress {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		t.Fatal("no progress samples published")
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+// TestProgressFrontierDrains asserts the frontier gauge's exact
+// accounting: every search root leaves the frontier exactly once — via
+// its dfs, via the claim-and-skip drain after an early stop, or via the
+// post-wait sweep for never-claimed roots — so the final flushed sample
+// reads 0 with no blanket reset hiding a leak. The violating target is
+// the sensitive case: its search stops early with most roots
+// unexplored.
+func TestProgressFrontierDrains(t *testing.T) {
+	cases := []struct {
+		target string
+		n      int
+		opts   Options
+		safe   bool
+	}{
+		{"team-sn", 2, Options{MaxDepth: 8, CrashBudget: 1}, true},
+		{"unsafe-noyield", 2, Options{MaxDepth: 12, CrashBudget: 1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.target, func(t *testing.T) {
+			sink := &captureSink{}
+			opts := c.opts
+			opts.Progress = sink
+			res, err := Check(context.Background(), mustTarget(t, c.target, c.n), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Safe != c.safe {
+				t.Fatalf("Safe = %v, want %v", res.Safe, c.safe)
+			}
+			final := sink.last(t)
+			if final.Frontier != 0 {
+				t.Fatalf("final frontier = %d, want 0 (leaked roots)", final.Frontier)
+			}
+			if final.Nodes <= 0 {
+				t.Fatalf("final nodes = %d, want > 0", final.Nodes)
+			}
+		})
+	}
+}

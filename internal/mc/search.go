@@ -208,6 +208,11 @@ func (s *search) round(ctx context.Context, depth int) (*violation, bool, error)
 		return nil, false, nil
 	}
 
+	roots, err = s.dedupRoots(ctx, roots)
+	if err != nil {
+		return nil, false, err
+	}
+
 	viol, err = s.searchRoots(ctx, roots, depth)
 	if err != nil || viol != nil {
 		return viol, false, err
@@ -314,6 +319,51 @@ func (s *search) observeDepth(d int) {
 	}
 }
 
+// dedupRoots drops root prefixes that reach a configuration an earlier
+// root already reached with the same crash usage (and, by construction,
+// the same remaining depth — every root has the same script length).
+// Such a root's bounded subtree and every leaf completion in it are an
+// exact replay of its twin's — the same argument that justifies dfs's
+// within-root fingerprint pruning, applied across roots — so dropping
+// it changes no verdict. Dropping only LATER duplicates of earlier
+// roots, sequentially in canonical root order, also preserves the
+// reported counterexample byte-for-byte: the lowest-indexed root whose
+// subtree violates is never dropped (its earlier twin would violate
+// too), and within it the canonical first-in-order violation is
+// unchanged. Dropped roots are counted as pruned; the probe executions
+// are root-enumeration bookkeeping, not search nodes.
+func (s *search) dedupRoots(ctx context.Context, roots []node) ([]node, error) {
+	if len(roots) < 2 {
+		return roots, nil
+	}
+	type rootKey struct {
+		fp      Fingerprint
+		crashes int
+	}
+	seen := make(map[rootKey]bool, len(roots))
+	out := roots[:0]
+	for _, nd := range roots {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		_, m, o, err := s.runScript(nd.script, true)
+		if err != nil {
+			// A violating root must survive to be (re)discovered and
+			// reported by dfs in canonical order.
+			out = append(out, nd)
+			continue
+		}
+		key := rootKey{fp: s.fingerprint(o, m, nd.crashes), crashes: nd.crashes}
+		if seen[key] {
+			s.pruned.Add(1)
+			continue
+		}
+		seen[key] = true
+		out = append(out, nd)
+	}
+	return out, nil
+}
+
 // searchRoots fans the root subtrees out over the worker pool. To keep
 // the reported violation independent of worker count and scheduling, the
 // pool tracks the lowest root index that produced a violation, stops
@@ -330,8 +380,13 @@ func (s *search) searchRoots(ctx context.Context, roots []node, depth int) (*vio
 	if len(roots) == 0 {
 		return nil, nil
 	}
+	// The frontier gauge counts roots not yet finished this round. Every
+	// root leaves it exactly once: when its subtree search returns, when
+	// a worker claims-and-skips it after a lower root's violation made it
+	// obsolete, or in the post-wait sweep for roots no worker claimed
+	// (budget-exhausted early exits). No blanket reset hides an
+	// accounting miss, so a nonzero final frontier is a real leak.
 	s.frontier.Store(int64(len(roots)))
-	defer s.frontier.Store(0)
 	workers := min(s.opts.Workers, len(roots))
 	var (
 		mu      sync.Mutex
@@ -349,9 +404,17 @@ func (s *search) searchRoots(ctx context.Context, roots []node, depth int) (*vio
 				mu.Lock()
 				i := next
 				next++
-				if i >= len(roots) || i >= bestIdx {
+				if i >= len(roots) {
 					mu.Unlock()
 					return
+				}
+				if i >= bestIdx {
+					// Obsolete root: a lower-indexed subtree already
+					// produced the canonical violation. Claim it so it
+					// leaves the frontier, and keep draining.
+					mu.Unlock()
+					s.frontier.Add(-1)
+					continue
 				}
 				rctx, cancel := context.WithCancel(ctx)
 				active[i] = cancel
@@ -384,6 +447,11 @@ func (s *search) searchRoots(ctx context.Context, roots []node, depth int) (*vio
 		}()
 	}
 	wg.Wait()
+	// Workers exit without draining when the node budget trips (or the
+	// context dies); account for the roots nobody claimed.
+	if next < len(roots) {
+		s.frontier.Add(-int64(len(roots) - next))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -5,12 +5,28 @@ import (
 	"sort"
 
 	"rcons/internal/checker"
+	"rcons/internal/compile"
 	"rcons/internal/rc"
 	"rcons/internal/sim"
 	"rcons/internal/spec"
 	"rcons/internal/types"
 	"rcons/internal/universal"
 )
+
+// compiledSpec lowers a builtin target's object type to its dense
+// transition-table view, so every protocol step the simulator executes
+// during model checking is two array reads instead of an interpreted
+// Apply (state-string parsing, map lookups). The view renders identical
+// state/response strings, so schedules, fingerprints and
+// counterexamples are byte-for-byte unchanged. Types the compiler
+// cannot handle run interpreted, and operations outside the compiled
+// alphabet fall back per call inside the view.
+func compiledSpec(t spec.Type, n int) spec.Type {
+	if c, err := compile.Compile(t, n); err == nil {
+		return c.Type()
+	}
+	return t
+}
 
 // FromAlgorithm wraps an rc.Algorithm as a model-checking target: fresh
 // memory + bodies per explored prefix, validated by rc.CheckOutcome.
@@ -88,7 +104,7 @@ var builtins = map[string]targetBuilder{
 	"team-sn": {
 		doc: "TeamConsensus (Figure 2) over the S_n paper witness, independent crashes",
 		build: func(n int) (Target, error) {
-			tc, err := rc.NewTeamConsensus(types.NewSn(n), snWitness(n), "mc")
+			tc, err := rc.NewTeamConsensus(compiledSpec(types.NewSn(n), n), snWitness(n), "mc")
 			if err != nil {
 				return Target{}, err
 			}
@@ -98,7 +114,7 @@ var builtins = map[string]targetBuilder{
 	"team-cas": {
 		doc: "TeamConsensus (Figure 2) over the CAS witness with |A|=1, independent crashes",
 		build: func(n int) (Target, error) {
-			tc, err := rc.NewTeamConsensus(types.NewCAS(), casWitness(1, n), "mc")
+			tc, err := rc.NewTeamConsensus(compiledSpec(types.NewCAS(), n), casWitness(1, n), "mc")
 			if err != nil {
 				return Target{}, err
 			}
@@ -108,7 +124,7 @@ var builtins = map[string]targetBuilder{
 	"tournament": {
 		doc: "Tournament (Proposition 30) over the S_n witness, full RC, independent crashes",
 		build: func(n int) (Target, error) {
-			tr, err := rc.NewTournament(types.NewSn(n), snWitness(n), n, "mc")
+			tr, err := rc.NewTournament(compiledSpec(types.NewSn(n), n), snWitness(n), n, "mc")
 			if err != nil {
 				return Target{}, err
 			}
@@ -128,7 +144,7 @@ var builtins = map[string]targetBuilder{
 	"unsafe-noyield": {
 		doc: "BROKEN TeamConsensus missing the line 19-20 yield (agreement violation expected)",
 		build: func(n int) (Target, error) {
-			tc, err := rc.NewTeamConsensus(types.NewSn(n), snWitness(n), "mc")
+			tc, err := rc.NewTeamConsensus(compiledSpec(types.NewSn(n), n), snWitness(n), "mc")
 			if err != nil {
 				return Target{}, err
 			}
@@ -144,7 +160,7 @@ var builtins = map[string]targetBuilder{
 			if n < 3 {
 				return Target{}, fmt.Errorf("mc: unsafe-yieldalways needs n ≥ 3 (|B| > 1), got %d", n)
 			}
-			tc, err := rc.NewTeamConsensus(types.NewCAS(), casWitness(1, n), "mc")
+			tc, err := rc.NewTeamConsensus(compiledSpec(types.NewCAS(), n), casWitness(1, n), "mc")
 			if err != nil {
 				return Target{}, err
 			}
@@ -178,7 +194,7 @@ func universalTarget(n int) (Target, error) {
 		}
 		return vs
 	}()}
-	u := universal.New(n, reg, spec.State(types.Bottom), "mc/u")
+	u := universal.New(n, compiledSpec(reg, n), spec.State(types.Bottom), "mc/u")
 	return Target{
 		Name:  "universal[register]",
 		Model: sim.Independent,

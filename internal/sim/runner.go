@@ -191,8 +191,14 @@ type procState struct {
 
 // Runner executes a set of bodies over a shared memory under a schedule.
 type Runner struct {
-	mem    *Memory
-	cfg    Config
+	mem *Memory
+	cfg Config
+	// rng is built lazily on the first random scheduling decision:
+	// seeding a rand.Source costs microseconds, which dominates fully
+	// scripted executions (the model checker replays one per search
+	// node) that never draw from it. Laziness is unobservable — the
+	// seed comes from cfg either way, and draws happen in the same
+	// order.
 	rng    *rand.Rand
 	procs  []*procState
 	events chan procEvent
@@ -237,14 +243,9 @@ func NewRunner(mem *Memory, bodies []Body, cfg Config) *Runner {
 	if cfg.MaxStepsPerRun == 0 {
 		cfg.MaxStepsPerRun = 100_000
 	}
-	src := cfg.Source
-	if src == nil {
-		src = rand.NewSource(cfg.Seed)
-	}
 	r := &Runner{
 		mem:         mem,
 		cfg:         cfg,
-		rng:         rand.New(src),
 		events:      make(chan procEvent),
 		crashBudget: cfg.MaxCrashes,
 	}
@@ -253,6 +254,18 @@ func NewRunner(mem *Memory, bodies []Body, cfg Config) *Runner {
 		r.procs = append(r.procs, &procState{proc: p, body: body})
 	}
 	return r
+}
+
+// rand returns the scheduling RNG, constructing it on first use.
+func (r *Runner) rand() *rand.Rand {
+	if r.rng == nil {
+		src := r.cfg.Source
+		if src == nil {
+			src = rand.NewSource(r.cfg.Seed)
+		}
+		r.rng = rand.New(src)
+	}
+	return r.rng
 }
 
 // RecordTrace enables trace capture (off by default to keep stress tests
@@ -443,8 +456,8 @@ func (r *Runner) randomAction() Action {
 			liveIDs = append(liveIDs, id)
 		}
 	}
-	id := liveIDs[r.rng.Intn(len(liveIDs))]
-	if r.crashBudget > 0 && r.cfg.CrashProb > 0 && r.rng.Float64() < r.cfg.CrashProb {
+	id := liveIDs[r.rand().Intn(len(liveIDs))]
+	if r.crashBudget > 0 && r.cfg.CrashProb > 0 && r.rand().Float64() < r.cfg.CrashProb {
 		r.crashBudget--
 		if r.cfg.Model == Simultaneous {
 			return Action{Kind: ActCrashAll}

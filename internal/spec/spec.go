@@ -99,9 +99,10 @@ func MustApply(t Type, s State, op Op) (State, Response) {
 
 // Reachable returns all states reachable from q0 by applying any sequence
 // of operations from ops (operations may repeat). The result includes q0
-// and is sorted for determinism. limit bounds the number of states
-// explored; Reachable returns an error if the limit is exceeded, which
-// signals an unexpectedly infinite or huge state space.
+// and is sorted for determinism. limit bounds the total number of states
+// (including q0); Reachable returns an error only when the reachable set
+// has MORE than limit states, which signals an unexpectedly infinite or
+// huge state space — a state space of exactly limit states is fine.
 func Reachable(t Type, q0 State, ops []Op, limit int) ([]State, error) {
 	seen := map[State]bool{q0: true}
 	frontier := []State{q0}
@@ -114,10 +115,10 @@ func Reachable(t Type, q0 State, ops []Op, limit int) ([]State, error) {
 				return nil, fmt.Errorf("reachable from %q: %w", q0, err)
 			}
 			if !seen[ns] {
-				if len(seen) >= limit {
+				seen[ns] = true
+				if len(seen) > limit {
 					return nil, fmt.Errorf("reachable: state space exceeds limit %d", limit)
 				}
-				seen[ns] = true
 				frontier = append(frontier, ns)
 			}
 		}
@@ -180,8 +181,11 @@ func FormatOp(name string, args ...string) Op {
 }
 
 // ParseOp splits an operation into its name and argument list. Operations
-// without parentheses have no arguments. Malformed encodings yield an
-// error wrapping ErrBadOp.
+// without parentheses have no arguments. Arguments are split on top-level
+// commas only, so nested encodings like "cas(pair(0,1),x)" parse as the
+// two arguments "pair(0,1)" and "x". Malformed encodings — a missing
+// closing parenthesis or unbalanced parentheses inside the argument
+// list — yield an error wrapping ErrBadOp.
 func ParseOp(op Op) (name string, args []string, err error) {
 	s := string(op)
 	i := strings.IndexByte(s, '(')
@@ -196,5 +200,25 @@ func ParseOp(op Op) (name string, args []string, err error) {
 	if inner == "" {
 		return name, nil, nil
 	}
-	return name, strings.Split(inner, ","), nil
+	depth, start := 0, 0
+	for j := 0; j < len(inner); j++ {
+		switch inner[j] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return "", nil, fmt.Errorf("%w: unbalanced parentheses in %q", ErrBadOp, op)
+			}
+		case ',':
+			if depth == 0 {
+				args = append(args, inner[start:j])
+				start = j + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return "", nil, fmt.Errorf("%w: unbalanced parentheses in %q", ErrBadOp, op)
+	}
+	return name, append(args, inner[start:]), nil
 }

@@ -69,6 +69,19 @@ func TestReachableLimit(t *testing.T) {
 	}
 }
 
+// TestReachableExactLimit pins the limit semantics: a reachable set of
+// exactly `limit` states is within bounds, not an overflow. toggle reaches
+// exactly 2 states, so limit=2 must succeed while limit=1 fails above.
+func TestReachableExactLimit(t *testing.T) {
+	states, err := Reachable(toggle{}, "0", []Op{"flip"}, 2)
+	if err != nil {
+		t.Fatalf("Reachable with limit exactly equal to the state-space size failed: %v", err)
+	}
+	if len(states) != 2 {
+		t.Fatalf("Reachable = %v, want exactly 2 states", states)
+	}
+}
+
 func TestCommuteAndOverwrite(t *testing.T) {
 	// flip then flip returns to the start in both orders: it commutes
 	// with itself trivially.
@@ -143,6 +156,42 @@ func TestFormatParseOpRoundTrip(t *testing.T) {
 func TestParseOpMalformed(t *testing.T) {
 	if _, _, err := ParseOp("write(3"); !errors.Is(err, ErrBadOp) {
 		t.Fatalf("ParseOp(\"write(3\") error = %v, want ErrBadOp", err)
+	}
+}
+
+func TestParseOpNested(t *testing.T) {
+	cases := []struct {
+		op   Op
+		name string
+		args []string
+	}{
+		{"cas(pair(0,1),x)", "cas", []string{"pair(0,1)", "x"}},
+		{"f(g(a,b),h(c),d)", "f", []string{"g(a,b)", "h(c)", "d"}},
+		{"f(g(h(1,2),3))", "f", []string{"g(h(1,2),3)"}},
+		{"w(,)", "w", []string{"", ""}},
+		{"w(a,,b)", "w", []string{"a", "", "b"}},
+	}
+	for _, c := range cases {
+		name, args, err := ParseOp(c.op)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", c.op, err)
+		}
+		if name != c.name || len(args) != len(c.args) {
+			t.Fatalf("ParseOp(%q) = (%q, %v), want (%q, %v)", c.op, name, args, c.name, c.args)
+		}
+		for i := range args {
+			if args[i] != c.args[i] {
+				t.Fatalf("ParseOp(%q) arg %d = %q, want %q", c.op, i, args[i], c.args[i])
+			}
+		}
+	}
+}
+
+func TestParseOpUnbalanced(t *testing.T) {
+	for _, op := range []Op{"f(g(a)", "f(a))x(", "f((a)", "f(a)))", "f(g(a,b)"} {
+		if _, _, err := ParseOp(op); !errors.Is(err, ErrBadOp) {
+			t.Errorf("ParseOp(%q) error = %v, want ErrBadOp", op, err)
+		}
 	}
 }
 
