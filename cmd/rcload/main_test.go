@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rcons/internal/load"
+	"rcons/internal/serve"
+)
+
+func testServerURL(t *testing.T, flags ...string) string {
+	t.Helper()
+	s, err := serve.NewFromFlags(append([]string{"-log-level", "error", "-workers", "2"}, flags...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return ts.URL
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	url := testServerURL(t)
+	var out strings.Builder
+	code := run(context.Background(), []string{
+		"-url", url, "-requests", "40", "-concurrency", "4",
+		"-workload", "mixed", "-types", "10", "-batch", "5", "-json",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("rcload exit %d: %s", code, out.String())
+	}
+	var res load.Result
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, out.String())
+	}
+	if res.Requests != 40 || res.Errors != 0 || res.Items == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestRunHumanSummary(t *testing.T) {
+	url := testServerURL(t)
+	var out strings.Builder
+	code := run(context.Background(), []string{
+		"-url", url, "-requests", "10", "-workload", "single", "-types", "5",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("rcload exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "throughput") || !strings.Contains(out.String(), "p99") {
+		t.Fatalf("summary missing throughput/latency lines:\n%s", out.String())
+	}
+}
+
+func TestRunCoalesceProbe(t *testing.T) {
+	url := testServerURL(t)
+	var out strings.Builder
+	code := run(context.Background(), []string{"-url", url, "-probe-coalesce", "8"}, &out)
+	if code != 0 {
+		t.Fatalf("probe exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "8/8") {
+		t.Fatalf("probe summary: %s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if code := run(context.Background(), []string{"-workload", "bogus", "-requests", "1"}, &out); code != 1 {
+		t.Fatalf("bad workload accepted: exit %d, %s", code, out.String())
+	}
+	if code := run(context.Background(), []string{"-nope"}, &out); code != 1 {
+		t.Fatalf("unknown flag accepted: exit %d", code)
+	}
+}

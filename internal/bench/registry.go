@@ -285,6 +285,7 @@ func Registry() []Benchmark {
 			},
 		},
 	)
+	out = append(out, serveBenchmarks()...)
 	return out
 }
 

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"rcons/internal/load"
+	"rcons/internal/serve"
+)
+
+// serveP99Requests is the fixed request count behind serve/p99 in BOTH
+// full and quick mode: the p99 of 1500 requests is a stable statistic,
+// and keeping the count mode-independent keeps the whole-run ns/op and
+// the gated p99_seconds_per_op comparable across modes.
+const serveP99Requests = 1500
+
+// serveBenchmarks returns the rcserve serving-path entries: the real
+// HTTP handler (the same construction path as the rcserve binary)
+// driven over a loopback socket by the rcload traffic engine, so the
+// regression gate covers routing, coalescing, the item memo and JSON
+// encoding — not just raw engine speed.
+func serveBenchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name:  "serve/throughput",
+			Doc:   "warm mixed rcload workload (classify/batch/zoo/search) against the in-process rcserve handler",
+			Iters: 2_000, QuickIters: 400,
+			Run: serveLoadRunner(func(iters int) load.Options {
+				return load.Options{
+					Requests:    iters,
+					Concurrency: 4,
+					Workload:    "mixed",
+					Types:       100,
+					BatchSize:   50,
+					Limit:       3,
+				}
+			}, nil),
+		},
+		{
+			Name:  "serve/p99",
+			Doc:   fmt.Sprintf("p99 latency of %d warm single-classify requests (gated metric: p99_seconds_per_op)", serveP99Requests),
+			Iters: 1, QuickIters: 1,
+			GateMetrics: []string{"p99_seconds_per_op"},
+			Run: serveLoadRunner(func(int) load.Options {
+				// One "iteration" is the whole fixed-size run; the p99 of
+				// the run lands in p99_seconds_per_op via Metrics.
+				return load.Options{
+					Requests:    serveP99Requests,
+					Concurrency: 4,
+					Workload:    "single",
+					Types:       100,
+					Limit:       3,
+				}
+			}, func(res *load.Result, m Metrics) {
+				m["p99_seconds"] = res.P99
+			}),
+		},
+	}
+}
+
+// serveLoadRunner drives the configured workload against a lazily
+// built, pre-warmed in-process rcserve and reports served items (and
+// whatever extract adds). Server construction and the cold cache warm
+// (a batch sweep over the load pool plus a short mixed pass touching
+// the zoo and search routes) happen on the first call — which is
+// Measure's untimed warm-up — so the timed iterations measure
+// steady-state serving, not process setup or cold search. The warm
+// server is reused across calls and torn down by RunCleanups; a call
+// after teardown (a regression-confirming re-measurement) rebuilds it.
+func serveLoadRunner(opts func(iters int) load.Options, extract func(*load.Result, Metrics)) func(int) (Metrics, error) {
+	var (
+		mu sync.Mutex
+		ts *httptest.Server
+	)
+	ensure := func(o load.Options) (string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ts != nil {
+			return ts.URL, nil
+		}
+		// Fixed worker count: the engine barely matters once warm, and a
+		// machine-dependent default would make ns/op incomparable across
+		// hosts with different core counts.
+		s, err := serve.NewFromFlags("-log-level", "error", "-workers", "4")
+		if err != nil {
+			return "", err
+		}
+		ts = httptest.NewServer(s.Handler())
+		server := ts
+		RegisterCleanup(func() {
+			mu.Lock()
+			if ts == server {
+				ts = nil
+			}
+			mu.Unlock()
+			server.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = s.Drain(ctx)
+		})
+		warm := o
+		warm.BaseURL = server.URL
+		warm.Workload = "batch"
+		warm.BatchSize = 100
+		warm.Requests = 2
+		warm.RPS = 0
+		if _, err := load.Run(context.Background(), warm); err != nil {
+			return "", err
+		}
+		warm.Workload = "mixed"
+		warm.Requests = 5
+		if _, err := load.Run(context.Background(), warm); err != nil {
+			return "", err
+		}
+		return server.URL, nil
+	}
+	return func(iters int) (Metrics, error) {
+		o := opts(iters)
+		url, err := ensure(o)
+		if err != nil {
+			return nil, err
+		}
+		o.BaseURL = url
+		res, err := load.Run(context.Background(), o)
+		if err != nil {
+			return nil, err
+		}
+		if res.Errors > 0 || res.Limited > 0 || res.Shed > 0 {
+			return nil, fmt.Errorf("load run had failures: %+v", *res)
+		}
+		m := Metrics{"items": float64(res.Items)}
+		if extract != nil {
+			extract(res, m)
+		}
+		return m, nil
+	}
+}

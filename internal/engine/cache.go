@@ -1,8 +1,7 @@
 package engine
 
 import (
-	"container/list"
-	"sync"
+	"sync/atomic"
 
 	"rcons/internal/checker"
 )
@@ -54,64 +53,36 @@ type searchResult struct {
 // the zoo while census traffic streams thousands of one-off generated
 // types through the same engine — from evicting the hot entries: every
 // hit refreshes its key, so the one-shot census keys age out first.
+// The eviction machinery lives in the generic LRU; this wrapper only
+// adds the hit/miss accounting.
 type cache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[cacheKey]*list.Element
-	order   *list.List // front = most recently used
-	stats   CacheStats
-}
-
-// cacheEntry is the list payload.
-type cacheEntry struct {
-	key    cacheKey
-	result searchResult
+	lru          *LRU[cacheKey, searchResult]
+	hits, misses atomic.Int64
 }
 
 func newCache(max int) *cache {
-	if max < 1 {
-		max = 1
-	}
-	return &cache{max: max, entries: make(map[cacheKey]*list.Element), order: list.New()}
+	return &cache{lru: NewLRU[cacheKey, searchResult](max)}
 }
 
 func (c *cache) get(key cacheKey) (searchResult, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.stats.Misses++
-		return searchResult{}, false
+	r, ok := c.lru.Get(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
 	}
-	c.stats.Hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).result, true
+	return r, ok
 }
 
 func (c *cache) put(key cacheKey, r searchResult) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).result = r
-		c.order.MoveToFront(el)
-		return
-	}
-	for len(c.entries) >= c.max {
-		back := c.order.Back()
-		if back == nil {
-			break
-		}
-		c.order.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
-		c.stats.Evictions++
-	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: r})
+	c.lru.Put(key, r)
 }
 
 func (c *cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = len(c.entries)
-	return s
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Entries:   c.lru.Len(),
+		Evictions: c.lru.Evictions(),
+	}
 }

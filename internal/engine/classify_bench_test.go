@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"rcons/internal/types"
+)
+
+// BenchmarkClassifyWarmZoo measures a fully warm Classify over the
+// whole zoo — the per-item floor of rcserve's batch endpoint. With the
+// whole-classification memo this is one fingerprint, one LRU hit and
+// one witness clone per type.
+func BenchmarkClassifyWarmZoo(b *testing.B) {
+	zoo := types.Zoo()
+	e := New(Options{Workers: 4})
+	ctx := context.Background()
+	for _, t := range zoo {
+		if _, err := e.Classify(ctx, t, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range zoo {
+			if _, err := e.Classify(ctx, t, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcons/internal/checker"
@@ -111,6 +112,15 @@ type Engine struct {
 	persist Persist // nil when no persistent store is attached
 	pstats  persistStats
 
+	// classes memoizes whole classifications keyed by exact fingerprint
+	// and limit. The search memo alone leaves a cached Classify paying
+	// ~100µs of pure bookkeeping — two goroutine fan-outs plus one
+	// SHA-256 fingerprint per (property, level) lookup — which dominates
+	// hot serving paths like /v1/classify/batch over a warm engine. A
+	// classification hit skips all of it. nil whenever cache is nil.
+	classes                *LRU[classKey, checker.Classification]
+	classHits, classMisses atomic.Int64
+
 	// interpreted switches verification to the parity-oracle path.
 	interpreted bool
 	// compiled caches one dense transition table per (type, n), shared
@@ -152,13 +162,39 @@ func New(opts Options) *Engine {
 		interpreted: opts.Interpreted,
 		compiled:    map[compiledKey]*compiledEntry{},
 	}
-	switch {
-	case opts.CacheSize == 0:
-		e.cache = newCache(4096)
-	case opts.CacheSize > 0:
-		e.cache = newCache(opts.CacheSize)
+	size := opts.CacheSize
+	if size == 0 {
+		size = 4096
+	}
+	if size > 0 {
+		e.cache = newCache(size)
+		e.classes = NewLRU[classKey, checker.Classification](size)
 	}
 	return e
+}
+
+// classKey identifies one memoized classification: the folded exact
+// fingerprint at n = limit (which hashes the type's name, alphabet and
+// full reachable transition table, so equal keys imply identical
+// classifications including TypeName) plus the limit itself.
+type classKey struct {
+	fp    [2]uint64
+	limit int
+}
+
+// cloneClassification deep-copies the witness pointers inside a
+// classification so cached entries are immune to caller mutation (the
+// value itself is copied by assignment; only MaxLevel.Witness aliases).
+func cloneClassification(c checker.Classification) checker.Classification {
+	if c.Discerning.Witness != nil {
+		w := cloneWitness(*c.Discerning.Witness)
+		c.Discerning.Witness = &w
+	}
+	if c.Recording.Witness != nil {
+		w := cloneWitness(*c.Recording.Witness)
+		c.Recording.Witness = &w
+	}
+	return c
 }
 
 // Workers returns the configured worker-pool width.
@@ -171,6 +207,10 @@ func (e *Engine) Stats() CacheStats {
 	if e.cache != nil {
 		s = e.cache.Stats()
 	}
+	// Whole-classification memo hits are cache hits too: they answer a
+	// Classify without any search-level lookups at all.
+	s.Hits += e.classHits.Load()
+	s.Misses += e.classMisses.Load()
 	s.PersistHits = e.pstats.hits.Load()
 	s.PersistMisses = e.pstats.misses.Load()
 	s.PersistErrors = e.pstats.errors.Load()
@@ -521,6 +561,21 @@ func (e *Engine) Classify(ctx context.Context, t spec.Type, limit int) (checker.
 		return checker.Classification{}, fmt.Errorf("checker: classification limit must be ≥ 2, got %d", limit)
 	}
 	var (
+		ckey    classKey
+		haveKey bool
+	)
+	if e.classes != nil {
+		if fp, ok := Fingerprint(t, limit); ok {
+			ckey = classKey{fp: foldFingerprint(fp), limit: limit}
+			haveKey = true
+			if c, ok := e.classes.Get(ckey); ok {
+				e.classHits.Add(1)
+				return cloneClassification(c), nil
+			}
+			e.classMisses.Add(1)
+		}
+	}
+	var (
 		wg         sync.WaitGroup
 		disc, rec  checker.MaxLevel
 		dErr, rErr error
@@ -541,15 +596,22 @@ func (e *Engine) Classify(ctx context.Context, t spec.Type, limit int) (checker.
 	if rErr != nil {
 		return checker.Classification{}, fmt.Errorf("classify %s: %w", t.Name(), rErr)
 	}
-	return checker.Derive(t, disc, rec)
+	c, err := checker.Derive(t, disc, rec)
+	if err == nil && haveKey {
+		e.classes.Put(ckey, cloneClassification(c))
+	}
+	return c, err
 }
 
-// ClassifyAll classifies every type in ts, running up to Workers
-// classifications concurrently. Results keep the order of ts; the first
-// error aborts the batch.
-func (e *Engine) ClassifyAll(ctx context.Context, ts []spec.Type, limit int) ([]checker.Classification, error) {
-	out := make([]checker.Classification, len(ts))
-	errs := make([]error, len(ts))
+// ClassifyEach classifies every type in ts, running up to Workers
+// classifications concurrently, and reports each item's outcome
+// independently: errs[i] is non-nil exactly when out[i] is not valid.
+// One bad item (a table a theorem rejects, a per-item failure) does not
+// poison the rest of the batch — this is the per-item contract behind
+// rcserve's POST /v1/classify/batch. Both slices keep the order of ts.
+func (e *Engine) ClassifyEach(ctx context.Context, ts []spec.Type, limit int) (out []checker.Classification, errs []error) {
+	out = make([]checker.Classification, len(ts))
+	errs = make([]error, len(ts))
 	sem := make(chan struct{}, max(e.workers, 1))
 	var wg sync.WaitGroup
 	for i, t := range ts {
@@ -566,6 +628,14 @@ func (e *Engine) ClassifyAll(ctx context.Context, ts []spec.Type, limit int) ([]
 		}()
 	}
 	wg.Wait()
+	return out, errs
+}
+
+// ClassifyAll classifies every type in ts, running up to Workers
+// classifications concurrently. Results keep the order of ts; the first
+// error aborts the batch.
+func (e *Engine) ClassifyAll(ctx context.Context, ts []spec.Type, limit int) ([]checker.Classification, error) {
+	out, errs := e.ClassifyEach(ctx, ts, limit)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"rcons/internal/spec"
@@ -25,20 +26,48 @@ const fingerprintStateCap = 1 << 14
 // oversized state space or a transition error — in which case results
 // for it are simply not cached.
 func Fingerprint(t spec.Type, n int) (fp string, ok bool) {
+	// This sits on the hot path of every memoized engine call (one
+	// fingerprint per cache probe), so the hash input is assembled with
+	// strconv appends into a reused buffer instead of fmt — the byte
+	// stream is identical to the fmt.Fprintf formulation this replaces
+	// (%q on the spec string kinds is strconv.Quote), which keeps
+	// fingerprints stable across releases for the persistent store.
 	h := sha256.New()
-	fmt.Fprintf(h, "name=%s\nn=%d\n", t.Name(), n)
+	buf := make([]byte, 0, 512)
+	buf = append(buf, "name="...)
+	buf = append(buf, t.Name()...)
+	buf = append(buf, "\nn="...)
+	buf = strconv.AppendInt(buf, int64(n), 10)
+	buf = append(buf, '\n')
 	states := t.InitialStates()
 	for _, s := range states {
-		fmt.Fprintf(h, "init=%q\n", s)
+		buf = append(buf, "init="...)
+		buf = appendQuoted(buf, string(s))
+		buf = append(buf, '\n')
 	}
 	ops := spec.CandidateOps(t, n)
 	for _, op := range ops {
-		fmt.Fprintf(h, "op=%q\n", op)
+		buf = append(buf, "op="...)
+		buf = appendQuoted(buf, string(op))
+		buf = append(buf, '\n')
 	}
+	h.Write(buf)
 
-	// Explore every state reachable from any initial state and hash the
-	// induced transition table in canonical (sorted) order.
+	// Explore every state reachable from any initial state, capturing
+	// each state's transition row as it is discovered, and hash the
+	// induced table in canonical (sorted) order. Capturing during the
+	// walk halves the t.Apply calls of the old explore-then-rehash
+	// two-pass shape.
+	type edge struct {
+		ns spec.State
+		r  spec.Response
+	}
 	seen := map[spec.State]bool{}
+	// Rows live in one flat slab (len(ops) edges per expanded state,
+	// rowAt mapping each state to its slab offset) instead of one slice
+	// allocation per state.
+	rowAt := make(map[spec.State]int)
+	edges := make([]edge, 0, 16*len(ops))
 	var frontier []spec.State
 	for _, s := range states {
 		if !seen[s] {
@@ -51,11 +80,13 @@ func Fingerprint(t spec.Type, n int) (fp string, ok bool) {
 		s := frontier[0]
 		frontier = frontier[1:]
 		all = append(all, s)
+		rowAt[s] = len(edges)
 		for _, op := range ops {
-			ns, _, err := t.Apply(s, op)
+			ns, r, err := t.Apply(s, op)
 			if err != nil {
 				return "", false
 			}
+			edges = append(edges, edge{ns: ns, r: r})
 			if !seen[ns] {
 				if len(seen) >= fingerprintStateCap {
 					return "", false
@@ -67,15 +98,37 @@ func Fingerprint(t spec.Type, n int) (fp string, ok bool) {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	for _, s := range all {
-		for _, op := range ops {
-			ns, r, err := t.Apply(s, op)
-			if err != nil {
-				return "", false
-			}
-			fmt.Fprintf(h, "%q/%q->%q/%q\n", s, op, ns, r)
+		row := edges[rowAt[s] : rowAt[s]+len(ops)]
+		buf = buf[:0]
+		for i, op := range ops {
+			buf = appendQuoted(buf, string(s))
+			buf = append(buf, '/')
+			buf = appendQuoted(buf, string(op))
+			buf = append(buf, '-', '>')
+			buf = appendQuoted(buf, string(row[i].ns))
+			buf = append(buf, '/')
+			buf = appendQuoted(buf, string(row[i].r))
+			buf = append(buf, '\n')
 		}
+		h.Write(buf)
 	}
 	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// appendQuoted appends the strconv.Quote encoding of s. Labels are
+// almost always printable ASCII, for which Quote is just the string
+// wrapped in double quotes — that case skips strconv's per-rune
+// escape analysis; anything else falls back to strconv.AppendQuote,
+// so the output is byte-identical either way.
+func appendQuoted(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return strconv.AppendQuote(buf, s)
+		}
+	}
+	buf = append(buf, '"')
+	buf = append(buf, s...)
+	return append(buf, '"')
 }
 
 // Caps on the label-permutation search of CanonicalFingerprint; the

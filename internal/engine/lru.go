@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a bounded least-recently-used map: Put past the capacity
+// evicts the entry touched longest ago, one at a time — never the
+// whole working set at once. It backs the engine's memo cache and is
+// exported for the other small memos that used to wipe a full map at
+// their cap (rcserve's canonical-fingerprint memo), so a burst of
+// one-off keys ages out gradually while hot entries stay resident.
+// Safe for concurrent use.
+type LRU[K comparable, V any] struct {
+	mu        sync.Mutex
+	max       int
+	entries   map[K]*list.Element
+	order     *list.List // front = most recently used
+	evictions int64
+}
+
+// lruEntry is the list payload.
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU builds an LRU holding at most max entries (minimum 1).
+func NewLRU[K comparable, V any](max int) *LRU[K, V] {
+	if max < 1 {
+		max = 1
+	}
+	return &LRU[K, V]{max: max, entries: make(map[K]*list.Element), order: list.New()}
+}
+
+// Get returns the value for key, refreshing its recency on a hit.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry[K, V]).val, true
+}
+
+// Put inserts or refreshes key, evicting least-recently-used entries
+// as needed to respect the capacity.
+func (l *LRU[K, V]) Put(key K, val V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.entries[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	for len(l.entries) >= l.max {
+		back := l.order.Back()
+		if back == nil {
+			break
+		}
+		l.order.Remove(back)
+		delete(l.entries, back.Value.(*lruEntry[K, V]).key)
+		l.evictions++
+	}
+	l.entries[key] = l.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+}
+
+// Len returns the current entry count.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Evictions returns the cumulative eviction count.
+func (l *LRU[K, V]) Evictions() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions
+}

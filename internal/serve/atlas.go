@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -38,7 +38,7 @@ const (
 // mutant-only censuses).
 //
 //	GET /v1/atlas?states=2&ops=2&resps=2&random=500&mutants=1&seed=1&limit=3
-func (s *server) handleAtlas(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
@@ -85,75 +85,42 @@ func (s *server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Serve from cache, with in-flight dedup: a census costs seconds of
-	// CPU, so concurrent cold requests for the same parameters wait for
-	// the first computation instead of multiplying the load.
+	// Serve from cache, with in-flight dedup through the server-wide
+	// coalescing group: a census costs seconds of CPU, so concurrent
+	// cold requests for the same parameters share one computation
+	// instead of multiplying the load.
 	key := fmt.Sprintf("%d/%d/%d/%d/%d/%d/%d", states, ops, resps, random, mutants, limit, seed)
-	for {
-		s.atlasMu.Lock()
-		if cached, hit := s.atlasCache[key]; hit {
-			s.atlasMu.Unlock()
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusOK)
-			_, _ = w.Write(cached)
-			return
-		}
-		done, running := s.atlasInflight[key]
-		if !running {
-			done = make(chan struct{})
-			s.atlasInflight[key] = done
-			s.atlasMu.Unlock()
-			break // this request computes
-		}
-		s.atlasMu.Unlock()
-		select {
-		case <-done: // leader finished; re-check the cache (or compute if it failed)
-		case <-r.Context().Done():
-			s.writeEngineError(w, r, r.Context().Err())
-			return
-		}
+	if cached, hit := s.atlasCache.Get(key); hit {
+		writeRawJSON(w, http.StatusOK, cached)
+		return
 	}
-	defer func() {
-		s.atlasMu.Lock()
-		close(s.atlasInflight[key])
-		delete(s.atlasInflight, key)
-		s.atlasMu.Unlock()
-	}()
-
-	a, err := census.Run(r.Context(), census.Options{
-		Bounds:        bounds,
-		Random:        random,
-		MutantsPerZoo: mutants,
-		Seed:          seed,
-		Limit:         limit,
-		Workers:       s.cfg.workers,
-		Engine:        s.eng,
-		Progress:      s.progress,
+	s.coalesced(w, r, "/v1/atlas", key, func() ([]byte, error) {
+		a, err := census.Run(r.Context(), census.Options{
+			Bounds:        bounds,
+			Random:        random,
+			MutantsPerZoo: mutants,
+			Seed:          seed,
+			Limit:         limit,
+			Workers:       s.cfg.workers,
+			Engine:        s.eng,
+			Progress:      s.progress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.recordCensusRun(a)
+		payload, err := json.Marshal(a.Summary)
+		if err != nil {
+			return nil, err
+		}
+		// Only deterministic (timeout-free) summaries are cacheable: a
+		// census degraded by per-type timeouts under load must not be
+		// served forever to an idle server.
+		if len(a.Skipped) == 0 {
+			s.atlasCache.Put(key, payload)
+		}
+		return payload, nil
 	})
-	if err != nil {
-		s.writeEngineError(w, r, err)
-		return
-	}
-	s.recordCensusRun(a)
-	payload, err := json.Marshal(a.Summary)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	// Only deterministic (timeout-free) summaries are cacheable: a
-	// census degraded by per-type timeouts under load must not be
-	// served forever to an idle server.
-	if len(a.Skipped) == 0 {
-		s.atlasMu.Lock()
-		if len(s.atlasCache) >= atlasCacheCap {
-			s.atlasCache = map[string][]byte{}
-		}
-		s.atlasCache[key] = payload
-		s.atlasMu.Unlock()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(payload)
 }
 
 // handleAtlasType generates one seeded random table and classifies it —
@@ -163,7 +130,7 @@ func (s *server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 //
 // The response carries the full transition table (re-POSTable to
 // /v1/classify), the atlas canonical key, and the classification.
-func (s *server) handleAtlasType(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAtlasType(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
@@ -198,8 +165,7 @@ func (s *server) handleAtlasType(w http.ResponseWriter, r *http.Request) {
 		s.writeEngineError(w, r, err)
 		return
 	}
-	enc := encodeClassification(c)
-	enc.CanonicalFingerprint = s.canonicalFingerprint(t, limit)
+	enc := s.encodeClassificationWithFP(c, t, limit)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"seed":           seed,
 		"dims":           t.Dims(),
@@ -210,7 +176,7 @@ func (s *server) handleAtlasType(w http.ResponseWriter, r *http.Request) {
 }
 
 // seedParam parses the optional int64 seed parameter (default 1).
-func (s *server) seedParam(w http.ResponseWriter, r *http.Request) (int64, bool) {
+func (s *Server) seedParam(w http.ResponseWriter, r *http.Request) (int64, bool) {
 	raw := r.URL.Query().Get("seed")
 	if raw == "" {
 		return 1, true

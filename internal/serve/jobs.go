@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -13,6 +13,7 @@ import (
 	"rcons/internal/atlas/census"
 	"rcons/internal/jobs"
 	"rcons/internal/mc"
+	"rcons/internal/types"
 )
 
 // The async job subsystem: work too heavy for a synchronous request
@@ -54,7 +55,7 @@ type zooJobParams struct {
 }
 
 // registerJobKinds installs the server's job kinds on its manager.
-func (s *server) registerJobKinds() {
+func (s *Server) registerJobKinds() {
 	s.jobs.Register("census", s.censusJob)
 	s.jobs.Register("mc", s.mcJob)
 	s.jobs.Register("zoo", s.zooJob)
@@ -62,7 +63,7 @@ func (s *server) registerJobKinds() {
 
 // normalizeJobParams validates raw parameters for kind and returns
 // their canonical JSON. Every error is a client error (400).
-func (s *server) normalizeJobParams(kind string, raw json.RawMessage) (json.RawMessage, error) {
+func (s *Server) normalizeJobParams(kind string, raw json.RawMessage) (json.RawMessage, error) {
 	if len(raw) == 0 {
 		raw = json.RawMessage(`{}`)
 	}
@@ -179,7 +180,7 @@ const absentInt = -1 << 30
 
 // ---- job handlers (run on the manager's worker pool) ----
 
-func (s *server) censusJob(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
+func (s *Server) censusJob(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
 	var p censusJobParams
 	if err := json.Unmarshal(raw, &p); err != nil {
 		return nil, err
@@ -207,7 +208,7 @@ func (s *server) censusJob(ctx context.Context, raw json.RawMessage) (json.RawMe
 	return json.Marshal(a.Summary)
 }
 
-func (s *server) mcJob(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
+func (s *Server) mcJob(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
 	var p mcJobParams
 	if err := json.Unmarshal(raw, &p); err != nil {
 		return nil, err
@@ -241,7 +242,7 @@ func (s *server) mcJob(ctx context.Context, raw json.RawMessage) (json.RawMessag
 	})
 }
 
-func (s *server) zooJob(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
+func (s *Server) zooJob(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
 	var p zooJobParams
 	if err := json.Unmarshal(raw, &p); err != nil {
 		return nil, err
@@ -250,9 +251,12 @@ func (s *server) zooJob(ctx context.Context, raw json.RawMessage) (json.RawMessa
 	if err != nil {
 		return nil, err
 	}
+	// Scan classifies types.Zoo() in order; stamp each entry's canonical
+	// fingerprint so job results match the sync /v1/zoo payloads.
+	zoo := types.Zoo()
 	results := make([]classificationJSON, len(cs))
 	for i, c := range cs {
-		results[i] = encodeClassification(c)
+		results[i] = s.encodeClassificationWithFP(c, zoo[i], p.Limit)
 	}
 	return json.Marshal(map[string]any{
 		"limit":   p.Limit,
@@ -266,7 +270,7 @@ func (s *server) zooJob(ctx context.Context, raw json.RawMessage) (json.RawMessa
 // handleJobSubmit accepts {"kind": "...", "params": {...}} and returns
 // the job snapshot: 202 for a newly queued execution, 200 when the
 // submission coalesced onto an existing job or a stored result.
-func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -310,7 +314,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, info)
 }
 
-func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	info, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job (it may have been evicted)")
@@ -319,7 +323,7 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	list := s.jobs.List()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count": len(list),
@@ -328,7 +332,7 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	info, err := s.jobs.Cancel(r.PathValue("id"))
 	switch {
 	case errors.Is(err, jobs.ErrNotFound):

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -304,7 +304,7 @@ func TestJobsSurviveRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts1 := httptest.NewServer(s1.handler())
+	ts1 := httptest.NewServer(s1.Handler())
 	first := postJob(t, ts1.URL, body, http.StatusAccepted)
 	done := pollJob(t, ts1.URL, first.ID)
 	if done.State != string(jobs.StateDone) {
@@ -313,7 +313,7 @@ func TestJobsSurviveRestart(t *testing.T) {
 	// Stop the world: server closed, manager drained.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := s1.drain(ctx); err != nil {
+	if err := s1.Drain(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
 	ts1.Close()
@@ -323,7 +323,7 @@ func TestJobsSurviveRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts2 := httptest.NewServer(s2.handler())
+	ts2 := httptest.NewServer(s2.Handler())
 	t.Cleanup(ts2.Close)
 	t.Cleanup(func() { _ = s2.drainJobs(ctx) })
 
@@ -388,7 +388,7 @@ func TestServerDrain(t *testing.T) {
 	}()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := s.drain(ctx); err != nil {
+	if err := s.Drain(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
 	got, _ := s.jobs.Get(info.ID)

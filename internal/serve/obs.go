@@ -1,4 +1,4 @@
-package main
+package serve
 
 // Telemetry wiring: every rcserve instance owns one obs.Registry. HTTP
 // middleware feeds the rc_http_* series directly; the engine memo
@@ -28,6 +28,9 @@ type metrics struct {
 	latency    *obs.HistogramVec
 	inFlight   *obs.Gauge
 	shed       *obs.CounterVec
+	coalesced  *obs.CounterVec
+	limited    *obs.CounterVec
+	cancelled  *obs.CounterVec
 	mcRuns     *obs.Counter
 	mcNodes    *obs.Counter
 	mcSwarm    *obs.Counter
@@ -37,7 +40,7 @@ type metrics struct {
 
 // setupMetrics registers every rcserve metric family on s.reg. Called
 // once from newServer, after engine/store/jobs exist.
-func (s *server) setupMetrics() {
+func (s *Server) setupMetrics() {
 	r := s.reg
 	s.m = metrics{
 		requests: r.Counter("rc_http_requests_total",
@@ -49,6 +52,12 @@ func (s *server) setupMetrics() {
 			"HTTP requests currently being served.").With(),
 		shed: r.Counter("rc_http_shed_total",
 			"Requests shed with 503 at the in-flight cap, by route.", "path"),
+		coalesced: r.Counter("rc_http_coalesced_total",
+			"Requests served a payload shared with a concurrent identical request, by route.", "path"),
+		limited: r.Counter("rc_http_rate_limited_total",
+			"Requests rejected with 429 by the per-client rate limiter, by route.", "path"),
+		cancelled: r.Counter("rc_http_client_cancelled_total",
+			"Requests abandoned by the client before completion, by route.", "path"),
 		mcRuns: r.Counter("rc_mc_runs_total",
 			"Model-checker runs completed (sync requests and jobs).").With(),
 		mcNodes: r.Counter("rc_mc_nodes_total",
@@ -134,7 +143,7 @@ func (s *server) setupMetrics() {
 
 // recordMCRun folds one finished model-checker run into the cumulative
 // rc_mc_* counters (sync /v1/mc requests and async mc jobs alike).
-func (s *server) recordMCRun(res *mc.Result) {
+func (s *Server) recordMCRun(res *mc.Result) {
 	s.m.mcRuns.Inc()
 	s.m.mcNodes.Add(int64(res.Stats.Nodes))
 	s.m.mcSwarm.Add(int64(res.Stats.SwarmRuns))
@@ -142,7 +151,7 @@ func (s *server) recordMCRun(res *mc.Result) {
 
 // recordCensusRun folds one finished census into the rc_census_*
 // counters (sync /v1/atlas requests and async census jobs alike).
-func (s *server) recordCensusRun(a *census.Artifact) {
+func (s *Server) recordCensusRun(a *census.Artifact) {
 	s.m.censusRuns.Inc()
 	s.m.censusRows.Add(int64(a.Types))
 }
@@ -153,7 +162,7 @@ func (s *server) recordCensusRun(a *census.Artifact) {
 // guaranteeing /healthz and /metrics expose the same numbers — both
 // flow through the same func-backed series.
 
-func (s *server) cacheStatsFromRegistry() engine.CacheStats {
+func (s *Server) cacheStatsFromRegistry() engine.CacheStats {
 	v := s.reg.Value
 	return engine.CacheStats{
 		Hits:          int64(v("rc_engine_memo_hits_total")),
@@ -166,7 +175,7 @@ func (s *server) cacheStatsFromRegistry() engine.CacheStats {
 	}
 }
 
-func (s *server) jobsStatsFromRegistry() jobs.Stats {
+func (s *Server) jobsStatsFromRegistry() jobs.Stats {
 	v := s.reg.Value
 	return jobs.Stats{
 		Workers:   int(v("rc_jobs_workers")),
@@ -183,7 +192,7 @@ func (s *server) jobsStatsFromRegistry() jobs.Stats {
 	}
 }
 
-func (s *server) storeStatsFromRegistry() store.Stats {
+func (s *Server) storeStatsFromRegistry() store.Stats {
 	v := s.reg.Value
 	return store.Stats{
 		Entries:     int64(v("rc_store_entries")),
@@ -199,12 +208,16 @@ func (s *server) storeStatsFromRegistry() store.Stats {
 
 // statusWriter captures the response status plus the request's outcome
 // class for metrics and the access log. limited() marks sheds,
-// writeEngineError marks deadline 503s — the two causes share a status
-// code but mean opposite things for capacity planning.
+// rateLimited marks 429s, and writeEngineError marks deadline 503s and
+// client-cancel 499s — statuses alone can't separate these causes, and
+// they mean very different things for capacity planning: "shed" is the
+// server out of slots, "limited" is one client over its budget,
+// "deadline" is work that blew its time box, "cancelled" is a client
+// that stopped caring.
 type statusWriter struct {
 	http.ResponseWriter
 	status  int
-	outcome string // "", "shed", "deadline"
+	outcome string // "", "shed", "limited", "deadline", "cancelled"
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -235,7 +248,7 @@ func markOutcome(w http.ResponseWriter, outcome string) {
 // records the rc_http_* metrics and emits one structured access-log
 // line per request. path is the route pattern, not the raw URL, so the
 // label space stays bounded.
-func (s *server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.m.latency.With(path)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -258,8 +271,13 @@ func (s *server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		if outcome == "" {
 			outcome = "ok"
 		}
-		if outcome == "shed" {
+		switch outcome {
+		case "shed":
 			s.m.shed.With(path).Inc()
+		case "limited":
+			s.m.limited.With(path).Inc()
+		case "cancelled":
+			s.m.cancelled.With(path).Inc()
 		}
 		logger.Info("request",
 			"method", r.Method,
