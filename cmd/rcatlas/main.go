@@ -28,6 +28,16 @@
 //	    check an artifact's structural invariants; with -novel, also
 //	    require a generated type outside every zoo rcons band
 //
+//	rcatlas compact -store DIR [-budget 256M]
+//	    offline store compaction: drop quarantine debris, recount the
+//	    entry population, and (with -budget) evict LRU entries until the
+//	    directory fits
+//
+// census also accepts -store-budget (cap the store's disk usage with
+// size-aware LRU eviction) and -store-peer (read classification results
+// through one or more running rcserve replicas' /v1/store routes,
+// checksums re-verified on receipt; misses fall back to computing).
+//
 // The census artifact is byte-identical across reruns with the same
 // seed and across -parallel worker counts, so `cmp` on two artifacts is
 // a meaningful CI check.
@@ -42,6 +52,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"rcons/internal/atlas"
@@ -72,8 +83,10 @@ func run(args []string, stdout io.Writer) error {
 		return runCensus(args[1:], stdout)
 	case "verify":
 		return runVerify(args[1:], stdout)
+	case "compact":
+		return runCompact(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want enumerate, sample, census or verify)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want enumerate, sample, census, verify or compact)", args[0])
 	}
 }
 
@@ -187,6 +200,9 @@ func runCensus(args []string, stdout io.Writer) error {
 	out := fs.String("out", "ATLAS.json", `artifact path ("" skips writing)`)
 	resume := fs.String("resume", "", "reuse rows from this prior artifact")
 	storeDir := fs.String("store", "", "persist rows + searches in a content-addressed store under this directory")
+	storeBudget := fs.String("store-budget", "", "disk budget for -store, e.g. 256M (empty = unlimited)")
+	storePeer := fs.String("store-peer", "", "comma-separated peer rcserve base URLs to read results through")
+	peerTimeout := fs.Duration("store-peer-timeout", 2*time.Second, "per-fetch deadline for -store-peer reads")
 	noEnum := fs.Bool("no-enum", false, "skip the exhaustive enumeration stage")
 	maxRaw := fs.Int64("max-raw", 50_000_000, "refuse bounds whose raw table count exceeds this")
 	progress := fs.Duration("progress", 0, "print live rows-done/nodes progress lines to stderr at this interval (e.g. 2s)")
@@ -207,14 +223,17 @@ func runCensus(args []string, stdout io.Writer) error {
 		o.Progress = obs.NewLineSink(os.Stderr)
 		o.ProgressInterval = *progress
 	}
-	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{})
-		if err != nil {
-			return err
-		}
-		o.Store = st
-		engOpts.Persist = st
-		fmt.Fprintf(os.Stderr, "rcatlas: store %s (%d entries)\n", *storeDir, st.Stats().Entries)
+	backend, st, err := buildStoreTiers(*storeDir, *storeBudget, *storePeer, *peerTimeout)
+	if err != nil {
+		return err
+	}
+	if backend != nil {
+		o.Store = backend
+		engOpts.Persist = backend
+	}
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "rcatlas: store %s (%d entries, %d bytes)\n",
+			*storeDir, st.Stats().Entries, st.Stats().Bytes)
 	}
 	o.Engine = engine.New(engOpts)
 	if !*noEnum {
@@ -280,6 +299,89 @@ func printSummary(w io.Writer, a *census.Artifact, elapsed time.Duration) {
 	if len(a.Skipped) > 0 {
 		fmt.Fprintf(w, "WARNING: %d types timed out\n", len(a.Skipped))
 	}
+}
+
+// buildStoreTiers assembles the persist backend from the shared
+// -store/-store-budget/-store-peer flags: the local store first (the
+// budgeted writer), then each peer, composed into a read-through chain
+// when there is more than one tier. Returns the backend to plug into
+// the engine/census (nil when no tier is configured) and the local
+// store (nil without -store).
+func buildStoreTiers(dir, budget, peers string, peerTimeout time.Duration) (engine.Persist, *store.Store, error) {
+	var tiers []store.Backend
+	var local *store.Store
+	if budget != "" && dir == "" {
+		return nil, nil, fmt.Errorf("-store-budget requires -store")
+	}
+	if dir != "" {
+		opts := store.Options{}
+		if budget != "" {
+			b, err := store.ParseSize(budget)
+			if err != nil {
+				return nil, nil, fmt.Errorf("-store-budget: %w", err)
+			}
+			opts.BudgetBytes = b
+		}
+		st, err := store.Open(dir, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		local = st
+		tiers = append(tiers, st)
+	}
+	for _, u := range strings.Split(peers, ",") {
+		if u = strings.TrimSpace(u); u == "" {
+			continue
+		}
+		p, err := store.NewPeer(u, peerTimeout)
+		if err != nil {
+			return nil, nil, err
+		}
+		tiers = append(tiers, p)
+	}
+	switch len(tiers) {
+	case 0:
+		return nil, nil, nil
+	case 1:
+		return tiers[0], local, nil
+	default:
+		return store.NewChain(tiers...), local, nil
+	}
+}
+
+// runCompact is the offline compaction pass over a store directory:
+// quarantine debris is dropped, the entry population recounted, and —
+// with -budget — the disk budget applied by LRU eviction.
+func runCompact(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rcatlas compact", flag.ContinueOnError)
+	dir := fs.String("store", "", "store directory to compact")
+	budget := fs.String("budget", "", "disk budget to enforce, e.g. 256M (empty = keep everything valid)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("compact needs -store <dir>")
+	}
+	opts := store.Options{CacheEntries: -1}
+	if *budget != "" {
+		b, err := store.ParseSize(*budget)
+		if err != nil {
+			return fmt.Errorf("-budget: %w", err)
+		}
+		opts.BudgetBytes = b
+	}
+	st, err := store.Open(*dir, opts)
+	if err != nil {
+		return err
+	}
+	cs, err := st.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout,
+		"compacted %s: %d quarantined corpses dropped, %d entries (%d bytes), %d evicted for budget\n",
+		*dir, cs.QuarantineRemoved, cs.EntriesAfter, cs.BytesAfter, cs.Evicted)
+	return nil
 }
 
 func runVerify(args []string, stdout io.Writer) error {

@@ -51,6 +51,50 @@ func main() {
 	}
 }
 
+// buildPersist assembles the engine's persist backend from the
+// -store/-store-budget/-store-peer flags: the local store first (the
+// budgeted writer), then each peer replica, chained with read-through
+// write-back when both are present. nil when neither flag is set.
+func buildPersist(dir, budget, peers string, peerTimeout time.Duration) (engine.Persist, error) {
+	var tiers []store.Backend
+	if budget != "" && dir == "" {
+		return nil, fmt.Errorf("-store-budget requires -store")
+	}
+	if dir != "" {
+		opts := store.Options{}
+		if budget != "" {
+			b, err := store.ParseSize(budget)
+			if err != nil {
+				return nil, fmt.Errorf("-store-budget: %w", err)
+			}
+			opts.BudgetBytes = b
+		}
+		st, err := store.Open(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, st)
+	}
+	for _, u := range strings.Split(peers, ",") {
+		if u = strings.TrimSpace(u); u == "" {
+			continue
+		}
+		p, err := store.NewPeer(u, peerTimeout)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, p)
+	}
+	switch len(tiers) {
+	case 0:
+		return nil, nil
+	case 1:
+		return tiers[0], nil
+	default:
+		return store.NewChain(tiers...), nil
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("rcons", flag.ContinueOnError)
 	typeName := fs.String("type", "", "type to classify (e.g. register, cas, stack, T_5, S_3)")
@@ -58,6 +102,9 @@ func run(args []string) error {
 	limit := fs.Int("limit", 6, "scan the properties for n = 2..limit")
 	parallel := fs.Int("parallel", 0, "classify on the sharded engine with this many workers (-1 = all CPUs, 0 = sequential)")
 	storeDir := fs.String("store", "", "with -parallel: persist memoized searches in this store directory")
+	storeBudget := fs.String("store-budget", "", "disk budget for -store, e.g. 256M (empty = unlimited)")
+	storePeer := fs.String("store-peer", "", "with -parallel: comma-separated peer rcserve base URLs to read memoized searches through")
+	peerTimeout := fs.Duration("store-peer-timeout", 2*time.Second, "per-fetch deadline for -store-peer reads")
 	witness := fs.Bool("witness", false, "print the maximal recording/discerning witnesses")
 	diagram := fs.Bool("diagram", false, "print the type's transition diagram")
 	list := fs.Bool("list", false, "list the built-in type zoo and exit")
@@ -127,12 +174,12 @@ func run(args []string) error {
 			workers = 0 // engine default: all CPUs
 		}
 		opts := engine.Options{Workers: workers}
-		if *storeDir != "" {
-			st, serr := store.Open(*storeDir, store.Options{})
-			if serr != nil {
-				return serr
-			}
-			opts.Persist = st
+		persist, serr := buildPersist(*storeDir, *storeBudget, *storePeer, *peerTimeout)
+		if serr != nil {
+			return serr
+		}
+		if persist != nil {
+			opts.Persist = persist
 		}
 		eng := engine.New(opts)
 		if progressSink != nil {
@@ -140,8 +187,8 @@ func run(args []string) error {
 			defer stop()
 		}
 		c, err = eng.Classify(context.Background(), t, *limit)
-	case *storeDir != "":
-		return fmt.Errorf("-store needs the engine: pass -parallel N (e.g. -parallel -1)")
+	case *storeDir != "" || *storePeer != "":
+		return fmt.Errorf("-store/-store-peer need the engine: pass -parallel N (e.g. -parallel -1)")
 	case progressSink != nil:
 		return fmt.Errorf("-progress needs a publishing search: pass -parallel N or -mc TARGET")
 	default:

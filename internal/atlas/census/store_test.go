@@ -143,6 +143,69 @@ func TestStoreDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestStoreBudgetKeepsArtifactByteIdentical is the budget acceptance
+// gate: a census through a store whose budget forces eviction mid-run
+// must stay within that budget AND emit an artifact byte-identical to
+// the unbudgeted run — the budget may only trade recomputation for
+// disk, never results.
+func TestStoreBudgetKeepsArtifactByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	// Unbudgeted baseline, measuring how many bytes the run wants.
+	full, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Run(ctx, smallStoreOptions(full, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := full.Stats().Bytes
+	if need == 0 {
+		t.Fatal("baseline run stored nothing")
+	}
+
+	// A budget of a third of that forces evictions during the run.
+	budget := need / 3
+	tight, err := store.Open(t.TempDir(), store.Options{BudgetBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(ctx, smallStoreOptions(tight, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("budgeted census artifact differs from the unbudgeted one")
+	}
+	st := tight.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("store over budget after the run: %d > %d", st.Bytes, budget)
+	}
+	if st.DiskEvictions == 0 {
+		t.Fatalf("budget %d of %d bytes never evicted — test too loose: %+v", budget, need, st)
+	}
+	// A rerun over the evicted store still converges to the same bytes.
+	a3, err := Run(ctx, smallStoreOptions(tight, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc3, err := a3.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc3, want) {
+		t.Fatal("rerun over the budgeted store drifted")
+	}
+}
+
 // TestStoreScopedByLimit: rows stored at one scan limit must not leak
 // into a census at another.
 func TestStoreScopedByLimit(t *testing.T) {

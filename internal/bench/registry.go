@@ -204,6 +204,18 @@ func Registry() []Benchmark {
 			Run: storePutRunner(),
 		},
 		Benchmark{
+			Name:  "store/evict",
+			Doc:   "budgeted store write paying one size-aware LRU eviction per put",
+			Iters: 2_000, QuickIters: 500,
+			Run: storeEvictRunner(),
+		},
+		Benchmark{
+			Name:  "store/peer-hit",
+			Doc:   "peer read-through round-trip: HTTP fetch + envelope re-verification",
+			Iters: 5_000, QuickIters: 1_000,
+			Run: storePeerHitRunner(),
+		},
+		Benchmark{
 			Name:  "jobs/submit-poll",
 			Doc:   "async job round-trip: submit a distinct job, poll it to completion",
 			Iters: 2_000, QuickIters: 500,

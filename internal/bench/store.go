@@ -4,8 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"rcons/internal/jobs"
 	"rcons/internal/store"
@@ -62,6 +66,91 @@ func storePutRunner() func(int) (Metrics, error) {
 				payload := []byte(fmt.Sprintf(`{"row":%d}`, i))
 				if err := st.Put("census-row", key, payload); err != nil {
 					return nil, err
+				}
+			}
+			return nil, nil
+		})
+	}
+}
+
+// storeEvictRunner measures a budgeted put with eviction riding along:
+// the store is held right at its byte budget, so every distinct-key
+// write also pays one size-aware LRU eviction (victim selection plus
+// unlink) — the steady-state write cost of a full store under
+// -store-budget.
+func storeEvictRunner() func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		dir, err := os.MkdirTemp("", "rcbench-evict-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		// Budget sized to ~64 entries of the fixed-shape payload below,
+		// so the store saturates almost immediately and the measured loop
+		// is all evict-on-put.
+		payload := []byte(`{"row":1234567,"pad":"xxxxxxxxxxxxxxxx"}`)
+		st, err := store.Open(dir, store.Options{CacheEntries: -1, BudgetBytes: 64 * 256})
+		if err != nil {
+			return nil, err
+		}
+		// Pre-fill past the budget so every measured put evicts.
+		for i := 0; i < 100; i++ {
+			if err := st.Put("census-row", fmt.Sprintf("prefill-%08d", i), payload); err != nil {
+				return nil, err
+			}
+		}
+		if st.Stats().DiskEvictions == 0 {
+			return nil, fmt.Errorf("store/evict: budget never saturated in pre-fill")
+		}
+		before := st.Stats().DiskEvictions
+		for i := 0; i < iters; i++ {
+			key := fmt.Sprintf("bench-key-%08d", i)
+			if err := st.Put("census-row", key, payload); err != nil {
+				return nil, err
+			}
+		}
+		if st.Stats().DiskEvictions == before {
+			return nil, fmt.Errorf("store/evict: measured loop never evicted")
+		}
+		return nil, nil
+	}
+}
+
+// storePeerHitRunner measures the full peer read-through round-trip on
+// a warm peer: HTTP fetch from an in-process replica (served straight
+// off GetRaw) plus the receiver-side envelope re-verification. This is
+// the per-result cost a cold replica pays to warm itself off the fleet
+// instead of recomputing.
+func storePeerHitRunner() func(int) (Metrics, error) {
+	return func(iters int) (Metrics, error) {
+		return withTempStore(func(st *store.Store) (Metrics, error) {
+			payload := []byte(`{"found":true,"witness":{"q0":"q1","teams":[0,1,0],"ops":["a","b","a"]}}`)
+			if err := st.Put("search", "bench-key", payload); err != nil {
+				return nil, err
+			}
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				// Minimal stand-in for rcserve's GET /v1/store/{kind}/{addr}.
+				parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/store/"), "/")
+				if len(parts) != 2 {
+					http.NotFound(w, r)
+					return
+				}
+				raw, ok, err := st.GetRaw(parts[0], parts[1])
+				if err != nil || !ok {
+					http.NotFound(w, r)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.Write(raw)
+			}))
+			defer srv.Close()
+			p, err := store.NewPeer(srv.URL, 5*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < iters; i++ {
+				if _, ok, err := p.Get("search", "bench-key"); !ok || err != nil {
+					return nil, fmt.Errorf("store/peer-hit: ok=%v err=%v", ok, err)
 				}
 			}
 			return nil, nil

@@ -10,13 +10,19 @@ import (
 )
 
 // Persist is the narrow persistent-cache surface the engine writes
-// memoized search results through. *store.Store satisfies it; the
-// engine deliberately depends only on this interface so the checker
-// core stays storage-free and tests can stub persistence.
+// memoized search results through. Every store.Backend satisfies it —
+// *store.Store (local disk), *store.Peer (read-through to another
+// replica's /v1/store routes) and *store.Chain (tiered composition with
+// write-back healing) — and the engine deliberately depends only on
+// this interface so the checker core stays storage-free and tests can
+// stub persistence.
 //
 // Get's ok=false means "not stored" (never an integrity failure — the
-// store quarantines those itself); errors are operational (I/O) and the
-// engine treats them as misses.
+// store quarantines locally and re-verifies peer envelopes on receipt);
+// errors are operational (I/O, a down or slow peer) and the engine
+// treats them as misses and recomputes. A persist hit is promoted to
+// the memo cache, so a result fetched from a warm peer costs zero
+// search work here and zero further peer traffic.
 type Persist interface {
 	Get(kind, key string) ([]byte, bool, error)
 	Put(kind, key string, payload []byte) error

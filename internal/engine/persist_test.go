@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"rcons/internal/store"
 	"rcons/internal/types"
 )
 
@@ -172,6 +173,63 @@ func TestPersistCorruptEntryIsMiss(t *testing.T) {
 	r, ok := decodeSearchResult(healed)
 	if !ok || !r.found {
 		t.Fatalf("healed entry undecodable: %s", healed)
+	}
+}
+
+// namedPersist adapts fakePersist to store.Backend for chain tests.
+type namedPersist struct{ *fakePersist }
+
+func (namedPersist) Name() string { return "fake" }
+
+// TestPersistChainReadThrough wires the engine to a real store.Chain —
+// a cold local store, a failing middle tier, a warm far store — and
+// proves the far hit is served with zero search work (PersistMisses
+// stays 0), the failing tier is absorbed, and write-back healing makes
+// the local tier warm for the next process.
+func TestPersistChainReadThrough(t *testing.T) {
+	ctx := context.Background()
+	typ := types.NewSn(3)
+
+	warm, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := New(Options{Workers: 2, Persist: warm})
+	w1, err := e1.Search(ctx, typ, Recording, 3)
+	if err != nil || w1 == nil {
+		t.Fatalf("warming search: %v, %v", w1, err)
+	}
+
+	local, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := newFakePersist()
+	flaky.fail = true
+	chain := store.NewChain(local, namedPersist{flaky}, warm)
+
+	e2 := New(Options{Workers: 2, CacheSize: -1, Persist: chain})
+	w2, err := e2.Search(ctx, typ, Recording, 3)
+	if err != nil || w2 == nil {
+		t.Fatalf("chained search: %v, %v", w2, err)
+	}
+	if !reflect.DeepEqual(*w1, *w2) {
+		t.Fatalf("chained witness differs: %s vs %s", w1, w2)
+	}
+	s := e2.Stats()
+	if s.PersistHits != 1 || s.PersistMisses != 0 {
+		t.Fatalf("chain hit did not skip the search: %+v", s)
+	}
+	if st := local.Stats(); st.Puts != 1 {
+		t.Fatalf("write-back did not heal the local tier: %+v", st)
+	}
+	// A third process over just the healed local tier hits immediately.
+	e3 := New(Options{Workers: 2, CacheSize: -1, Persist: local})
+	if w3, err := e3.Search(ctx, typ, Recording, 3); err != nil || w3 == nil {
+		t.Fatalf("healed-tier search: %v, %v", w3, err)
+	}
+	if s := e3.Stats(); s.PersistHits != 1 || s.PersistMisses != 0 {
+		t.Fatalf("healed tier did not serve: %+v", s)
 	}
 }
 

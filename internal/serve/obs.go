@@ -136,8 +136,39 @@ func (s *Server) setupMetrics() {
 			func(t store.Stats) int64 { return t.Evictions })
 		sctr("rc_store_quarantined_total", "Corrupt store entries quarantined.",
 			func(t store.Stats) int64 { return t.Quarantined })
+		sctr("rc_store_disk_evictions_total", "Entry files deleted to respect the disk budget.",
+			func(t store.Stats) int64 { return t.DiskEvictions })
+		sctr("rc_store_compactions_total", "Completed store compaction passes.",
+			func(t store.Stats) int64 { return t.Compactions })
 		r.GaugeFunc("rc_store_entries", "Valid entries on disk.",
 			func() float64 { return float64(st.Stats().Entries) })
+		r.GaugeFunc("rc_store_bytes", "Bytes of valid entries on disk.",
+			func() float64 { return float64(st.Stats().Bytes) })
+		r.GaugeFunc("rc_store_budget_bytes", "Configured store disk budget in bytes (0 = unlimited).",
+			func() float64 { return float64(st.Budget()) })
+	}
+
+	// Peer read-through tiers (one labeled series set per -store-peer).
+	for _, p := range s.peers {
+		pctr := func(name, help string, f func(store.PeerStats) int64) {
+			r.CounterFunc(name, help,
+				func() float64 { return float64(f(p.Stats())) }, "peer", p.Name())
+		}
+		pctr("rc_store_peer_hits_total", "Peer store fetches that returned a verified entry.",
+			func(t store.PeerStats) int64 { return t.Hits })
+		pctr("rc_store_peer_misses_total", "Peer store fetches answered 404.",
+			func(t store.PeerStats) int64 { return t.Misses })
+		pctr("rc_store_peer_errors_total", "Peer store fetches that failed (down, slow or corrupt peer).",
+			func(t store.PeerStats) int64 { return t.Errors })
+		pctr("rc_store_peer_puts_total", "Entries pushed to the peer.",
+			func(t store.PeerStats) int64 { return t.Puts })
+		pctr("rc_store_peer_put_errors_total", "Entry pushes the peer rejected or that failed in transit.",
+			func(t store.PeerStats) int64 { return t.PutErrors })
+		pctr("rc_store_peer_gets_total", "Peer store fetches attempted.",
+			func(t store.PeerStats) int64 { return t.Gets })
+		r.CounterFunc("rc_store_peer_latency_seconds_total",
+			"Summed wall-clock seconds spent on peer store fetches.",
+			func() float64 { return p.Stats().GetSeconds }, "peer", p.Name())
 	}
 }
 
@@ -195,15 +226,38 @@ func (s *Server) jobsStatsFromRegistry() jobs.Stats {
 func (s *Server) storeStatsFromRegistry() store.Stats {
 	v := s.reg.Value
 	return store.Stats{
-		Entries:     int64(v("rc_store_entries")),
-		MemHits:     int64(v("rc_store_hits_total", "mem")),
-		DiskHits:    int64(v("rc_store_hits_total", "disk")),
-		Misses:      int64(v("rc_store_misses_total")),
-		Puts:        int64(v("rc_store_puts_total")),
-		PutNoops:    int64(v("rc_store_put_noops_total")),
-		Evictions:   int64(v("rc_store_evictions_total")),
-		Quarantined: int64(v("rc_store_quarantined_total")),
+		Entries:       int64(v("rc_store_entries")),
+		Bytes:         int64(v("rc_store_bytes")),
+		MemHits:       int64(v("rc_store_hits_total", "mem")),
+		DiskHits:      int64(v("rc_store_hits_total", "disk")),
+		Misses:        int64(v("rc_store_misses_total")),
+		Puts:          int64(v("rc_store_puts_total")),
+		PutNoops:      int64(v("rc_store_put_noops_total")),
+		Evictions:     int64(v("rc_store_evictions_total")),
+		DiskEvictions: int64(v("rc_store_disk_evictions_total")),
+		Quarantined:   int64(v("rc_store_quarantined_total")),
+		Compactions:   int64(v("rc_store_compactions_total")),
 	}
+}
+
+// peerStatsFromRegistry rebuilds each -store-peer tier's stats from the
+// registry's labeled series, keyed by peer base URL.
+func (s *Server) peerStatsFromRegistry() map[string]store.PeerStats {
+	v := s.reg.Value
+	out := make(map[string]store.PeerStats, len(s.peers))
+	for _, p := range s.peers {
+		name := p.Name()
+		out[name] = store.PeerStats{
+			Hits:       int64(v("rc_store_peer_hits_total", name)),
+			Misses:     int64(v("rc_store_peer_misses_total", name)),
+			Errors:     int64(v("rc_store_peer_errors_total", name)),
+			Puts:       int64(v("rc_store_peer_puts_total", name)),
+			PutErrors:  int64(v("rc_store_peer_put_errors_total", name)),
+			Gets:       int64(v("rc_store_peer_gets_total", name)),
+			GetSeconds: v("rc_store_peer_latency_seconds_total", name),
+		}
+	}
+	return out
 }
 
 // statusWriter captures the response status plus the request's outcome

@@ -26,6 +26,11 @@
 //	GET  /v1/jobs                        list retained jobs
 //	GET  /v1/jobs/{id}                   job status + result when done
 //	DELETE /v1/jobs/{id}                 cancel a queued/running job
+//	GET  /v1/store/{kind}/{addr}         serve one store entry (raw verified
+//	                                     envelope) to a peer replica
+//	PUT  /v1/store/{kind}/{addr}         accept an entry from a peer; fully
+//	                                     re-verified before storage
+//	POST /v1/store/compact               run the store compaction pass
 //	GET  /healthz                        liveness + cache/store/queue statistics
 //
 // One engine (and therefore one memoization cache) is shared by all
@@ -53,7 +58,13 @@
 // store under DIR: the engine's memoized searches, census rows and
 // finished job results all survive restarts, and a resubmitted job is
 // answered from disk without recomputation. The same directory can be
-// warmed offline with `rcatlas census -store DIR`.
+// warmed offline with `rcatlas census -store DIR`. -store-budget caps
+// the directory's disk usage with size-aware LRU eviction, and
+// -store-peer chains one or more peer replicas behind the local store:
+// a local miss reads through to each peer's /v1/store routes (checksums
+// re-verified on receipt), far hits heal the local tier, and a down or
+// slow peer degrades to recomputation — never to failure. With peers
+// but no -store, the server runs diskless against the fleet pool.
 //
 // On SIGINT/SIGTERM the server drains: in-flight requests finish,
 // queued and running jobs get the drain timeout to complete, and
@@ -63,6 +74,7 @@
 //
 //	rcserve [-addr :8372] [-workers 0] [-max-limit 6] [-cache 4096]
 //	        [-timeout 30s] [-max-inflight 64] [-store DIR]
+//	        [-store-budget 256M] [-store-peer URL[,URL]] [-store-peer-timeout 2s]
 //	        [-job-workers 2] [-job-timeout 10m] [-drain 30s]
 //	        [-rate 0] [-burst 10] [-pprof] [-log-format text] [-log-level info]
 package serve
@@ -81,6 +93,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -105,6 +118,9 @@ type config struct {
 	maxInflight int
 	maxBody     int64
 	storeDir    string
+	storeBudget int64
+	storePeers  []string
+	peerTimeout time.Duration
 	jobWorkers  int
 	jobTimeout  time.Duration
 	drain       time.Duration
@@ -125,6 +141,10 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request deadline")
 	fs.IntVar(&cfg.maxInflight, "max-inflight", 64, "concurrent requests before shedding with 503")
 	fs.StringVar(&cfg.storeDir, "store", "", "persist results in a content-addressed store under this directory")
+	var storeBudget, storePeers string
+	fs.StringVar(&storeBudget, "store-budget", "", "disk budget for the -store directory, e.g. 256M or 2G (empty = unlimited)")
+	fs.StringVar(&storePeers, "store-peer", "", "comma-separated peer replica base URLs to read results through, e.g. http://replica-a:8372")
+	fs.DurationVar(&cfg.peerTimeout, "store-peer-timeout", 2*time.Second, "per-fetch deadline for -store-peer reads")
 	fs.IntVar(&cfg.jobWorkers, "job-workers", 2, "concurrently executing async jobs")
 	fs.DurationVar(&cfg.jobTimeout, "job-timeout", 10*time.Minute, "per-job execution deadline")
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "shutdown budget for in-flight requests and jobs")
@@ -160,6 +180,23 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.rate > 0 && cfg.burst < 1 {
 		return config{}, fmt.Errorf("-burst must be ≥ 1 when -rate is set, got %d", cfg.burst)
+	}
+	if storeBudget != "" {
+		if cfg.storeDir == "" {
+			return config{}, fmt.Errorf("-store-budget requires -store")
+		}
+		b, err := store.ParseSize(storeBudget)
+		if err != nil {
+			return config{}, fmt.Errorf("-store-budget: %w", err)
+		}
+		cfg.storeBudget = b
+	}
+	if storePeers != "" {
+		for _, u := range strings.Split(storePeers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.storePeers = append(cfg.storePeers, u)
+			}
+		}
 	}
 	return cfg, nil
 }
@@ -222,7 +259,8 @@ func Run(args []string) error {
 type Server struct {
 	cfg      config
 	eng      *engine.Engine
-	store    *store.Store // nil without -store
+	store    *store.Store  // nil without -store
+	peers    []*store.Peer // read-through tiers from -store-peer
 	jobs     *jobs.Manager
 	inflight chan struct{}
 
@@ -314,14 +352,37 @@ func newServer(cfg config) (*Server, error) {
 		Timeout: cfg.jobTimeout,
 		Logger:  s.logger.With("subsystem", "jobs"),
 	}
+	// Result-store tiers, nearest first: the local on-disk store (budget
+	// enforced here, the single budgeted writer of its directory), then
+	// each -store-peer replica. One tier plugs in directly; several
+	// compose into a read-through chain that heals the local tier on far
+	// hits. With peers but no -store, the server runs diskless against
+	// the fleet pool.
+	var tiers []store.Backend
 	if cfg.storeDir != "" {
-		st, err := store.Open(cfg.storeDir, store.Options{})
+		st, err := store.Open(cfg.storeDir, store.Options{BudgetBytes: cfg.storeBudget})
 		if err != nil {
 			return nil, err
 		}
 		s.store = st
-		engOpts.Persist = st
-		jobOpts.Store = st
+		tiers = append(tiers, st)
+	}
+	for _, u := range cfg.storePeers {
+		p, err := store.NewPeer(u, cfg.peerTimeout)
+		if err != nil {
+			return nil, err
+		}
+		s.peers = append(s.peers, p)
+		tiers = append(tiers, p)
+	}
+	switch {
+	case len(tiers) == 1:
+		engOpts.Persist = tiers[0]
+		jobOpts.Store = tiers[0]
+	case len(tiers) > 1:
+		c := store.NewChain(tiers...)
+		engOpts.Persist = c
+		jobOpts.Store = c
 	}
 	s.eng = engine.New(engOpts)
 	s.jobs = jobs.New(jobOpts)
@@ -402,6 +463,16 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/mc/targets", "/v1/mc/targets", s.handleModelCheckTargets)
 	route("/v1/atlas", "/v1/atlas", s.limited(s.handleAtlas))
 	route("/v1/atlas/type", "/v1/atlas/type", s.limited(s.handleAtlasType))
+	// Peer store routes skip rateLimited and limited on purpose: they
+	// carry replica-to-replica cache traffic (like /metrics scrapes),
+	// and throttling them would silently convert fleet-wide store hits
+	// into recomputed searches. Compaction is an operator action and
+	// takes the normal limits.
+	mux.HandleFunc("GET /v1/store/{kind}/{addr}",
+		s.instrument("/v1/store/{kind}/{addr}", s.handleStoreGet))
+	mux.HandleFunc("PUT /v1/store/{kind}/{addr}",
+		s.instrument("/v1/store/{kind}/{addr}", s.handleStorePut))
+	route("POST /v1/store/compact", "/v1/store/compact", s.limited(s.handleStoreCompact))
 	route("POST /v1/jobs", "/v1/jobs", s.limited(s.handleJobSubmit))
 	route("GET /v1/jobs", "/v1/jobs", s.handleJobList)
 	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobGet)
@@ -852,6 +923,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store != nil {
 		resp["store"] = s.storeStatsFromRegistry()
+		resp["storeBudget"] = s.store.Budget()
+	}
+	if len(s.peers) > 0 {
+		resp["storePeers"] = s.peerStatsFromRegistry()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Backend is one tier of a read-through result-store chain. *Store is
+// the local on-disk tier, *Peer reads through to another replica over
+// HTTP, and *Chain composes tiers. The method set is a superset of the
+// Persist interfaces in internal/engine and internal/jobs, so any
+// Backend plugs straight into the engine's memo path, the job
+// manager's result store and the census resume path.
+//
+// Contract: Get's ok=false means "not stored" — an integrity failure
+// is never surfaced as a hit (local tiers quarantine, peers re-verify
+// checksums on receipt and reject). Errors are operational (I/O, the
+// network, a down peer); callers treat them as misses and recompute,
+// so a degraded tier can slow the fleet but never poison or fail it.
+type Backend interface {
+	Get(kind, key string) ([]byte, bool, error)
+	Put(kind, key string, payload []byte) error
+	// Name identifies the tier in metrics and logs ("local", a peer's
+	// base URL).
+	Name() string
+}
+
+// Chain composes backends into one tiered store: Get consults tiers in
+// order and, on a hit in a far tier, writes the payload back through
+// every nearer tier (best-effort) so the next lookup is local — the
+// read-through warming that lets a cold rcserve replica fill its own
+// store from a warm peer. Put writes to the first tier only: local
+// results reach peers when the peers come asking, not by broadcast
+// (except in a diskless chain whose first tier IS a peer, where Put
+// pushes the result into the shared pool).
+type Chain struct {
+	tiers []Backend
+}
+
+// NewChain builds a chain over the given tiers, nearest first. It
+// panics on an empty tier list — a chain with nothing behind it is a
+// caller bug, not a runtime condition.
+func NewChain(tiers ...Backend) *Chain {
+	if len(tiers) == 0 {
+		panic("store: NewChain with no tiers")
+	}
+	return &Chain{tiers: tiers}
+}
+
+// Name lists the tier names in order.
+func (c *Chain) Name() string {
+	names := make([]string, len(c.tiers))
+	for i, t := range c.tiers {
+		names[i] = t.Name()
+	}
+	return "chain(" + strings.Join(names, ",") + ")"
+}
+
+// Get returns the first tier's answer, warming nearer tiers on a far
+// hit. A tier error is remembered but never final while tiers remain:
+// only if every tier misses is the first error reported (alongside
+// ok=false, so callers that ignore the error still just recompute).
+func (c *Chain) Get(kind, key string) ([]byte, bool, error) {
+	var firstErr error
+	for i, t := range c.tiers {
+		data, ok, err := t.Get(kind, key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			// Write-back healing is best-effort: a full or read-only
+			// nearer tier must not turn a perfectly good hit into a miss.
+			_ = c.tiers[j].Put(kind, key, data)
+		}
+		return data, true, nil
+	}
+	return nil, false, firstErr
+}
+
+// Put writes through the first tier.
+func (c *Chain) Put(kind, key string, payload []byte) error {
+	return c.tiers[0].Put(kind, key, payload)
+}
+
+// ParseSize parses a human-readable byte size: a plain integer
+// ("1048576") or one with a K/M/G/T suffix in powers of 1024
+// ("64M", "2g", "512KiB", "1TB"). Used by the -store-budget flags.
+func ParseSize(s string) (int64, error) {
+	in := strings.TrimSpace(s)
+	t := strings.ToUpper(in)
+	var mult int64 = 1
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"TIB", 1 << 40}, {"TB", 1 << 40}, {"T", 1 << 40},
+	} {
+		if strings.HasSuffix(t, suf.name) {
+			mult = suf.mult
+			t = strings.TrimSuffix(t, suf.name)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("store: invalid size %q (want e.g. 1048576, 64M, 2G)", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("store: size %q overflows", s)
+	}
+	return n * mult, nil
+}

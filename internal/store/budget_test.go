@@ -1,0 +1,358 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// entrySize returns the on-disk envelope size for a payload written
+// under (kind, key) — the unit the budget is accounted in.
+func entrySize(t *testing.T, kind, key string, payload []byte) int64 {
+	t.Helper()
+	data, _, err := encodeEnvelope(kind, key, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(data))
+}
+
+// diskFiles returns every entry file under dir/v1.
+func diskFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	root := filepath.Join(dir, layoutDir)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBudgetEvictsLRUOnPut(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"v":"0123456789abcdef"}`)
+	one := entrySize(t, "search", "k0", payload)
+	// Room for three entries, not four.
+	s := mustOpen(t, dir, Options{BudgetBytes: 3*one + one/2})
+	for i := 0; i < 3; i++ {
+		if err := s.Put("search", fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.DiskEvictions != 0 || st.Entries != 3 || st.Bytes != 3*one {
+		t.Fatalf("under budget yet evicted: %+v", st)
+	}
+	// Touch k0 so k1 is the LRU victim of the next Put.
+	if _, ok, _ := s.Get("search", "k0"); !ok {
+		t.Fatal("k0 lost")
+	}
+	if err := s.Put("search", "k3", payload); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.DiskEvictions != 1 || st.Entries != 3 || st.Bytes != 3*one {
+		t.Fatalf("stats after over-budget put: %+v", st)
+	}
+	// k1 was evicted from disk; k0, k2, k3 survive. The memory front may
+	// still answer for k1, so check the disk directly.
+	p1, _ := s.entryPath("search", "k1")
+	if _, err := os.Lstat(p1); !os.IsNotExist(err) {
+		t.Fatal("LRU victim k1 still on disk")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		p, _ := s.entryPath("search", k)
+		if _, err := os.Lstat(p); err != nil {
+			t.Fatalf("%s missing after eviction: %v", k, err)
+		}
+	}
+	// A fresh handle (no warm front) confirms the evicted entry is gone.
+	s2 := mustOpen(t, dir, Options{CacheEntries: -1})
+	if _, ok, _ := s2.Get("search", "k1"); ok {
+		t.Fatal("evicted entry served from disk")
+	}
+}
+
+// TestBudgetNeverEvictsJustWritten: an entry bigger than the whole
+// budget is kept (evicting it would make every Put a write-then-delete).
+func TestBudgetNeverEvictsJustWritten(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"v":"a long payload that will not fit the tiny budget at all"}`)
+	s := mustOpen(t, dir, Options{BudgetBytes: 10})
+	if err := s.Put("search", "big", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("search", "big"); !ok {
+		t.Fatal("oversized entry evicted by its own put")
+	}
+	if st := s.Stats(); st.Entries != 1 || st.DiskEvictions != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestOpenEnforcesBudget: reopening an unbudgeted directory with a
+// budget evicts deterministically, oldest mtime first.
+func TestOpenEnforcesBudget(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"v":"0123456789abcdef"}`)
+	one := entrySize(t, "search", "k0", payload)
+	s := mustOpen(t, dir, Options{})
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := s.Put("search", key, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes make the recovery order unambiguous: k0 oldest.
+		path, _ := s.entryPath("search", key)
+		if err := os.Chtimes(path, base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := mustOpen(t, dir, Options{CacheEntries: -1, BudgetBytes: 3 * one})
+	st := s2.Stats()
+	if st.Entries != 3 || st.Bytes != 3*one || st.DiskEvictions != 3 {
+		t.Fatalf("stats after budgeted reopen: %+v", st)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, _ := s2.Get("search", fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("k%d (oldest) survived the budgeted reopen", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if _, ok, _ := s2.Get("search", fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d (newest) lost in the budgeted reopen", i)
+		}
+	}
+}
+
+func TestOpenRejectsNegativeBudget(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{BudgetBytes: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// TestCompactDropsQuarantineAndReconciles covers the two non-eviction
+// compaction duties: quarantine debris is deleted, and the Entries
+// drift between two Stores sharing one directory (each Put only counts
+// what its own handle saw) is healed by the recount — afterwards both
+// handles' Entries equal the files on disk.
+func TestCompactDropsQuarantineAndReconciles(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{CacheEntries: -1})
+	b := mustOpen(t, dir, Options{CacheEntries: -1})
+	for i := 0; i < 3; i++ {
+		if err := a.Put("job", fmt.Sprintf("a%d", i), []byte(`{"w":"a"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Put("job", fmt.Sprintf("b%d", i), []byte(`{"w":"b"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt one of A's entries and Get it so it lands in quarantine.
+	path, _ := a.entryPath("job", "a0")
+	if err := os.WriteFile(path, []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := a.Get("job", "a0"); ok {
+		t.Fatal("rotten entry served")
+	}
+	if q, _ := os.ReadDir(filepath.Join(dir, quarantineSub)); len(q) != 1 {
+		t.Fatalf("quarantine holds %d files, want 1", len(q))
+	}
+
+	// Drifted views: A saw its own 3 puts minus the quarantined one,
+	// B saw only its own 2; disk holds 4 valid entries.
+	if st := a.Stats(); st.Entries != 2 {
+		t.Fatalf("a.Entries = %d, want 2 pre-compaction", st.Entries)
+	}
+	if st := b.Stats(); st.Entries != 2 {
+		t.Fatalf("b.Entries = %d, want 2 pre-compaction", st.Entries)
+	}
+
+	for name, s := range map[string]*Store{"a": a, "b": b} {
+		cs, err := s.Compact()
+		if err != nil {
+			t.Fatalf("%s.Compact: %v", name, err)
+		}
+		files := diskFiles(t, dir)
+		if st := s.Stats(); st.Entries != int64(len(files)) || st.Entries != 4 {
+			t.Fatalf("%s post-compaction Entries = %d, files on disk = %d (want 4): %+v",
+				name, st.Entries, len(files), st)
+		}
+		if cs.EntriesAfter != 4 {
+			t.Fatalf("%s CompactStats: %+v", name, cs)
+		}
+	}
+	// A's compaction dropped the corpse; B's found an empty quarantine.
+	if q, _ := os.ReadDir(filepath.Join(dir, quarantineSub)); len(q) != 0 {
+		t.Fatalf("quarantine not emptied: %d files", len(q))
+	}
+	// Every entry is readable through either handle after reconciliation.
+	for _, k := range []string{"a1", "a2", "b0", "b1"} {
+		if _, ok, _ := a.Get("job", k); !ok {
+			t.Fatalf("a lost %s", k)
+		}
+		if _, ok, _ := b.Get("job", k); !ok {
+			t.Fatalf("b lost %s", k)
+		}
+	}
+	if st := a.Stats(); st.Compactions != 1 {
+		t.Fatalf("compactions counter: %+v", st)
+	}
+}
+
+// TestCompactEvictsToBudget: a compaction on an over-budget store (the
+// budget was exceeded by files another writer added) evicts down to it.
+func TestCompactEvictsToBudget(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"v":"0123456789abcdef"}`)
+	one := entrySize(t, "search", "k0", payload)
+	budgeted := mustOpen(t, dir, Options{CacheEntries: -1, BudgetBytes: 2 * one})
+	// A second, unbudgeted writer floods the directory.
+	flooder := mustOpen(t, dir, Options{CacheEntries: -1})
+	for i := 0; i < 5; i++ {
+		if err := flooder.Put("search", fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, err := budgeted.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := budgeted.Stats()
+	if st.Bytes > 2*one || st.Entries != 2 || cs.Evicted != 3 {
+		t.Fatalf("post-compaction: stats %+v, compact %+v", st, cs)
+	}
+	if files := diskFiles(t, dir); len(files) != 2 {
+		t.Fatalf("%d files on disk, want 2", len(files))
+	}
+}
+
+// TestCrashMidCompactionRecovery: every mutation a compaction makes is
+// one atomic unlink (a quarantine corpse or an evicted entry), so any
+// crash point leaves a disk state that is a prefix of those unlinks.
+// This test constructs representative prefix states by hand and proves
+// a budgeted Open recovers each to a valid, budget-respecting store.
+func TestCrashMidCompactionRecovery(t *testing.T) {
+	payload := []byte(`{"v":"0123456789abcdef"}`)
+	one := entrySize(t, "search", "k0", payload)
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{CacheEntries: -1})
+		for i := 0; i < 6; i++ {
+			if err := s.Put("search", fmt.Sprintf("k%d", i), payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Two quarantined corpses from successive corruptions of k5.
+		for range 2 {
+			p, _ := s.entryPath("search", "k5")
+			if err := os.WriteFile(p, []byte("rot"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.Get("search", "k5"); ok {
+				t.Fatal("rot served")
+			}
+			if err := s.Put("search", "k5", payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+
+	crashPoints := []struct {
+		name  string
+		crash func(t *testing.T, dir string)
+	}{
+		{"mid-quarantine-clear", func(t *testing.T, dir string) {
+			// Compaction deleted one of the two corpses, then died.
+			q, _ := os.ReadDir(filepath.Join(dir, quarantineSub))
+			if len(q) != 2 {
+				t.Fatalf("setup: quarantine has %d files", len(q))
+			}
+			if err := os.Remove(filepath.Join(dir, quarantineSub, q[0].Name())); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"mid-eviction", func(t *testing.T, dir string) {
+			// Quarantine cleared, then died after evicting two entries.
+			q, _ := os.ReadDir(filepath.Join(dir, quarantineSub))
+			for _, d := range q {
+				if err := os.Remove(filepath.Join(dir, quarantineSub, d.Name())); err != nil {
+					t.Fatal(err)
+				}
+			}
+			files := diskFiles(t, dir)
+			for _, f := range files[:2] {
+				if err := os.Remove(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, cp := range crashPoints {
+		t.Run(cp.name, func(t *testing.T) {
+			dir := build(t)
+			cp.crash(t, dir)
+			s, err := Open(dir, Options{CacheEntries: -1, BudgetBytes: 3 * one})
+			if err != nil {
+				t.Fatalf("Open after crash: %v", err)
+			}
+			st := s.Stats()
+			if st.Bytes > 3*one {
+				t.Fatalf("recovered store over budget: %+v", st)
+			}
+			files := diskFiles(t, dir)
+			if st.Entries != int64(len(files)) || st.Bytes != int64(len(files))*one {
+				t.Fatalf("recovered stats %+v do not match %d files on disk", st, len(files))
+			}
+			// Every surviving file is a valid, servable entry.
+			for _, f := range files {
+				if _, _, ok := readEnvelope(f); !ok {
+					t.Fatalf("invalid entry survived recovery: %s", f)
+				}
+			}
+		})
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	good := map[string]int64{
+		"0":      0,
+		"12345":  12345,
+		"64K":    64 << 10,
+		"64k":    64 << 10,
+		"64KB":   64 << 10,
+		"64KiB":  64 << 10,
+		" 2M ":   2 << 20,
+		"3G":     3 << 30,
+		"1T":     1 << 40,
+		"512MB":  512 << 20,
+		"512mib": 512 << 20,
+	}
+	for in, want := range good {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "-1", "x", "64X", "M", "1.5G", "99999999999T"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) accepted", in)
+		}
+	}
+}

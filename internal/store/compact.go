@@ -1,0 +1,163 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CompactStats reports what one Compact pass did.
+type CompactStats struct {
+	// QuarantineRemoved counts quarantined corpses deleted.
+	QuarantineRemoved int `json:"quarantineRemoved"`
+	// Entries/Bytes before and after, as reconciled against the
+	// directory — Before reflects this Store's possibly drifted view,
+	// After the recounted truth (post-eviction).
+	EntriesBefore int64 `json:"entriesBefore"`
+	EntriesAfter  int64 `json:"entriesAfter"`
+	BytesBefore   int64 `json:"bytesBefore"`
+	BytesAfter    int64 `json:"bytesAfter"`
+	// Evicted counts entries deleted by this pass to meet the budget.
+	Evicted int64 `json:"evicted"`
+}
+
+// Compact is the store's compaction pass, safe to run online (it
+// briefly blocks writers) or offline (rcatlas compact):
+//
+//  1. quarantine debris is deleted — corpses have served their
+//     diagnostic purpose once an operator decides to compact;
+//  2. the entry population is recounted from the directory, healing
+//     the Stats.Entries/Bytes drift that accrues when several Stores
+//     share one directory (each Put only counts what its own handle
+//     observed — see the package doc's single-writer note);
+//  3. the byte budget is re-applied by size-aware LRU eviction.
+//
+// Recency survives reconciliation: entries this Store has been serving
+// keep their LRU order, while entries discovered on disk (written by
+// another handle) enter at the cold end — ordered among themselves by
+// mtime then path, so a fleet of replicas compacting the same inputs
+// evicts the same victims. Every mutation is one atomic unlink; a
+// crash mid-pass leaves a valid store whose next Open re-sweeps,
+// recounts and finishes the eviction.
+func (s *Store) Compact() (CompactStats, error) {
+	// Taking every write-lock stripe freezes Puts/Gets mid-flight so the
+	// rescan can't race a rename; stripe order is fixed, so two
+	// concurrent Compacts can't deadlock each other.
+	for i := range s.writeLocks {
+		s.writeLocks[i].Lock()
+	}
+	defer func() {
+		for i := range s.writeLocks {
+			s.writeLocks[i].Unlock()
+		}
+	}()
+
+	var cs CompactStats
+	s.mu.Lock()
+	cs.EntriesBefore = s.stats.Entries
+	cs.BytesBefore = s.stats.Bytes
+	s.mu.Unlock()
+
+	// 1. Drop quarantine debris.
+	qdir := filepath.Join(s.dir, quarantineSub)
+	if names, err := os.ReadDir(qdir); err == nil {
+		for _, d := range names {
+			if d.IsDir() {
+				continue
+			}
+			if os.Remove(filepath.Join(qdir, d.Name())) == nil {
+				cs.QuarantineRemoved++
+			}
+		}
+	}
+
+	// 2. Recount the directory. Temp debris is removed and corrupt
+	// entries are quarantined afresh (kept until the next compaction),
+	// exactly like Open's sweep.
+	type onDisk struct {
+		size  int64
+		mtime time.Time
+	}
+	live := map[string]onDisk{}
+	root := filepath.Join(s.dir, layoutDir)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return fmt.Errorf("store: compact rescan %s: %w", path, err)
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.Contains(d.Name(), tmpMarker) {
+			if rerr := os.Remove(path); rerr != nil && !os.IsNotExist(rerr) {
+				return fmt.Errorf("store: compact remove temp %s: %w", path, rerr)
+			}
+			return nil
+		}
+		_, raw, ok := readEnvelope(path)
+		if !ok {
+			s.quarantine(path)
+			return nil
+		}
+		var mtime time.Time
+		if info, ierr := d.Info(); ierr == nil {
+			mtime = info.ModTime()
+		}
+		live[path] = onDisk{size: int64(len(raw)), mtime: mtime}
+		return nil
+	})
+	if err != nil {
+		return cs, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Drop index entries whose files are gone; true up sizes of the rest.
+	for _, path := range s.disk.paths() {
+		od, ok := live[path]
+		if !ok {
+			s.disk.remove(path)
+			continue
+		}
+		if el := s.disk.entries[path]; el.Value.(*diskEntry).size != od.size {
+			e := el.Value.(*diskEntry)
+			s.disk.bytes += od.size - e.size
+			e.size = od.size
+		}
+	}
+	// Adopt files this handle never saw, at the cold end: newest first,
+	// so the back of the list — the first victim — is the oldest.
+	var unknown []string
+	for path := range live {
+		if !s.disk.has(path) {
+			unknown = append(unknown, path)
+		}
+	}
+	sort.Slice(unknown, func(i, j int) bool {
+		ti, tj := live[unknown[i]].mtime, live[unknown[j]].mtime
+		if !ti.Equal(tj) {
+			return ti.After(tj)
+		}
+		return unknown[i] > unknown[j]
+	})
+	for _, path := range unknown {
+		s.disk.putCold(path, live[path].size)
+	}
+	s.stats.Entries = int64(s.disk.len())
+	s.stats.Bytes = s.disk.bytes
+
+	// 3. Re-apply the budget.
+	evictedBefore := s.stats.DiskEvictions
+	s.enforceBudgetLocked("")
+	cs.Evicted = s.stats.DiskEvictions - evictedBefore
+	s.stats.Compactions++
+	cs.EntriesAfter = s.stats.Entries
+	cs.BytesAfter = s.stats.Bytes
+	return cs, nil
+}

@@ -1,0 +1,105 @@
+package store
+
+import "container/list"
+
+// diskIndex tracks the valid entry files one Store knows about, in
+// recency order, with their on-disk sizes — the bookkeeping behind the
+// disk budget. It is not safe for concurrent use on its own; the
+// Store's mutex guards it.
+//
+// The index is this Store's *view* of the directory, not necessarily
+// the whole truth: a second Store sharing the directory writes files
+// this one has never seen. Entries enter the view at Open's sweep, on
+// Put, and on any verified read (Get/GetRaw adopt entries another
+// writer left behind); Compact reconciles the view against the
+// directory wholesale.
+type diskIndex struct {
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	bytes   int64
+}
+
+type diskEntry struct {
+	path string
+	size int64
+}
+
+func newDiskIndex() *diskIndex {
+	return &diskIndex{entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// put inserts path as most recently used (or refreshes its recency and
+// size), returning the byte delta and whether the path was new.
+func (d *diskIndex) put(path string, size int64) (delta int64, inserted bool) {
+	if el, ok := d.entries[path]; ok {
+		e := el.Value.(*diskEntry)
+		delta = size - e.size
+		e.size = size
+		d.bytes += delta
+		d.order.MoveToFront(el)
+		return delta, false
+	}
+	d.entries[path] = d.order.PushFront(&diskEntry{path: path, size: size})
+	d.bytes += size
+	return size, true
+}
+
+// putCold inserts path at the least-recently-used end — used by
+// Compact for entries discovered on disk with no recency history, so
+// they are the first budget victims.
+func (d *diskIndex) putCold(path string, size int64) {
+	if _, ok := d.entries[path]; ok {
+		return
+	}
+	d.entries[path] = d.order.PushBack(&diskEntry{path: path, size: size})
+	d.bytes += size
+}
+
+// touch refreshes recency if path is tracked; unknown paths are left
+// alone (adoption is put's job, with a size in hand).
+func (d *diskIndex) touch(path string) {
+	if el, ok := d.entries[path]; ok {
+		d.order.MoveToFront(el)
+	}
+}
+
+// remove drops path from the index, returning its recorded size.
+func (d *diskIndex) remove(path string) (size int64, ok bool) {
+	el, found := d.entries[path]
+	if !found {
+		return 0, false
+	}
+	e := el.Value.(*diskEntry)
+	d.order.Remove(el)
+	delete(d.entries, path)
+	d.bytes -= e.size
+	return e.size, true
+}
+
+// victim returns the least-recently-used entry without removing it.
+func (d *diskIndex) victim() (path string, size int64, ok bool) {
+	back := d.order.Back()
+	if back == nil {
+		return "", 0, false
+	}
+	e := back.Value.(*diskEntry)
+	return e.path, e.size, true
+}
+
+// has reports whether path is tracked.
+func (d *diskIndex) has(path string) bool {
+	_, ok := d.entries[path]
+	return ok
+}
+
+// paths returns every tracked path (unordered).
+func (d *diskIndex) paths() []string {
+	out := make([]string, 0, len(d.entries))
+	for p := range d.entries {
+		out = append(out, p)
+	}
+	return out
+}
+
+// len reports the tracked entry count.
+func (d *diskIndex) len() int { return len(d.entries) }

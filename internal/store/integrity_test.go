@@ -1,0 +1,138 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIdentityMismatchQuarantinesEntry is the regression test for the
+// Get identity-mismatch path: an entry file moved by hand to another
+// key's address parses and checksums fine but carries the wrong
+// identity. The old code reported a miss and left the file in place —
+// every future Get re-read and re-missed it forever. It must be
+// quarantined like any other corruption, with Entries decremented.
+func TestIdentityMismatchQuarantinesEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CacheEntries: -1})
+	if err := s.Put("search", "honest", []byte(`{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := s.entryPath("search", "honest")
+	dst, _ := s.entryPath("search", "imposter")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-move the entry to the wrong address.
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := s.Get("search", "imposter"); ok || err != nil {
+		t.Fatalf("misplaced entry served: ok=%v err=%v", ok, err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("Entries = %d, want 0 after the only entry was quarantined", st.Entries)
+	}
+	if _, err := os.Lstat(dst); !os.IsNotExist(err) {
+		t.Fatal("misplaced entry still at the wrong address")
+	}
+	q, err := os.ReadDir(filepath.Join(dir, quarantineSub))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine holds %d files (err %v), want 1", len(q), err)
+	}
+	// The second Get must be a plain miss, not a second quarantine.
+	if _, ok, _ := s.Get("search", "imposter"); ok {
+		t.Fatal("second Get served the quarantined entry")
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Misses != 2 {
+		t.Fatalf("after second Get: %+v", st)
+	}
+}
+
+// TestGetRawQuarantinesMisplacedEntry: the peer-serving read applies
+// the same identity check, so a replica never ships a misplaced entry.
+func TestGetRawQuarantinesMisplacedEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CacheEntries: -1})
+	if err := s.Put("search", "honest", []byte(`{"n":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := s.entryPath("search", "honest")
+	wrong := addr("search", "imposter")
+	dst := filepath.Join(dir, layoutDir, "search", wrong[:2], wrong+".json")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.GetRaw("search", wrong); ok || err != nil {
+		t.Fatalf("misplaced entry served raw: ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestQuarantineNameCollision is the regression test for the
+// fixed-destination quarantine: two successive corruptions of one entry
+// produce two quarantine files with the same base name. The old code's
+// second rename silently overwrote the first corpse; now a unique
+// suffix keeps both.
+func TestQuarantineNameCollision(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CacheEntries: -1})
+	for i, rot := range []string{"first rot", "second rot"} {
+		if err := s.Put("search", "k", []byte(`{"n":1}`)); err != nil {
+			t.Fatal(err)
+		}
+		path, _ := s.entryPath("search", "k")
+		if err := os.WriteFile(path, []byte(rot), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := s.Get("search", "k"); ok {
+			t.Fatalf("corruption %d served", i)
+		}
+	}
+	q, err := os.ReadDir(filepath.Join(dir, quarantineSub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 {
+		t.Fatalf("quarantine holds %d files, want both corpses", len(q))
+	}
+	// Both bodies survived — nothing was overwritten.
+	bodies := map[string]bool{}
+	base := filepath.Base(mustPath(t, s, "search", "k"))
+	for _, d := range q {
+		if !strings.HasPrefix(d.Name(), base) {
+			t.Fatalf("unexpected quarantine name %q (want prefix %q)", d.Name(), base)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, quarantineSub, d.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[string(b)] = true
+	}
+	if !bodies["first rot"] || !bodies["second rot"] {
+		t.Fatalf("a corpse was overwritten; surviving bodies: %v", bodies)
+	}
+	if st := s.Stats(); st.Quarantined != 2 {
+		t.Fatalf("Quarantined = %d, want 2", st.Quarantined)
+	}
+}
+
+func mustPath(t *testing.T, s *Store, kind, key string) string {
+	t.Helper()
+	p, err := s.entryPath(kind, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
