@@ -374,7 +374,7 @@ func runCompact(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cs, err := st.Compact()
+	cs, err := st.Compact(context.Background())
 	if err != nil {
 		return err
 	}

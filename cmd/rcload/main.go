@@ -53,6 +53,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) int {
 		limit       = fs.Int("limit", 3, "classification limit parameter")
 		seed        = fs.Int64("seed", 1, "seed for the type pool and request sequence")
 		jsonOut     = fs.Bool("json", false, "emit the result as JSON instead of a human summary")
+		trace       = fs.Bool("trace", false, "stamp each request with a client-minted X-RC-Trace ID and report the slowest requests' trace IDs")
 		probe       = fs.Int("probe-coalesce", 0, "instead of a load run, fire N concurrent identical GETs at /v1/zoo and verify byte-identical bodies")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +83,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) int {
 		Types:       *typePool,
 		Limit:       *limit,
 		Seed:        *seed,
+		Trace:       *trace,
 	})
 	if err != nil {
 		fmt.Fprintf(stdout, "rcload: %v\n", err)
@@ -99,6 +101,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) int {
 		fmt.Fprintf(stdout, "  throughput  %10.1f req/s  %10.1f items/s\n", res.Throughput, res.ItemsPerSec)
 		fmt.Fprintf(stdout, "  latency     p50 %s  p99 %s  p999 %s\n",
 			fmtSecs(res.P50), fmtSecs(res.P99), fmtSecs(res.P999))
+		for i, wt := range res.Worst {
+			if i == 0 {
+				fmt.Fprintf(stdout, "  slowest traces (GET /debug/requests/{trace} on the server):\n")
+			}
+			fmt.Fprintf(stdout, "    %-20s %s\n", wt.Trace, fmtSecs(wt.Seconds))
+		}
 	}
 	if res.Errors > 0 {
 		fmt.Fprintf(stdout, "rcload: %d request errors\n", res.Errors)

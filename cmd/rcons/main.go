@@ -115,8 +115,22 @@ func run(args []string) error {
 	mcCrashes := fs.Int("mc-crashes", 1, "crash-budget bound for -mc")
 	mcBudget := fs.Int("mc-budget", 0, "node budget before -mc falls back to swarm fuzzing (0 = default)")
 	progress := fs.Duration("progress", 0, "print live search-progress lines to stderr at this interval (e.g. 1s; needs -parallel or -mc)")
+	traceSample := fs.Int("trace-sample", 0, "trace 1 in N runs and dump the slowest span trees to stderr on exit (0 = off, 1 = every run)")
+	recorderCap := fs.Int("recorder", 16, "completed traces the flight recorder retains for the -trace-sample dump")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be ≥ 0, got %d", *traceSample)
+	}
+
+	// tracer stays nil (and every span free) without -trace-sample; the
+	// deferred dump renders the slowest recorded trees after the run.
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		rec := obs.NewRecorder(*recorderCap)
+		tracer = obs.NewTracer(*traceSample, rec)
+		defer dumpSlowestTraces(rec)
 	}
 
 	if *mcList {
@@ -131,7 +145,7 @@ func run(args []string) error {
 	}
 
 	if *mcTarget != "" {
-		return runModelCheck(*mcTarget, *mcN, *mcDepth, *mcCrashes, *mcBudget, progressSink, *progress)
+		return runModelCheck(*mcTarget, *mcN, *mcDepth, *mcCrashes, *mcBudget, progressSink, *progress, tracer)
 	}
 
 	if *list {
@@ -167,6 +181,7 @@ func run(args []string) error {
 	}
 	var c checker.Classification
 	var err error
+	ctx, root := tracer.StartTrace(context.Background(), "rcons.classify", "", false)
 	switch {
 	case *parallel != 0:
 		workers := *parallel
@@ -186,7 +201,7 @@ func run(args []string) error {
 			stop := eng.PublishProgress(*progress, progressSink, "")
 			defer stop()
 		}
-		c, err = eng.Classify(context.Background(), t, *limit)
+		c, err = eng.Classify(ctx, t, *limit)
 	case *storeDir != "" || *storePeer != "":
 		return fmt.Errorf("-store/-store-peer need the engine: pass -parallel N (e.g. -parallel -1)")
 	case progressSink != nil:
@@ -195,8 +210,11 @@ func run(args []string) error {
 		c, err = checker.Classify(t, *limit, nil)
 	}
 	if err != nil {
+		root.MarkError()
+		root.End()
 		return err
 	}
+	root.End()
 
 	fmt.Printf("type:            %s\n", c.TypeName)
 	fmt.Printf("readable:        %v\n", c.Readable)
@@ -230,12 +248,14 @@ func run(args []string) error {
 
 // runModelCheck drives internal/mc for the -mc mode and renders the
 // verdict, stats and any counterexample.
-func runModelCheck(target string, n, depth, crashes, nodeBudget int, progress obs.Sink, interval time.Duration) error {
+func runModelCheck(target string, n, depth, crashes, nodeBudget int, progress obs.Sink, interval time.Duration, tracer *obs.Tracer) error {
 	tgt, err := mc.TargetByName(target, n)
 	if err != nil {
 		return err
 	}
-	res, err := mc.Check(context.Background(), tgt, mc.Options{
+	ctx, root := tracer.StartTrace(context.Background(), "rcons.mc", "", false)
+	defer root.End()
+	res, err := mc.Check(ctx, tgt, mc.Options{
 		MaxDepth:         depth,
 		CrashBudget:      crashes,
 		NodeBudget:       nodeBudget,
@@ -243,6 +263,7 @@ func runModelCheck(target string, n, depth, crashes, nodeBudget int, progress ob
 		ProgressInterval: interval,
 	})
 	if err != nil {
+		root.MarkError()
 		return err
 	}
 
@@ -265,4 +286,13 @@ func runModelCheck(target string, n, depth, crashes, nodeBudget int, progress ob
 	fmt.Println("verdict:     VIOLATION")
 	fmt.Printf("minimal counterexample (replayable):\n%s", res.CE)
 	return fmt.Errorf("model checking found a violation in %s", res.Target)
+}
+
+// dumpSlowestTraces renders the recorded span trees slowest-first on
+// stderr, keeping stdout parseable for scripts.
+func dumpSlowestTraces(rec *obs.Recorder) {
+	for _, tr := range rec.Slowest() {
+		fmt.Fprintln(os.Stderr)
+		obs.WriteTraceTree(os.Stderr, tr)
+	}
 }

@@ -97,7 +97,10 @@ type item struct {
 // per-type timeouts, then aggregate into an Artifact. See the package
 // comment for the determinism guarantees.
 func Run(ctx context.Context, o Options) (*Artifact, error) {
+	ctx, span := obs.StartSpan(ctx, "census.run")
+	defer span.End()
 	if o.Limit < 2 {
+		span.MarkError()
 		return nil, fmt.Errorf("census: limit must be ≥ 2, got %d", o.Limit)
 	}
 	zero := atlas.Bounds{}
@@ -156,7 +159,7 @@ func Run(ctx context.Context, o Options) (*Artifact, error) {
 		}
 		if data, err := json.Marshal(row); err == nil {
 			// Store failures degrade future resumes, never this census.
-			_ = o.Store.Put(rowStoreKind, rowStoreKey(key, o.Limit), data)
+			_ = o.Store.Put(ctx, rowStoreKind, rowStoreKey(key, o.Limit), data)
 		}
 	}
 	var todo []item
@@ -169,7 +172,7 @@ func Run(ctx context.Context, o Options) (*Artifact, error) {
 			}
 		}
 		if o.Store != nil {
-			if data, ok, err := o.Store.Get(rowStoreKind, rowStoreKey(it.key, o.Limit)); err == nil && ok {
+			if data, ok, err := o.Store.Get(ctx, rowStoreKind, rowStoreKey(it.key, o.Limit)); err == nil && ok {
 				var row Row
 				if json.Unmarshal(data, &row) == nil && row.Name != "" {
 					art.Rows[it.key] = row

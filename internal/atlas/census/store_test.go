@@ -21,8 +21,8 @@ type countingStore struct {
 	rowPuts int
 }
 
-func (c *countingStore) Get(kind, key string) ([]byte, bool, error) {
-	data, ok, err := c.inner.Get(kind, key)
+func (c *countingStore) Get(ctx context.Context, kind, key string) ([]byte, bool, error) {
+	data, ok, err := c.inner.Get(ctx, kind, key)
 	if kind == rowStoreKind {
 		c.mu.Lock()
 		c.rowGets++
@@ -34,13 +34,13 @@ func (c *countingStore) Get(kind, key string) ([]byte, bool, error) {
 	return data, ok, err
 }
 
-func (c *countingStore) Put(kind, key string, payload []byte) error {
+func (c *countingStore) Put(ctx context.Context, kind, key string, payload []byte) error {
 	if kind == rowStoreKind {
 		c.mu.Lock()
 		c.rowPuts++
 		c.mu.Unlock()
 	}
-	return c.inner.Put(kind, key, payload)
+	return c.inner.Put(ctx, kind, key, payload)
 }
 
 func smallStoreOptions(st engine.Persist, workers int) Options {

@@ -41,11 +41,11 @@ func storeGetHitRunner() func(int) (Metrics, error) {
 	return func(iters int) (Metrics, error) {
 		return withTempStore(func(st *store.Store) (Metrics, error) {
 			payload := []byte(`{"found":true,"witness":{"q0":"q1","teams":[0,1,0],"ops":["a","b","a"]}}`)
-			if err := st.Put("search", "bench-key", payload); err != nil {
+			if err := st.Put(context.Background(), "search", "bench-key", payload); err != nil {
 				return nil, err
 			}
 			for i := 0; i < iters; i++ {
-				if _, ok, err := st.Get("search", "bench-key"); !ok || err != nil {
+				if _, ok, err := st.Get(context.Background(), "search", "bench-key"); !ok || err != nil {
 					return nil, fmt.Errorf("store/get-hit: ok=%v err=%v", ok, err)
 				}
 			}
@@ -64,7 +64,7 @@ func storePutRunner() func(int) (Metrics, error) {
 			for i := 0; i < iters; i++ {
 				key := fmt.Sprintf("bench-key-%08d", i)
 				payload := []byte(fmt.Sprintf(`{"row":%d}`, i))
-				if err := st.Put("census-row", key, payload); err != nil {
+				if err := st.Put(context.Background(), "census-row", key, payload); err != nil {
 					return nil, err
 				}
 			}
@@ -95,7 +95,7 @@ func storeEvictRunner() func(int) (Metrics, error) {
 		}
 		// Pre-fill past the budget so every measured put evicts.
 		for i := 0; i < 100; i++ {
-			if err := st.Put("census-row", fmt.Sprintf("prefill-%08d", i), payload); err != nil {
+			if err := st.Put(context.Background(), "census-row", fmt.Sprintf("prefill-%08d", i), payload); err != nil {
 				return nil, err
 			}
 		}
@@ -105,7 +105,7 @@ func storeEvictRunner() func(int) (Metrics, error) {
 		before := st.Stats().DiskEvictions
 		for i := 0; i < iters; i++ {
 			key := fmt.Sprintf("bench-key-%08d", i)
-			if err := st.Put("census-row", key, payload); err != nil {
+			if err := st.Put(context.Background(), "census-row", key, payload); err != nil {
 				return nil, err
 			}
 		}
@@ -125,7 +125,7 @@ func storePeerHitRunner() func(int) (Metrics, error) {
 	return func(iters int) (Metrics, error) {
 		return withTempStore(func(st *store.Store) (Metrics, error) {
 			payload := []byte(`{"found":true,"witness":{"q0":"q1","teams":[0,1,0],"ops":["a","b","a"]}}`)
-			if err := st.Put("search", "bench-key", payload); err != nil {
+			if err := st.Put(context.Background(), "search", "bench-key", payload); err != nil {
 				return nil, err
 			}
 			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -149,7 +149,7 @@ func storePeerHitRunner() func(int) (Metrics, error) {
 				return nil, err
 			}
 			for i := 0; i < iters; i++ {
-				if _, ok, err := p.Get("search", "bench-key"); !ok || err != nil {
+				if _, ok, err := p.Get(context.Background(), "search", "bench-key"); !ok || err != nil {
 					return nil, fmt.Errorf("store/peer-hit: ok=%v err=%v", ok, err)
 				}
 			}
@@ -174,7 +174,7 @@ func jobsSubmitPollRunner() func(int) (Metrics, error) {
 			return json.RawMessage(`{"ok":true}`), nil
 		})
 		for i := 0; i < iters; i++ {
-			info, _, err := m.Submit("noop", json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)))
+			info, _, err := m.Submit(context.Background(), "noop", json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)))
 			if err != nil {
 				return nil, err
 			}

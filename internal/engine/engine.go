@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -275,7 +276,7 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 		}
 	}
 	if haveKey && e.persist != nil {
-		if r, ok := e.persistGet(fp, p, n); ok {
+		if r, ok := e.persistGet(ctx, fp, p, n); ok {
 			// Promote to the memo cache so the disk is read once.
 			if e.cache != nil {
 				e.cache.put(key, r)
@@ -283,15 +284,22 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 			return resultWitness(r), nil
 		}
 	}
-	// Only genuinely computed searches pay for compilation; cached paths
-	// returned above. A nil table (interpreted mode, or the type exceeds
-	// the compiler's caps) falls back to the interpreted verifier.
+	// A genuinely computed search is the expensive stage worth its own
+	// span; memo and persist hits returned above (persistGet spans
+	// itself). Only computed searches pay for compilation either. A nil
+	// table (interpreted mode, or the type exceeds the compiler's caps)
+	// falls back to the interpreted verifier.
+	sctx, span := obs.StartSpan(ctx, "engine.search")
+	span.SetAttr("property", p.String())
+	span.SetAttr("n", strconv.Itoa(n))
+	defer span.End()
 	comp := e.compiledFor(t, n, key, haveKey)
 	if comp != nil {
 		verify = checker.CompiledVerify(comp, p == Recording)
 	}
-	w, err := e.searchParallel(ctx, t, n, verify, comp)
+	w, err := e.searchParallel(sctx, t, n, verify, comp)
 	if err != nil {
+		span.MarkError()
 		return nil, err
 	}
 	// Cached paths return above untouched; only genuinely computed
@@ -307,7 +315,7 @@ func (e *Engine) Search(ctx context.Context, t spec.Type, p Property, n int) (*c
 			e.cache.put(key, r)
 		}
 		if e.persist != nil {
-			e.persistPut(fp, p, n, r)
+			e.persistPut(sctx, fp, p, n, r)
 		}
 	}
 	return w, nil
@@ -560,6 +568,10 @@ func (e *Engine) Classify(ctx context.Context, t spec.Type, limit int) (checker.
 	if limit < 2 {
 		return checker.Classification{}, fmt.Errorf("checker: classification limit must be ≥ 2, got %d", limit)
 	}
+	ctx, span := obs.StartSpan(ctx, "engine.classify")
+	span.SetAttr("type", t.Name())
+	span.SetAttr("limit", strconv.Itoa(limit))
+	defer span.End()
 	var (
 		ckey    classKey
 		haveKey bool
@@ -570,9 +582,11 @@ func (e *Engine) Classify(ctx context.Context, t spec.Type, limit int) (checker.
 			haveKey = true
 			if c, ok := e.classes.Get(ckey); ok {
 				e.classHits.Add(1)
+				span.SetAttr("memo", "hit")
 				return cloneClassification(c), nil
 			}
 			e.classMisses.Add(1)
+			span.SetAttr("memo", "miss")
 		}
 	}
 	var (
@@ -591,9 +605,11 @@ func (e *Engine) Classify(ctx context.Context, t spec.Type, limit int) (checker.
 	}()
 	wg.Wait()
 	if dErr != nil {
+		span.MarkError()
 		return checker.Classification{}, fmt.Errorf("classify %s: %w", t.Name(), dErr)
 	}
 	if rErr != nil {
+		span.MarkError()
 		return checker.Classification{}, fmt.Errorf("classify %s: %w", t.Name(), rErr)
 	}
 	c, err := checker.Derive(t, disc, rec)

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"strconv"
 	"sync/atomic"
 
 	"rcons/internal/checker"
+	"rcons/internal/obs"
 	"rcons/internal/spec"
 )
 
@@ -23,9 +25,12 @@ import (
 // treats them as misses and recomputes. A persist hit is promoted to
 // the memo cache, so a result fetched from a warm peer costs zero
 // search work here and zero further peer traffic.
+// The context is passed through so peer-backed stores can propagate
+// the request's trace ID over the wire and hang their tier spans off
+// the search's span.
 type Persist interface {
-	Get(kind, key string) ([]byte, bool, error)
-	Put(kind, key string, payload []byte) error
+	Get(ctx context.Context, kind, key string) ([]byte, bool, error)
+	Put(ctx context.Context, kind, key string, payload []byte) error
 }
 
 // persistKind namespaces search results inside the shared store.
@@ -96,35 +101,41 @@ func decodeSearchResult(data []byte) (searchResult, bool) {
 // persistGet consults the store for a previously computed search
 // result. Undecodable or erroring entries are treated as misses; the
 // search simply recomputes and persistPut heals the entry.
-func (e *Engine) persistGet(fp string, p Property, n int) (searchResult, bool) {
-	data, ok, err := e.persist.Get(persistKind, persistKey(fp, p, n))
+func (e *Engine) persistGet(ctx context.Context, fp string, p Property, n int) (searchResult, bool) {
+	ctx, span := obs.StartSpan(ctx, "engine.persist")
+	defer span.End()
+	data, ok, err := e.persist.Get(ctx, persistKind, persistKey(fp, p, n))
 	if err != nil {
 		e.pstats.errors.Add(1)
+		span.MarkError()
 		return searchResult{}, false
 	}
 	if !ok {
 		e.pstats.misses.Add(1)
+		span.SetAttr("hit", "false")
 		return searchResult{}, false
 	}
 	r, ok := decodeSearchResult(data)
 	if !ok {
 		e.pstats.misses.Add(1)
+		span.SetAttr("hit", "false")
 		return searchResult{}, false
 	}
 	e.pstats.hits.Add(1)
+	span.SetAttr("hit", "true")
 	return r, true
 }
 
 // persistPut writes a computed search result through to the store.
 // Failures are counted but never fail the search: persistence is an
 // accelerator, not a correctness dependency.
-func (e *Engine) persistPut(fp string, p Property, n int, r searchResult) {
+func (e *Engine) persistPut(ctx context.Context, fp string, p Property, n int, r searchResult) {
 	data, err := encodeSearchResult(r)
 	if err != nil {
 		e.pstats.errors.Add(1)
 		return
 	}
-	if err := e.persist.Put(persistKind, persistKey(fp, p, n), data); err != nil {
+	if err := e.persist.Put(ctx, persistKind, persistKey(fp, p, n), data); err != nil {
 		e.pstats.errors.Add(1)
 	}
 }

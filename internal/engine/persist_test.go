@@ -27,7 +27,7 @@ func newFakePersist() *fakePersist {
 	return &fakePersist{entries: map[string][]byte{}}
 }
 
-func (f *fakePersist) Get(kind, key string) ([]byte, bool, error) {
+func (f *fakePersist) Get(_ context.Context, kind, key string) ([]byte, bool, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.gets++
@@ -38,7 +38,7 @@ func (f *fakePersist) Get(kind, key string) ([]byte, bool, error) {
 	return data, ok, nil
 }
 
-func (f *fakePersist) Put(kind, key string, payload []byte) error {
+func (f *fakePersist) Put(_ context.Context, kind, key string, payload []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.puts++
@@ -109,7 +109,7 @@ func TestPersistServesStoredResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Put(persistKind, persistKey(fp, Recording, 3), data); err != nil {
+	if err := p.Put(context.Background(), persistKind, persistKey(fp, Recording, 3), data); err != nil {
 		t.Fatal(err)
 	}
 	e := New(Options{Workers: 2, Persist: p})
@@ -155,7 +155,7 @@ func TestPersistCorruptEntryIsMiss(t *testing.T) {
 	typ := types.NewSn(3)
 	fp, _ := Fingerprint(typ, 3)
 	key := persistKey(fp, Recording, 3)
-	if err := p.Put(persistKind, key, []byte(`{"found":true,"witness":null}`)); err != nil {
+	if err := p.Put(context.Background(), persistKind, key, []byte(`{"found":true,"witness":null}`)); err != nil {
 		t.Fatal(err)
 	}
 	e := New(Options{Workers: 2, Persist: p})

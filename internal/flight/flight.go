@@ -21,6 +21,8 @@ package flight
 import (
 	"context"
 	"sync"
+
+	"rcons/internal/obs"
 )
 
 // call is one in-flight computation. The leader fills val/err, removes
@@ -62,7 +64,15 @@ func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 			g.calls[key] = c
 			g.mu.Unlock()
 
+			// Leader: the computation runs on this caller's trace. The
+			// span makes "this request paid for the work" visible next
+			// to the followers' flight.wait spans.
+			_, span := obs.StartSpan(ctx, "flight.lead")
 			c.val, c.err = fn()
+			if c.err != nil {
+				span.MarkError()
+			}
+			span.End()
 			g.mu.Lock()
 			delete(g.calls, key)
 			g.mu.Unlock()
@@ -71,8 +81,10 @@ func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 		}
 		g.mu.Unlock()
 
+		_, wait := obs.StartSpan(ctx, "flight.wait")
 		select {
 		case <-c.done:
+			wait.End()
 			if c.err == nil {
 				return c.val, true, nil
 			}
@@ -84,6 +96,8 @@ func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 				return zero, false, cerr
 			}
 		case <-ctx.Done():
+			wait.MarkError()
+			wait.End()
 			var zero V
 			return zero, false, ctx.Err()
 		}

@@ -59,10 +59,12 @@ func (s State) Terminal() bool {
 type Handler func(ctx context.Context, params json.RawMessage) (json.RawMessage, error)
 
 // Persist is the narrow persistent-store surface the manager writes
-// finished results through; *store.Store satisfies it.
+// finished results through; *store.Store satisfies it. The context
+// carries the trace ID and active span, so a store probe during a
+// traced submission is attributed to the submitting request.
 type Persist interface {
-	Get(kind, key string) ([]byte, bool, error)
-	Put(kind, key string, payload []byte) error
+	Get(ctx context.Context, kind, key string) ([]byte, bool, error)
+	Put(ctx context.Context, kind, key string, payload []byte) error
 }
 
 // storeKind namespaces job results inside the shared store.
@@ -98,6 +100,10 @@ type Options struct {
 	// which IS the deterministic job ID, so one grep over server logs
 	// reconstructs a job's full path through handler and engine.
 	Logger *slog.Logger
+	// Tracer, when non-nil, gives every job execution a force-sampled
+	// trace (ID = job ID) rooted at a "job.<kind>" span, so async work
+	// lands in the flight recorder beside the HTTP requests.
+	Tracer *obs.Tracer
 }
 
 // Info is a point-in-time snapshot of one job, safe to retain and
@@ -257,8 +263,10 @@ type persisted struct {
 // existing is true when no new execution was started: the ID matched a
 // live or completed job (coalescing) or a stored result from a previous
 // process. A job that previously failed or was cancelled is re-run
-// under the same ID.
-func (m *Manager) Submit(kind string, params json.RawMessage) (Info, bool, error) {
+// under the same ID. ctx scopes only the submission itself (the store
+// probe and its trace attribution) — never the job's execution, which
+// outlives the submitting request.
+func (m *Manager) Submit(ctx context.Context, kind string, params json.RawMessage) (Info, bool, error) {
 	id, err := ID(kind, params)
 	if err != nil {
 		return Info{}, false, err
@@ -284,7 +292,7 @@ func (m *Manager) Submit(kind string, params json.RawMessage) (Info, bool, error
 	// process — deliberately outside the manager lock, so disk reads
 	// never stall Get/List/Cancel/Stats.
 	var stored *persisted
-	if data, hit, gerr := m.opts.Store.Get(storeKind, id); gerr == nil && hit {
+	if data, hit, gerr := m.opts.Store.Get(ctx, storeKind, id); gerr == nil && hit {
 		var p persisted
 		if json.Unmarshal(data, &p) == nil && p.Kind == kind {
 			stored = &p
@@ -411,6 +419,10 @@ func (m *Manager) worker() {
 		// no logger clone, no record building — so an uninstrumented
 		// manager's per-job overhead stays one context allocation.
 		ctx = obs.WithTrace(ctx, j.info.ID)
+		// With a tracer, the execution is additionally a force-sampled
+		// trace of its own (same ID), so every job's stage breakdown
+		// lands in the flight recorder regardless of sampling rate.
+		ctx, span := m.opts.Tracer.StartTrace(ctx, "job."+j.info.Kind, j.info.ID, true)
 		logger := m.opts.Logger
 		if logger != nil {
 			logger = logger.With("trace", j.info.ID, "kind", j.info.Kind)
@@ -420,7 +432,11 @@ func (m *Manager) worker() {
 
 		result, err := handler(ctx, params)
 		cancel()
+		if err != nil {
+			span.MarkError()
+		}
 		state, dur := m.finish(j, result, err)
+		span.End()
 		if logger != nil {
 			logger.Info("job finish", "state", state, "duration", dur)
 		}
@@ -466,7 +482,10 @@ func (m *Manager) finish(j *job, result json.RawMessage, err error) (State, time
 	m.mu.Unlock()
 	if persist != nil {
 		// Persistence failure degrades restart dedup, never the job.
-		_ = m.opts.Store.Put(storeKind, j.info.ID, persist)
+		// The job's own context is cancelled by now; a fresh one (still
+		// carrying the trace ID for peer-backed stores) writes the
+		// result.
+		_ = m.opts.Store.Put(obs.WithTrace(context.Background(), j.info.ID), storeKind, j.info.ID, persist)
 	}
 	return state, dur
 }

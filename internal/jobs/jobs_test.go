@@ -52,7 +52,7 @@ func TestJobLifecycle(t *testing.T) {
 	rows := []row{
 		{"submit-poll-result", func(t *testing.T, m *Manager, runs *atomic.Int64, release chan struct{}) {
 			close(release)
-			info, existing, err := m.Submit("echo", json.RawMessage(`{"x": 7}`))
+			info, existing, err := m.Submit(context.Background(), "echo", json.RawMessage(`{"x": 7}`))
 			if err != nil || existing {
 				t.Fatalf("submit: %+v existing=%v err=%v", info, existing, err)
 			}
@@ -70,19 +70,19 @@ func TestJobLifecycle(t *testing.T) {
 		{"duplicate-submit-coalesces", func(t *testing.T, m *Manager, runs *atomic.Int64, release chan struct{}) {
 			// The handler blocks until released, so every duplicate lands
 			// while the first execution is still in flight.
-			a, existing, err := m.Submit("gated", json.RawMessage(`{"q": 1}`))
+			a, existing, err := m.Submit(context.Background(), "gated", json.RawMessage(`{"q": 1}`))
 			if err != nil || existing {
 				t.Fatalf("first submit: existing=%v err=%v", existing, err)
 			}
 			// Same parameters, different formatting: same job.
-			b, existing, err := m.Submit("gated", json.RawMessage("{ \"q\" : 1 }"))
+			b, existing, err := m.Submit(context.Background(), "gated", json.RawMessage("{ \"q\" : 1 }"))
 			if err != nil || !existing || b.ID != a.ID {
 				t.Fatalf("duplicate not coalesced: %s vs %s (existing=%v err=%v)", b.ID, a.ID, existing, err)
 			}
 			close(release)
 			waitState(t, m, a.ID, StateDone)
 			// Coalescing after completion too: the retained result answers.
-			c, existing, err := m.Submit("gated", json.RawMessage(`{"q":1}`))
+			c, existing, err := m.Submit(context.Background(), "gated", json.RawMessage(`{"q":1}`))
 			if err != nil || !existing || c.State != StateDone {
 				t.Fatalf("post-completion submit: %+v existing=%v err=%v", c, existing, err)
 			}
@@ -91,7 +91,7 @@ func TestJobLifecycle(t *testing.T) {
 			}
 		}},
 		{"cancel-mid-run", func(t *testing.T, m *Manager, runs *atomic.Int64, release chan struct{}) {
-			info, _, err := m.Submit("hang", nil)
+			info, _, err := m.Submit(context.Background(), "hang", nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,7 +113,7 @@ func TestJobLifecycle(t *testing.T) {
 			}
 		}},
 		{"failure-recorded", func(t *testing.T, m *Manager, runs *atomic.Int64, release chan struct{}) {
-			info, _, err := m.Submit("fail", nil)
+			info, _, err := m.Submit(context.Background(), "fail", nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -125,7 +125,7 @@ func TestJobLifecycle(t *testing.T) {
 				t.Fatalf("cancel of failed job: %v", err)
 			}
 			// Resubmission of failed work re-runs under the same ID.
-			again, existing, err := m.Submit("fail", nil)
+			again, existing, err := m.Submit(context.Background(), "fail", nil)
 			if err != nil || existing || again.ID != info.ID {
 				t.Fatalf("failed-job resubmit: %+v existing=%v err=%v", again, existing, err)
 			}
@@ -135,10 +135,10 @@ func TestJobLifecycle(t *testing.T) {
 			}
 		}},
 		{"unknown-kind", func(t *testing.T, m *Manager, runs *atomic.Int64, release chan struct{}) {
-			if _, _, err := m.Submit("nope", nil); !errors.Is(err, ErrUnknownKind) {
+			if _, _, err := m.Submit(context.Background(), "nope", nil); !errors.Is(err, ErrUnknownKind) {
 				t.Fatalf("unknown kind: %v", err)
 			}
-			if _, _, err := m.Submit("echo", json.RawMessage(`{broken`)); err == nil {
+			if _, _, err := m.Submit(context.Background(), "echo", json.RawMessage(`{broken`)); err == nil {
 				t.Fatal("invalid params accepted")
 			}
 			if _, ok := m.Get("jdeadbeef"); ok {
@@ -222,15 +222,15 @@ func TestQueueFullSheds(t *testing.T) {
 	})
 	defer func() { close(block); drain(t, m) }()
 
-	first, _, err := m.Submit("hang", json.RawMessage(`{"i":0}`))
+	first, _, err := m.Submit(context.Background(), "hang", json.RawMessage(`{"i":0}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, m, first.ID, StateRunning)
-	if _, _, err := m.Submit("hang", json.RawMessage(`{"i":1}`)); err != nil {
+	if _, _, err := m.Submit(context.Background(), "hang", json.RawMessage(`{"i":1}`)); err != nil {
 		t.Fatalf("queue slot 1: %v", err)
 	}
-	if _, _, err := m.Submit("hang", json.RawMessage(`{"i":2}`)); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := m.Submit(context.Background(), "hang", json.RawMessage(`{"i":2}`)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overfull queue: %v", err)
 	}
 	if st := m.Stats(); st.Queued != 1 || st.Running != 1 {
@@ -246,7 +246,7 @@ func TestRetentionEviction(t *testing.T) {
 	defer drain(t, m)
 	var ids []string
 	for i := 0; i < 8; i++ {
-		info, _, err := m.Submit("echo", json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)))
+		info, _, err := m.Submit(context.Background(), "echo", json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +275,7 @@ func TestListOrderAndStripping(t *testing.T) {
 	defer drain(t, m)
 	var ids []string
 	for i := 0; i < 3; i++ {
-		info, _, err := m.Submit("echo", json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)))
+		info, _, err := m.Submit(context.Background(), "echo", json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -309,7 +309,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 	m1 := New(Options{Workers: 1, Store: st})
 	m1.Register("census", handler)
-	info, _, err := m1.Submit("census", json.RawMessage(`{"limit":3}`))
+	info, _, err := m1.Submit(context.Background(), "census", json.RawMessage(`{"limit":3}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	m2 := New(Options{Workers: 1, Store: st2})
 	m2.Register("census", handler)
 	defer drain(t, m2)
-	again, existing, err := m2.Submit("census", json.RawMessage(`{ "limit": 3 }`))
+	again, existing, err := m2.Submit(context.Background(), "census", json.RawMessage(`{ "limit": 3 }`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	// A different kind must not be answered by that entry even if the
 	// params digest happens to be probed.
 	m2.Register("other", handler)
-	fresh, existing, err := m2.Submit("other", json.RawMessage(`{"limit":3}`))
+	fresh, existing, err := m2.Submit(context.Background(), "other", json.RawMessage(`{"limit":3}`))
 	if err != nil || existing {
 		t.Fatalf("cross-kind store hit: %+v existing=%v err=%v", fresh, existing, err)
 	}
@@ -358,11 +358,11 @@ func TestDrainGraceful(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	})
-	a, _, err := m.Submit("slow", json.RawMessage(`{"i":1}`))
+	a, _, err := m.Submit(context.Background(), "slow", json.RawMessage(`{"i":1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := m.Submit("slow", json.RawMessage(`{"i":2}`))
+	b, _, err := m.Submit(context.Background(), "slow", json.RawMessage(`{"i":2}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +379,7 @@ func TestDrainGraceful(t *testing.T) {
 			t.Fatalf("job %s after drain: %+v", id, info)
 		}
 	}
-	if _, _, err := m.Submit("slow", nil); !errors.Is(err, ErrClosed) {
+	if _, _, err := m.Submit(context.Background(), "slow", nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after drain: %v", err)
 	}
 	if err := m.Drain(ctx); !errors.Is(err, ErrClosed) {
@@ -395,11 +395,11 @@ func TestDrainDeadlineCancels(t *testing.T) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
-	a, _, err := m.Submit("hang", json.RawMessage(`{"i":1}`))
+	a, _, err := m.Submit(context.Background(), "hang", json.RawMessage(`{"i":1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := m.Submit("hang", json.RawMessage(`{"i":2}`))
+	b, _, err := m.Submit(context.Background(), "hang", json.RawMessage(`{"i":2}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +423,7 @@ func TestJobTimeout(t *testing.T) {
 		return nil, ctx.Err()
 	})
 	defer drain(t, m)
-	info, _, err := m.Submit("hang", nil)
+	info, _, err := m.Submit(context.Background(), "hang", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,21 +487,21 @@ func TestCancelQueuedFreesSlot(t *testing.T) {
 	})
 	defer func() { close(block); drain(t, m) }()
 
-	hog, _, err := m.Submit("hang", json.RawMessage(`{"i":0}`))
+	hog, _, err := m.Submit(context.Background(), "hang", json.RawMessage(`{"i":0}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, m, hog.ID, StateRunning)
-	q1, _, err := m.Submit("count", json.RawMessage(`{"i":1}`))
+	q1, _, err := m.Submit(context.Background(), "count", json.RawMessage(`{"i":1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	q2, _, err := m.Submit("count", json.RawMessage(`{"i":2}`))
+	q2, _, err := m.Submit(context.Background(), "count", json.RawMessage(`{"i":2}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Queue is now full; cancelling a queued job must free its slot.
-	if _, _, err := m.Submit("count", json.RawMessage(`{"i":3}`)); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := m.Submit(context.Background(), "count", json.RawMessage(`{"i":3}`)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("queue should be full: %v", err)
 	}
 	if _, err := m.Cancel(q1.ID); err != nil {
@@ -512,7 +512,7 @@ func TestCancelQueuedFreesSlot(t *testing.T) {
 	}
 	// Resubmitting the cancelled job re-queues it exactly once, in the
 	// freed slot.
-	again, existing, err := m.Submit("count", json.RawMessage(`{"i":1}`))
+	again, existing, err := m.Submit(context.Background(), "count", json.RawMessage(`{"i":1}`))
 	if err != nil || existing || again.ID != q1.ID || again.State != StateQueued {
 		t.Fatalf("resubmit after cancel: %+v existing=%v err=%v", again, existing, err)
 	}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,10 +55,25 @@ type Options struct {
 	Limit int
 	// Seed makes the pool and request sequence deterministic (default 1).
 	Seed int64
+	// Trace stamps every request with a client-minted trace ID
+	// (X-RC-Trace), forcing the server to sample it into its flight
+	// recorder, and reports the IDs of the slowest requests so they can
+	// be pulled from GET /debug/requests/{trace} after the run.
+	Trace bool
 	// Client overrides the HTTP client (default: shared transport with
 	// Concurrency idle connections).
 	Client *http.Client
 }
+
+// WorstTrace pairs a slow request's trace ID with its client-observed
+// latency; the ID keys into the server's /debug/requests/{trace}.
+type WorstTrace struct {
+	Trace   string  `json:"trace"`
+	Seconds float64 `json:"seconds"`
+}
+
+// worstTraceCap bounds the slowest-request list in the report.
+const worstTraceCap = 16
 
 // Result is one finished run in rcload's JSON output shape.
 type Result struct {
@@ -73,6 +89,31 @@ type Result struct {
 	P50         float64 `json:"p50_seconds"`
 	P99         float64 `json:"p99_seconds"`
 	P999        float64 `json:"p999_seconds"`
+	// Worst lists the slowest requests' trace IDs (with -trace only),
+	// slowest first — the handles to pull span trees off the server.
+	Worst []WorstTrace `json:"p99_worst_traces,omitempty"`
+}
+
+// worstTracker keeps the top worstTraceCap slowest traces, sorted
+// slowest-first, under a mutex shared by all workers.
+type worstTracker struct {
+	mu  sync.Mutex
+	top []WorstTrace
+}
+
+func (w *worstTracker) note(trace string, secs float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.top) == worstTraceCap && secs <= w.top[len(w.top)-1].Seconds {
+		return
+	}
+	i := sort.Search(len(w.top), func(i int) bool { return w.top[i].Seconds < secs })
+	w.top = append(w.top, WorstTrace{})
+	copy(w.top[i+1:], w.top[i:])
+	w.top[i] = WorstTrace{Trace: trace, Seconds: secs}
+	if len(w.top) > worstTraceCap {
+		w.top = w.top[:worstTraceCap]
+	}
 }
 
 // latencyBuckets resolve sub-millisecond local round trips: obs.DefBuckets
@@ -121,7 +162,8 @@ type request struct {
 	method string
 	url    string
 	body   []byte
-	items  int64 // classifications this request asks for
+	items  int64  // classifications this request asks for
+	trace  string // client-minted trace ID (with Options.Trace only)
 }
 
 // planner produces the deterministic request sequence for a workload.
@@ -276,6 +318,10 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		With()
 	var requests, items, errors, limited, shed atomic.Int64
 	var seq atomic.Int64
+	var worst *worstTracker
+	if o.Trace {
+		worst = &worstTracker{}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -299,12 +345,19 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 					}
 				}
 				req := p.plan(int(i))
+				if o.Trace {
+					req.trace = obs.NewTraceID()
+				}
 				t0 := time.Now()
 				status, gotItems, err := o.do(ctx, req)
 				if ctx.Err() != nil {
 					return // don't count the request we tore down
 				}
-				hist.Observe(time.Since(t0).Seconds())
+				secs := time.Since(t0).Seconds()
+				hist.Observe(secs)
+				if worst != nil {
+					worst.note(req.trace, secs)
+				}
 				requests.Add(1)
 				switch {
 				case err != nil:
@@ -336,6 +389,9 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		P99:      hist.Quantile(0.99),
 		P999:     hist.Quantile(0.999),
 	}
+	if worst != nil {
+		res.Worst = worst.top
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.Throughput = float64(res.Requests) / secs
 		res.ItemsPerSec = float64(res.Items) / secs
@@ -357,6 +413,9 @@ func (o Options) do(ctx context.Context, r request) (status int, items int64, er
 	}
 	if r.body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if r.trace != "" {
+		req.Header.Set(obs.TraceHeader, r.trace)
 	}
 	resp, err := o.Client.Do(req)
 	if err != nil {

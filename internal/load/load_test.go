@@ -2,10 +2,12 @@ package load
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"rcons/internal/obs"
 	"rcons/internal/serve"
 )
 
@@ -196,5 +198,48 @@ func TestRateLimitedRun(t *testing.T) {
 	}
 	if res.Errors != 0 {
 		t.Fatalf("429s misclassified as errors: %+v", res)
+	}
+}
+
+// TestRunWithTrace stamps every request with a client-minted trace ID
+// and checks the contract end to end: the report lists the slowest
+// requests' IDs (sorted, bounded, well-formed) and the server's flight
+// recorder can serve the span tree for the very worst one.
+func TestRunWithTrace(t *testing.T) {
+	ts := testServer(t)
+	res, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Requests:    30,
+		Concurrency: 4,
+		Workload:    "single",
+		Trace:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	if len(res.Worst) == 0 || len(res.Worst) > worstTraceCap {
+		t.Fatalf("worst traces = %d, want 1..%d", len(res.Worst), worstTraceCap)
+	}
+	for i, wt := range res.Worst {
+		if !obs.ValidTraceID(wt.Trace) {
+			t.Errorf("worst[%d] trace %q not a valid trace ID", i, wt.Trace)
+		}
+		if i > 0 && wt.Seconds > res.Worst[i-1].Seconds {
+			t.Errorf("worst list not sorted slowest-first at %d", i)
+		}
+	}
+
+	// The client-minted ID forced sampling server-side: the recorder
+	// must hold the worst request's span tree.
+	resp, err := http.Get(ts.URL + "/debug/requests/" + res.Worst[0].Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/requests/%s = %d, want 200", res.Worst[0].Trace, resp.StatusCode)
 	}
 }

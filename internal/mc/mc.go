@@ -246,6 +246,9 @@ func Check(ctx context.Context, tgt Target, opts Options) (*Result, error) {
 	if tgt.Factory == nil || tgt.Check == nil {
 		return nil, errors.New("mc: Target.Factory and Target.Check must be set")
 	}
+	ctx, span := obs.StartSpan(ctx, "mc.check")
+	span.SetAttr("target", tgt.Name)
+	defer span.End()
 	opts = opts.filled()
 	model := tgt.Model
 	if model == 0 {

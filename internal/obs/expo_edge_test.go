@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEscapeLabelValueEdgeCases pins the exposition escaping on inputs
+// made entirely of escapable characters, where an off-by-one in the
+// rewriting loop would corrupt the output silently.
+func TestEscapeLabelValueEdgeCases(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""},
+		{`\`, `\\`},
+		{`\\`, `\\\\`},
+		{"\"\n\\", `\"\n\\`},
+		{"\n\n", `\n\n`},
+		{`a\nb`, `a\\nb`}, // literal backslash-n is NOT a newline
+		{"already clean", "already clean"},
+	} {
+		if got := escapeLabelValue(tc.in); got != tc.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramExpositionEscapedLabels renders a labelled histogram
+// whose label value needs escaping: every derived series (_bucket with
+// its le label, _sum, _count) must carry the escaped value, and the
+// output must stay line-parseable (no raw newlines inside a series).
+func TestHistogramExpositionEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rc_edge_seconds", "edge\nhelp", []float64{1}, "who")
+	h.With("a\"b\\c\nd").Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP rc_edge_seconds edge\nhelp`) {
+		t.Errorf("HELP newline not escaped:\n%s", out)
+	}
+	esc := `who="a\"b\\c\nd"`
+	for _, series := range []string{
+		`rc_edge_seconds_bucket{` + esc + `,le="1"} 1`,
+		`rc_edge_seconds_bucket{` + esc + `,le="+Inf"} 1`,
+		`rc_edge_seconds_count{` + esc + `} 1`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("exposition missing %q:\n%s", series, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasSuffix(line, "1") && !strings.Contains(line, "_sum") {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+// TestHistogramQuantileSingleBucket covers the smallest layout: one
+// finite bound, so every rank is either interpolated from 0 or clamped
+// at the bound by the +Inf rule.
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.5)
+	h.Observe(0.5)
+	// Both observations in [0,1]: the median interpolates inside it.
+	if q := h.Quantile(0.5); q <= 0 || q > 1 {
+		t.Errorf("Quantile(0.5) = %v, want within (0,1]", q)
+	}
+	// An overflow observation pushes the top quantile into +Inf, which
+	// must clamp to the highest finite bound, never extrapolate.
+	h.Observe(5)
+	if q := h.Quantile(1); q != 1 {
+		t.Errorf("Quantile(1) with +Inf mass = %v, want clamp to 1", q)
+	}
+}
+
+// TestHistogramQuantileAllOverflow puts every observation above the
+// highest bound: all quantiles degrade to the highest finite bound (a
+// documented lower-bound estimate), and never NaN or +Inf.
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1})
+	for i := 0; i < 10; i++ {
+		h.Observe(99)
+	}
+	// (q=0 is excluded: rank 0 resolves in the first — empty — bucket
+	// and reports its bound, a separate documented lower-bound case.)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got != 0.1 {
+			t.Errorf("Quantile(%v) = %v, want 0.1 (highest finite bound)", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileEmptyVsZeroQ separates "no data" from "q=0 on
+// data": the former is NaN, the latter a real number.
+func TestHistogramQuantileEmptyVsZeroQ(t *testing.T) {
+	h := newHistogram([]float64{1})
+	if q := h.Quantile(0.99); !math.IsNaN(q) {
+		t.Errorf("empty Quantile = %v, want NaN", q)
+	}
+	h.Observe(0.5)
+	if q := h.Quantile(0); math.IsNaN(q) {
+		t.Error("Quantile(0) on data must not be NaN")
+	}
+}

@@ -1,0 +1,477 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span-based tracing. A Tracer decides (1-in-N sampling) whether a
+// request becomes a Trace; a sampled trace carries a tree of Spans —
+// one per stage the request passes through (handler, coalescing,
+// engine, store tier, peer hop, ...) — and, when its root span ends,
+// lands in the Recorder's flight ring for /debug/requests.
+//
+// The design goal is near-zero cost off the sampled path: StartSpan on
+// a context without a sampled trace returns a nil *Span, and every
+// Span method is a nil-safe no-op, so instrumentation points never
+// branch on "is tracing on?". Durations are monotonic (time.Since on
+// the span's start), so wall-clock steps can't produce negative spans.
+
+// TraceHeader is the HTTP header that carries a trace ID across
+// process boundaries: store.Peer and rcload stamp outbound requests
+// with it, and the serve instrument middleware honors it inbound so a
+// classify on replica B answered by replica A's store is one trace.
+const TraceHeader = "X-RC-Trace"
+
+// ValidTraceID reports whether id is safe to adopt from the wire:
+// 1-64 characters of [0-9a-zA-Z_-]. Anything else (empty, oversized,
+// control characters, log-injection attempts) is rejected and the
+// receiver mints its own ID instead.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds on a single trace, so a pathological request (a census
+// touching 50k store keys) can't balloon the recorder: past the span
+// cap new spans are counted as dropped, past the attr caps extra
+// attrs are ignored and long values truncated.
+const (
+	maxSpansPerTrace = 512
+	maxAttrsPerSpan  = 16
+	maxAttrValueLen  = 256
+)
+
+// Attr is one key=value annotation on a span (the peer URL, the store
+// tier that hit, the memo outcome). Attrs are bounded — they identify
+// the span's circumstances, they are not a log stream.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanData is one completed span, as retained by the Recorder. IDs are
+// per-trace (root = 1, Parent = 0 means "root of the trace"), assigned
+// in start order.
+type SpanData struct {
+	ID       uint32        `json:"id"`
+	Parent   uint32        `json:"parent"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Err      bool          `json:"err,omitempty"`
+}
+
+// TraceRecord is one completed trace: the flat list of its spans (tree
+// shape recoverable via Parent IDs) plus root-level summary fields.
+type TraceRecord struct {
+	TraceID  string
+	Name     string // root span name, e.g. the route pattern
+	Start    time.Time
+	Duration time.Duration
+	Err      bool
+	Dropped  int // spans discarded past maxSpansPerTrace
+	Spans    []SpanData
+}
+
+// trace is one sampled request's live span collection. Spans from
+// concurrent goroutines (engine workers, chain tiers) append under mu.
+type trace struct {
+	id     string
+	tracer *Tracer
+
+	mu      sync.Mutex
+	spans   []SpanData
+	started int
+	dropped int
+	done    bool
+	next    uint32
+}
+
+// Span is a live, unfinished span. The zero of usefulness: all methods
+// are safe (and free) on a nil receiver, which is what StartSpan hands
+// out when the request is not sampled.
+type Span struct {
+	tr     *trace
+	id     uint32
+	parent uint32
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	err   bool
+	ended bool
+}
+
+// start allocates a child span, or nil when the trace is finished or
+// at its span cap.
+func (t *trace) start(name string, parent uint32) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done || t.started >= maxSpansPerTrace {
+		t.dropped++
+		return nil
+	}
+	t.started++
+	t.next++
+	return &Span{tr: t, id: t.next, parent: parent, name: name, start: time.Now()}
+}
+
+// SetAttr annotates the span. Values are truncated and the attr count
+// capped; on a nil or already-ended span it is a no-op.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	if len(value) > maxAttrValueLen {
+		value = value[:maxAttrValueLen] + "…"
+	}
+	sp.mu.Lock()
+	if !sp.ended && len(sp.attrs) < maxAttrsPerSpan {
+		sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+	}
+	sp.mu.Unlock()
+}
+
+// MarkError flags the span (and therefore its trace) as failed, which
+// reserves the trace a slot in the recorder's errored list.
+func (sp *Span) MarkError() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.err = true
+	sp.mu.Unlock()
+}
+
+// End completes the span: its monotonic duration is fixed, it is
+// appended to the trace, and its (name, seconds) pair feeds the
+// tracer's stage observer (rc_stage_duration_seconds). Ending the root
+// span finishes the whole trace into the recorder. Nil-safe;
+// idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	d := time.Since(sp.start)
+	data := SpanData{
+		ID: sp.id, Parent: sp.parent, Name: sp.name,
+		Start: sp.start, Duration: d, Attrs: sp.attrs, Err: sp.err,
+	}
+	sp.mu.Unlock()
+
+	t := sp.tr
+	if obsv := t.tracer.stage; obsv != nil {
+		obsv(sp.name, d.Seconds())
+	}
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.spans = append(t.spans, data)
+	if sp.parent != 0 {
+		t.mu.Unlock()
+		return
+	}
+	// Root span ended: seal the trace and hand it to the recorder.
+	// Stragglers (a goroutine outliving the request) count as dropped.
+	t.done = true
+	rec := TraceRecord{
+		TraceID: t.id, Name: sp.name, Start: data.Start,
+		Duration: d, Dropped: t.dropped, Spans: t.spans,
+	}
+	for i := range t.spans {
+		if t.spans[i].Err {
+			rec.Err = true
+			break
+		}
+	}
+	t.mu.Unlock()
+	if r := t.tracer.rec; r != nil {
+		r.add(&rec)
+	}
+}
+
+// TraceID returns the ID of the trace the span belongs to ("" on nil).
+func (sp *Span) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.tr.id
+}
+
+// Tracer owns the sampling decision and the recorder. A nil *Tracer is
+// valid and traces nothing, so subsystems take one unconditionally.
+type Tracer struct {
+	every int64 // sample 1 in every; 0 disables, 1 samples all
+	n     atomic.Int64
+	rec   *Recorder
+	stage func(name string, seconds float64)
+}
+
+// NewTracer builds a tracer sampling 1 in sampleEvery traces
+// (0 disables tracing entirely, 1 traces everything) that completes
+// traces into rec (may be nil to trace for the stage observer alone).
+func NewTracer(sampleEvery int, rec *Recorder) *Tracer {
+	if sampleEvery < 0 {
+		sampleEvery = 0
+	}
+	return &Tracer{every: int64(sampleEvery), rec: rec}
+}
+
+// SetStageObserver installs the per-span-completion callback (the
+// rc_stage_duration_seconds feed). Not safe to call once spans are in
+// flight — wire it during setup.
+func (t *Tracer) SetStageObserver(f func(name string, seconds float64)) {
+	if t != nil {
+		t.stage = f
+	}
+}
+
+// Recorder returns the tracer's recorder (nil when none).
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// StartTrace begins a new trace rooted at a span called name, subject
+// to sampling unless force is set (propagated traces and jobs are
+// force-sampled so the fleet view is complete). id "" mints a fresh
+// trace ID. The returned context carries both the span (for StartSpan)
+// and the trace ID (for WithTrace/TraceID log correlation); the caller
+// must End the returned root span. (ctx, nil) when not sampled.
+func (t *Tracer) StartTrace(ctx context.Context, name, id string, force bool) (context.Context, *Span) {
+	if t == nil || t.every <= 0 {
+		return ctx, nil
+	}
+	if !force && t.every > 1 && t.n.Add(1)%t.every != 0 {
+		return ctx, nil
+	}
+	if id == "" {
+		id = NewTraceID()
+	}
+	tr := &trace{id: id, tracer: t}
+	sp := tr.start(name, 0)
+	ctx = WithTrace(ctx, id)
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// StartSpan begins a child of the span carried by ctx. When ctx has no
+// sampled trace (the overwhelmingly common case at default sampling on
+// a busy server) it returns (ctx, nil) after one context lookup — the
+// near-zero unsampled cost the instrumentation points rely on.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.tr.start(name, parent.id)
+	if sp == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// SpanFrom returns the live span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// Recorder is the flight recorder: a fixed-size ring of the last N
+// completed traces, plus reserved slots for the slowest traces seen
+// and for errored ones — so the interesting traces survive even when
+// the ring has long since recycled them.
+type Recorder struct {
+	mu       sync.Mutex
+	ringCap  int
+	ring     []*TraceRecord // newest at ringNext-1, circular
+	ringNext int
+	slowest  []*TraceRecord // up to slowCap, sorted slowest-first
+	errored  []*TraceRecord // up to errCap, newest-first
+	total    int64
+}
+
+const (
+	recorderSlowCap = 16
+	recorderErrCap  = 64
+)
+
+// NewRecorder builds a recorder retaining the last capacity completed
+// traces (plus the slowest/errored reservations); capacity ≤ 0 means
+// the default of 128.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Recorder{ringCap: capacity}
+}
+
+func (r *Recorder) add(tr *TraceRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.ring) < r.ringCap {
+		r.ring = append(r.ring, tr)
+		r.ringNext = len(r.ring) % r.ringCap
+	} else {
+		r.ring[r.ringNext] = tr
+		r.ringNext = (r.ringNext + 1) % r.ringCap
+	}
+	// Slowest reservation: insert in order, trim to cap.
+	i := sort.Search(len(r.slowest), func(i int) bool {
+		return r.slowest[i].Duration < tr.Duration
+	})
+	if i < recorderSlowCap {
+		r.slowest = append(r.slowest, nil)
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = tr
+		if len(r.slowest) > recorderSlowCap {
+			r.slowest = r.slowest[:recorderSlowCap]
+		}
+	}
+	if tr.Err {
+		r.errored = append([]*TraceRecord{tr}, r.errored...)
+		if len(r.errored) > recorderErrCap {
+			r.errored = r.errored[:recorderErrCap]
+		}
+	}
+}
+
+// Total returns how many traces have completed into the recorder over
+// its lifetime (including ones since recycled).
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Capacity returns the ring capacity.
+func (r *Recorder) Capacity() int { return r.ringCap }
+
+// Recent returns the retained ring traces, newest first. Records are
+// immutable once added; callers must not modify them.
+func (r *Recorder) Recent() []*TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceRecord, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		j := (r.ringNext - 1 - i + 2*len(r.ring)) % len(r.ring)
+		out = append(out, r.ring[j])
+	}
+	return out
+}
+
+// Slowest returns the reserved slowest traces, slowest first.
+func (r *Recorder) Slowest() []*TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*TraceRecord(nil), r.slowest...)
+}
+
+// Errored returns the reserved errored traces, newest first.
+func (r *Recorder) Errored() []*TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*TraceRecord(nil), r.errored...)
+}
+
+// Lookup returns the retained trace with the given ID (searching the
+// ring, then the slowest and errored reservations), or nil.
+func (r *Recorder) Lookup(id string) *TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < len(r.ring); i++ {
+		j := (r.ringNext - 1 - i + 2*len(r.ring)) % len(r.ring)
+		if r.ring[j].TraceID == id {
+			return r.ring[j]
+		}
+	}
+	for _, tr := range r.slowest {
+		if tr.TraceID == id {
+			return tr
+		}
+	}
+	for _, tr := range r.errored {
+		if tr.TraceID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// WriteTraceTree renders tr as an indented text tree (rcons -trace and
+// debugging output):
+//
+//	trace 4f1d... /v1/classify 12.4ms
+//	  engine.classify 12.1ms memo=miss type=S_3
+//	    engine.search 5.0ms n=3
+func WriteTraceTree(w io.Writer, tr *TraceRecord) {
+	fmt.Fprintf(w, "trace %s %s %.1fms", tr.TraceID, tr.Name, float64(tr.Duration)/float64(time.Millisecond))
+	if tr.Err {
+		fmt.Fprint(w, " ERR")
+	}
+	if tr.Dropped > 0 {
+		fmt.Fprintf(w, " (%d spans dropped)", tr.Dropped)
+	}
+	fmt.Fprintln(w)
+	children := map[uint32][]SpanData{}
+	var root *SpanData
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		if sp.Parent == 0 {
+			root = sp
+			continue
+		}
+		children[sp.Parent] = append(children[sp.Parent], *sp)
+	}
+	var walk func(parent uint32, depth int)
+	walk = func(parent uint32, depth int) {
+		kids := children[parent]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		for _, sp := range kids {
+			fmt.Fprintf(w, "%s%s %.1fms", strings.Repeat("  ", depth), sp.Name, float64(sp.Duration)/float64(time.Millisecond))
+			for _, a := range sp.Attrs {
+				fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+			}
+			if sp.Err {
+				fmt.Fprint(w, " ERR")
+			}
+			fmt.Fprintln(w)
+			walk(sp.ID, depth+1)
+		}
+	}
+	if root != nil {
+		walk(root.ID, 1)
+	}
+}

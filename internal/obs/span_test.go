@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartTraceBuildsSpanTree(t *testing.T) {
+	rec := NewRecorder(8)
+	tr := NewTracer(1, rec)
+	var stages []string
+	tr.SetStageObserver(func(name string, seconds float64) {
+		if seconds < 0 {
+			t.Errorf("negative stage duration for %s", name)
+		}
+		stages = append(stages, name)
+	})
+
+	ctx, root := tr.StartTrace(context.Background(), "/v1/classify", "abc123", false)
+	if root == nil {
+		t.Fatal("sampled StartTrace returned nil root")
+	}
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("ctx trace ID = %q, want abc123", got)
+	}
+	if got := root.TraceID(); got != "abc123" {
+		t.Fatalf("root.TraceID() = %q", got)
+	}
+
+	cctx, child := StartSpan(ctx, "engine.classify")
+	child.SetAttr("memo", "miss")
+	_, grand := StartSpan(cctx, "store.local")
+	grand.SetAttr("tier", "disk")
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	if rec.Total() != 1 {
+		t.Fatalf("recorder total = %d, want 1", rec.Total())
+	}
+	got := rec.Lookup("abc123")
+	if got == nil {
+		t.Fatal("Lookup(abc123) = nil")
+	}
+	if got.Name != "/v1/classify" || len(got.Spans) != 3 || got.Err || got.Dropped != 0 {
+		t.Fatalf("unexpected record: %+v", got)
+	}
+	// The flat span list must encode root → child → grandchild.
+	byName := map[string]SpanData{}
+	for _, sp := range got.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["/v1/classify"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["/v1/classify"].Parent)
+	}
+	if byName["engine.classify"].Parent != byName["/v1/classify"].ID {
+		t.Errorf("child not parented to root")
+	}
+	if byName["store.local"].Parent != byName["engine.classify"].ID {
+		t.Errorf("grandchild not parented to child")
+	}
+	if len(byName["store.local"].Attrs) != 1 || byName["store.local"].Attrs[0].Value != "disk" {
+		t.Errorf("grandchild attrs = %+v", byName["store.local"].Attrs)
+	}
+	if len(stages) != 3 {
+		t.Errorf("stage observer fired %d times, want 3: %v", len(stages), stages)
+	}
+}
+
+func TestUnsampledIsNilAndSafe(t *testing.T) {
+	// No trace in ctx at all.
+	ctx, sp := StartSpan(context.Background(), "anything")
+	if sp != nil {
+		t.Fatal("StartSpan without a trace must return nil")
+	}
+	sp.SetAttr("k", "v")
+	sp.MarkError()
+	sp.End()
+	if sp.TraceID() != "" {
+		t.Fatal("nil span TraceID must be empty")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("SpanFrom on a bare context must be nil")
+	}
+
+	// Disabled tracer.
+	var nilTracer *Tracer
+	if _, sp := nilTracer.StartTrace(ctx, "x", "", true); sp != nil {
+		t.Fatal("nil tracer must not sample")
+	}
+	off := NewTracer(0, NewRecorder(4))
+	if _, sp := off.StartTrace(ctx, "x", "", false); sp != nil {
+		t.Fatal("sampleEvery=0 must disable tracing")
+	}
+	if off.Recorder() == nil || nilTracer.Recorder() != nil {
+		t.Fatal("Recorder accessor wrong")
+	}
+}
+
+func TestSamplingOneInN(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := NewTracer(4, rec)
+	sampled := 0
+	for i := 0; i < 40; i++ {
+		_, sp := tr.StartTrace(context.Background(), "r", "", false)
+		if sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("1-in-4 sampling over 40 requests sampled %d, want 10", sampled)
+	}
+	// force bypasses sampling.
+	_, sp := tr.StartTrace(context.Background(), "r", "forced1", true)
+	if sp == nil {
+		t.Fatal("force=true must always sample")
+	}
+	sp.End()
+	if rec.Lookup("forced1") == nil {
+		t.Fatal("forced trace not recorded")
+	}
+}
+
+func TestRecorderRingSlowestErrored(t *testing.T) {
+	rec := NewRecorder(4)
+	tr := NewTracer(1, rec)
+	mk := func(id string, d time.Duration, fail bool) {
+		_, sp := tr.StartTrace(context.Background(), "r", id, false)
+		if fail {
+			sp.MarkError()
+		}
+		// Fix the duration by backdating the start (monotonic-safe for
+		// the test: durations just need distinct positive values).
+		sp.start = sp.start.Add(-d)
+		sp.End()
+	}
+	mk("t1", 10*time.Millisecond, false)
+	mk("t2", 50*time.Millisecond, true)
+	mk("t3", 20*time.Millisecond, false)
+	mk("t4", 5*time.Millisecond, false)
+	mk("t5", 30*time.Millisecond, false)
+	mk("t6", 1*time.Millisecond, false)
+
+	recent := rec.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	if recent[0].TraceID != "t6" || recent[3].TraceID != "t3" {
+		ids := []string{}
+		for _, r := range recent {
+			ids = append(ids, r.TraceID)
+		}
+		t.Fatalf("ring order = %v, want [t6 t5 t4 t3]", ids)
+	}
+	// t1/t2 left the ring, but t2 survives as errored and in slowest.
+	if rec.Lookup("t2") == nil {
+		t.Fatal("errored trace t2 must survive ring recycling")
+	}
+	slow := rec.Slowest()
+	if slow[0].TraceID != "t2" || slow[1].TraceID != "t5" {
+		t.Fatalf("slowest order wrong: %s, %s", slow[0].TraceID, slow[1].TraceID)
+	}
+	errs := rec.Errored()
+	if len(errs) != 1 || errs[0].TraceID != "t2" || !errs[0].Err {
+		t.Fatalf("errored = %+v", errs)
+	}
+	if rec.Total() != 6 {
+		t.Fatalf("total = %d", rec.Total())
+	}
+	if rec.Lookup("nope") != nil {
+		t.Fatal("Lookup of unknown ID must be nil")
+	}
+}
+
+func TestSpanCapCountsDropped(t *testing.T) {
+	rec := NewRecorder(2)
+	tr := NewTracer(1, rec)
+	ctx, root := tr.StartTrace(context.Background(), "big", "big1", false)
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		_, sp := StartSpan(ctx, "leaf")
+		sp.End()
+	}
+	root.End()
+	got := rec.Lookup("big1")
+	if got == nil {
+		t.Fatal("trace not recorded")
+	}
+	if len(got.Spans) != maxSpansPerTrace {
+		t.Fatalf("retained %d spans, want %d", len(got.Spans), maxSpansPerTrace)
+	}
+	if got.Dropped != 11 {
+		t.Fatalf("dropped = %d, want 11 (10 over cap + root re-adding itself is not a thing)", got.Dropped)
+	}
+}
+
+func TestAttrBounds(t *testing.T) {
+	tr := NewTracer(1, NewRecorder(2))
+	_, root := tr.StartTrace(context.Background(), "r", "a1", false)
+	long := strings.Repeat("x", maxAttrValueLen+50)
+	for i := 0; i < maxAttrsPerSpan+5; i++ {
+		root.SetAttr("k", long)
+	}
+	root.mu.Lock()
+	n, v := len(root.attrs), root.attrs[0].Value
+	root.mu.Unlock()
+	if n != maxAttrsPerSpan {
+		t.Fatalf("attrs = %d, want cap %d", n, maxAttrsPerSpan)
+	}
+	if len(v) > maxAttrValueLen+len("…") || !strings.HasSuffix(v, "…") {
+		t.Fatalf("attr value not truncated: len=%d", len(v))
+	}
+	root.End()
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"a", "abc-DEF_123", strings.Repeat("f", 64), "j0042"} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", strings.Repeat("f", 65), "has space", "inj\nnewline", `quo"te`, "semi;colon", "Ω"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestWriteTraceTree(t *testing.T) {
+	rec := NewRecorder(2)
+	tr := NewTracer(1, rec)
+	ctx, root := tr.StartTrace(context.Background(), "/v1/classify", "w1", false)
+	_, sp := StartSpan(ctx, "store.peer")
+	sp.SetAttr("peer", "http://a:1")
+	sp.MarkError()
+	sp.End()
+	root.End()
+
+	var b strings.Builder
+	WriteTraceTree(&b, rec.Lookup("w1"))
+	out := b.String()
+	for _, want := range []string{"trace w1 /v1/classify", "  store.peer", "peer=http://a:1", "ERR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}

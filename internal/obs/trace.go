@@ -16,6 +16,7 @@ type ctxKey int
 const (
 	traceKey ctxKey = iota
 	loggerKey
+	spanKey
 )
 
 // NewTraceID mints a 16-hex-character random trace ID. Job handlers use

@@ -1,0 +1,128 @@
+package serve
+
+// Flight-recorder debug surface: GET /debug/requests summarises the
+// traces the recorder currently holds (recent ring, reserved slowest,
+// recent errors); GET /debug/requests/{trace} renders one trace as a
+// nested span tree. Shapes are JSON-stable for the CI smoke test:
+// every list field is always an array, never null.
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"rcons/internal/obs"
+)
+
+// debugSummary is one trace's row in the /debug/requests listing.
+type debugSummary struct {
+	Trace      string  `json:"trace"`
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Err        bool    `json:"err"`
+	Spans      int     `json:"spans"`
+}
+
+// debugSpanNode is one span in the nested tree view. Start is the
+// offset from the trace's own start, so a tree reads as a waterfall
+// without the reader subtracting wall-clock timestamps.
+type debugSpanNode struct {
+	ID         uint32           `json:"id"`
+	Name       string           `json:"name"`
+	StartUS    int64            `json:"start_us"`
+	DurationUS int64            `json:"duration_us"`
+	Err        bool             `json:"err,omitempty"`
+	Attrs      []obs.Attr       `json:"attrs"`
+	Spans      []*debugSpanNode `json:"spans"`
+}
+
+func summarize(trs []*obs.TraceRecord) []debugSummary {
+	out := make([]debugSummary, 0, len(trs))
+	for _, tr := range trs {
+		out = append(out, debugSummary{
+			Trace:      tr.TraceID,
+			Name:       tr.Name,
+			Start:      tr.Start.UTC().Format(time.RFC3339Nano),
+			DurationMS: float64(tr.Duration) / float64(time.Millisecond),
+			Err:        tr.Err,
+			Spans:      len(tr.Spans),
+		})
+	}
+	return out
+}
+
+// spanTree rebuilds the parent/child nesting from the flat span list.
+// Spans whose parent was dropped at the per-trace cap surface as extra
+// roots rather than vanishing.
+func spanTree(tr *obs.TraceRecord) []*debugSpanNode {
+	nodes := make(map[uint32]*debugSpanNode, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		attrs := sp.Attrs
+		if attrs == nil {
+			attrs = []obs.Attr{}
+		}
+		nodes[sp.ID] = &debugSpanNode{
+			ID:         sp.ID,
+			Name:       sp.Name,
+			StartUS:    sp.Start.Sub(tr.Start).Microseconds(),
+			DurationUS: sp.Duration.Microseconds(),
+			Err:        sp.Err,
+			Attrs:      attrs,
+			Spans:      []*debugSpanNode{},
+		}
+	}
+	roots := []*debugSpanNode{}
+	for _, sp := range tr.Spans {
+		n := nodes[sp.ID]
+		if parent, ok := nodes[sp.Parent]; ok && sp.Parent != sp.ID {
+			parent.Spans = append(parent.Spans, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(ns []*debugSpanNode) {
+		sort.SliceStable(ns, func(i, j int) bool {
+			if ns[i].StartUS != ns[j].StartUS {
+				return ns[i].StartUS < ns[j].StartUS
+			}
+			return ns[i].ID < ns[j].ID
+		})
+	}
+	for _, n := range nodes {
+		byStart(n.Spans)
+	}
+	byStart(roots)
+	return roots
+}
+
+// handleDebugRequests serves the recorder summary.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	rec := s.recorder
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sampled":  rec.Total(),
+		"capacity": rec.Capacity(),
+		"recent":   summarize(rec.Recent()),
+		"slowest":  summarize(rec.Slowest()),
+		"errored":  summarize(rec.Errored()),
+	})
+}
+
+// handleDebugRequestsTrace serves one trace's full span tree.
+func (s *Server) handleDebugRequestsTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("trace")
+	tr := s.recorder.Lookup(id)
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "trace not held by the recorder (rotated out, unsampled, or never seen)")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace":       tr.TraceID,
+		"name":        tr.Name,
+		"start":       tr.Start.UTC().Format(time.RFC3339Nano),
+		"duration_ms": float64(tr.Duration) / float64(time.Millisecond),
+		"err":         tr.Err,
+		"dropped":     tr.Dropped,
+		"spans":       spanTree(tr),
+	})
+}

@@ -293,7 +293,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	info, existing, err := s.jobs.Submit(req.Kind, canon)
+	info, existing, err := s.jobs.Submit(r.Context(), req.Kind, canon)
 	switch {
 	case err == nil:
 	case errors.Is(err, jobs.ErrQueueFull):

@@ -243,7 +243,7 @@ func TestJobCancelMidRun(t *testing.T) {
 		}
 	})
 	defer close(release)
-	info, existing, err := s.jobs.Submit("block", json.RawMessage(`{"i":1}`))
+	info, existing, err := s.jobs.Submit(context.Background(), "block", json.RawMessage(`{"i":1}`))
 	if err != nil || existing {
 		t.Fatalf("submit: %v existing=%v", err, existing)
 	}
@@ -375,7 +375,7 @@ func TestServerDrain(t *testing.T) {
 			return json.RawMessage(`{"finished":true}`), nil
 		}
 	})
-	info, _, err := s.jobs.Submit("block", nil)
+	info, _, err := s.jobs.Submit(context.Background(), "block", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +396,7 @@ func TestServerDrain(t *testing.T) {
 		t.Fatalf("job not drained to completion: %+v", got)
 	}
 	// After drain, submissions shed.
-	if _, _, err := s.jobs.Submit("block", nil); err == nil {
+	if _, _, err := s.jobs.Submit(context.Background(), "block", nil); err == nil {
 		t.Fatal("submit accepted after drain")
 	}
 }

@@ -9,7 +9,9 @@ package serve
 // drift from /metrics.
 
 import (
+	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -26,11 +28,13 @@ import (
 type metrics struct {
 	requests   *obs.CounterVec // rc_http_requests_total{method,path,code}
 	latency    *obs.HistogramVec
+	stage      *obs.HistogramVec // rc_stage_duration_seconds{stage}
 	inFlight   *obs.Gauge
 	shed       *obs.CounterVec
 	coalesced  *obs.CounterVec
 	limited    *obs.CounterVec
 	cancelled  *obs.CounterVec
+	panics     *obs.CounterVec // rc_http_panics_total{path}
 	mcRuns     *obs.Counter
 	mcNodes    *obs.Counter
 	mcSwarm    *obs.Counter
@@ -48,6 +52,13 @@ func (s *Server) setupMetrics() {
 			"method", "path", "code"),
 		latency: r.Histogram("rc_http_request_duration_seconds",
 			"HTTP request latency in seconds, by route.", nil, "path"),
+		stage: r.Histogram("rc_stage_duration_seconds",
+			"Span duration in seconds by stage (span name), fed by the tracer.",
+			// Stages go well below HTTP latencies (a memo lookup is
+			// sub-microsecond), so the buckets start two decades finer
+			// than the request histogram's.
+			[]float64{1e-5, 2.5e-5, 1e-4, 2.5e-4, 1e-3, 2.5e-3, 1e-2, 2.5e-2, 0.1, 0.25, 1, 2.5, 10},
+			"stage"),
 		inFlight: r.Gauge("rc_http_in_flight",
 			"HTTP requests currently being served.").With(),
 		shed: r.Counter("rc_http_shed_total",
@@ -58,6 +69,8 @@ func (s *Server) setupMetrics() {
 			"Requests rejected with 429 by the per-client rate limiter, by route.", "path"),
 		cancelled: r.Counter("rc_http_client_cancelled_total",
 			"Requests abandoned by the client before completion, by route.", "path"),
+		panics: r.Counter("rc_http_panics_total",
+			"Handler panics recovered by the middleware, by route.", "path"),
 		mcRuns: r.Counter("rc_mc_runs_total",
 			"Model-checker runs completed (sync requests and jobs).").With(),
 		mcNodes: r.Counter("rc_mc_nodes_total",
@@ -69,6 +82,13 @@ func (s *Server) setupMetrics() {
 		censusRows: r.Counter("rc_census_rows_total",
 			"Census rows produced across all runs.").With(),
 	}
+
+	// Every span End feeds the stage histogram, so per-stage latency is
+	// visible on /metrics even when the recorder has rotated the trace
+	// out. Span names are the bounded stage vocabulary.
+	s.tracer.SetStageObserver(func(stage string, seconds float64) {
+		s.m.stage.With(stage).Observe(seconds)
+	})
 
 	// Engine memo cache + persistent-store counters.
 	eng := s.eng
@@ -297,48 +317,93 @@ func markOutcome(w http.ResponseWriter, outcome string) {
 	}
 }
 
-// instrument is the outermost per-route middleware: it mints the
-// request's trace ID, stashes a trace-tagged logger in the context,
-// records the rc_http_* metrics and emits one structured access-log
-// line per request. path is the route pattern, not the raw URL, so the
-// label space stays bounded.
+// instrument is the outermost per-route middleware: it adopts or mints
+// the request's trace ID, opens the root span, stashes a trace-tagged
+// logger in the context, records the rc_http_* metrics and emits one
+// structured access-log line per request. path is the route pattern,
+// not the raw URL, so the label space stays bounded.
+//
+// All bookkeeping lives in a single deferred block so a panicking
+// handler cannot leak the in-flight gauge or skip the metrics/log/span
+// teardown: the panic is recovered, counted in rc_http_panics_total,
+// and answered with a 500 if the handler had not written yet.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.m.latency.With(path)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx, trace := obs.EnsureTrace(r.Context())
+		ctx := r.Context()
+
+		// A valid propagated header (peer store hop, rcload -trace)
+		// wins over minting and forces sampling, so a cross-process
+		// trace is never cut short by this side's 1-in-N dice.
+		propagated := false
+		if hdr := r.Header.Get(obs.TraceHeader); obs.ValidTraceID(hdr) {
+			ctx = obs.WithTrace(ctx, hdr)
+			propagated = true
+		}
+		ctx, trace := obs.EnsureTrace(ctx)
+		ctx, span := s.tracer.StartTrace(ctx, path, trace, propagated)
 		logger := s.logger.With("trace", trace)
 		ctx = obs.ContextWithLogger(ctx, logger)
+		// Echo the ID so callers can fetch /debug/requests/{trace}.
+		w.Header().Set(obs.TraceHeader, trace)
 
 		sw := &statusWriter{ResponseWriter: w}
 		s.m.inFlight.Add(1)
-		h(sw, r.WithContext(ctx))
-		s.m.inFlight.Add(-1)
+		defer func() {
+			rec := recover()
+			if rec != nil && rec != http.ErrAbortHandler {
+				s.m.panics.With(path).Inc()
+				logger.Error("handler panic",
+					"method", r.Method,
+					"path", path,
+					"panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()),
+				)
+				if sw.status == 0 {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+				markOutcome(sw, "panic")
+			}
+			s.m.inFlight.Add(-1)
 
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		dur := time.Since(start)
-		lat.Observe(dur.Seconds())
-		s.m.requests.With(r.Method, path, strconv.Itoa(sw.status)).Inc()
-		outcome := sw.outcome
-		if outcome == "" {
-			outcome = "ok"
-		}
-		switch outcome {
-		case "shed":
-			s.m.shed.With(path).Inc()
-		case "limited":
-			s.m.limited.With(path).Inc()
-		case "cancelled":
-			s.m.cancelled.With(path).Inc()
-		}
-		logger.Info("request",
-			"method", r.Method,
-			"path", path,
-			"status", sw.status,
-			"outcome", outcome,
-			"durMs", dur.Milliseconds(),
-		)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			dur := time.Since(start)
+			lat.Observe(dur.Seconds())
+			s.m.requests.With(r.Method, path, strconv.Itoa(sw.status)).Inc()
+			outcome := sw.outcome
+			if outcome == "" {
+				outcome = "ok"
+			}
+			switch outcome {
+			case "shed":
+				s.m.shed.With(path).Inc()
+			case "limited":
+				s.m.limited.With(path).Inc()
+			case "cancelled":
+				s.m.cancelled.With(path).Inc()
+			}
+			span.SetAttr("method", r.Method)
+			span.SetAttr("status", strconv.Itoa(sw.status))
+			if sw.status >= 500 {
+				span.MarkError()
+			}
+			span.End()
+			logger.Info("request",
+				"method", r.Method,
+				"path", path,
+				"status", sw.status,
+				"outcome", outcome,
+				"durMs", dur.Milliseconds(),
+			)
+			if rec == http.ErrAbortHandler {
+				// net/http's sentinel for "drop the connection" — keep
+				// its contract after our own accounting is done.
+				panic(rec)
+			}
+		}()
+		h(sw, r.WithContext(ctx))
 	}
 }

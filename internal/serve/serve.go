@@ -129,6 +129,8 @@ type config struct {
 	pprofOn     bool
 	logFormat   string
 	logLevel    string
+	traceSample int
+	recorder    int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -153,6 +155,8 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	fs.StringVar(&cfg.logFormat, "log-format", "text", "structured log format: text or json")
 	fs.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.IntVar(&cfg.traceSample, "trace-sample", 1, "trace 1 in N requests into the flight recorder (1 = every request, 0 disables tracing)")
+	fs.IntVar(&cfg.recorder, "recorder", 128, "completed traces the flight recorder retains for /debug/requests")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -180,6 +184,12 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.rate > 0 && cfg.burst < 1 {
 		return config{}, fmt.Errorf("-burst must be ≥ 1 when -rate is set, got %d", cfg.burst)
+	}
+	if cfg.traceSample < 0 {
+		return config{}, fmt.Errorf("-trace-sample must be ≥ 0, got %d", cfg.traceSample)
+	}
+	if cfg.recorder < 1 {
+		return config{}, fmt.Errorf("-recorder must be ≥ 1, got %d", cfg.recorder)
 	}
 	if storeBudget != "" {
 		if cfg.storeDir == "" {
@@ -273,6 +283,11 @@ type Server struct {
 	logger   *slog.Logger
 	progress obs.Sink
 
+	// tracer samples requests into span traces; recorder is the flight
+	// ring behind GET /debug/requests. Both are per-server, like reg.
+	tracer   *obs.Tracer
+	recorder *obs.Recorder
+
 	// flights coalesces concurrent identical expensive requests onto one
 	// computation: followers receive a byte-identical copy of the
 	// leader's encoded payload. Keys are per-route (see coalesced).
@@ -337,6 +352,8 @@ func newServer(cfg config) (*Server, error) {
 		reg:        obs.NewRegistry(),
 		logger:     obs.NewLogger(os.Stderr, cfg.logFormat, cfg.logLevel),
 	}
+	s.recorder = obs.NewRecorder(cfg.recorder)
+	s.tracer = obs.NewTracer(cfg.traceSample, s.recorder)
 	if cfg.rate > 0 {
 		s.limiter = newRateLimiter(cfg.rate, float64(cfg.burst))
 	}
@@ -351,6 +368,7 @@ func newServer(cfg config) (*Server, error) {
 		Workers: cfg.jobWorkers,
 		Timeout: cfg.jobTimeout,
 		Logger:  s.logger.With("subsystem", "jobs"),
+		Tracer:  s.tracer,
 	}
 	// Result-store tiers, nearest first: the local on-disk store (budget
 	// enforced here, the single budgeted writer of its directory), then
@@ -479,6 +497,11 @@ func (s *Server) Handler() http.Handler {
 	route("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
 	mux.Handle("GET /metrics", s.reg.Handler())
+	// The flight-recorder debug surface is deliberately outside
+	// instrument (like /metrics): inspecting traces must not generate
+	// traces, or the recorder would fill with reads of itself.
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/requests/{trace}", s.handleDebugRequestsTrace)
 	if s.cfg.pprofOn {
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)

@@ -64,7 +64,7 @@ func (s *Server) handleStoreCompact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "this replica has no local store")
 		return
 	}
-	cs, err := s.store.Compact()
+	cs, err := s.store.Compact(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,7 +14,7 @@ import (
 
 func TestStoreRoutes(t *testing.T) {
 	s, ts := testServer(t, "-store", t.TempDir())
-	if err := s.store.Put("search", "k", []byte(`{"n":1}`)); err != nil {
+	if err := s.store.Put(context.Background(), "search", "k", []byte(`{"n":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	raw, ok, err := s.store.GetRaw("search", entryAddr(t, s, "search", "k"))
@@ -48,7 +49,7 @@ func TestStoreRoutes(t *testing.T) {
 	if resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("store PUT: %d", resp.StatusCode)
 	}
-	if got, ok, _ := s2.store.Get("search", "k"); !ok || string(got) != `{"n":1}` {
+	if got, ok, _ := s2.store.Get(context.Background(), "search", "k"); !ok || string(got) != `{"n":1}` {
 		t.Fatalf("entry did not land on the second server: %q ok=%v", got, ok)
 	}
 
@@ -82,7 +83,7 @@ func TestStoreRoutesWithoutStore(t *testing.T) {
 func TestStoreCompactRoute(t *testing.T) {
 	s, ts := testServer(t, "-store", t.TempDir())
 	for i := 0; i < 3; i++ {
-		if err := s.store.Put("search", fmt.Sprintf("k%d", i), []byte(`{"n":1}`)); err != nil {
+		if err := s.store.Put(context.Background(), "search", fmt.Sprintf("k%d", i), []byte(`{"n":1}`)); err != nil {
 			t.Fatal(err)
 		}
 	}

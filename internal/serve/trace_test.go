@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rcons/internal/obs"
+)
+
+// JSON shapes served by /debug/requests (mirrors debug.go).
+type debugListJSON struct {
+	Sampled  int64              `json:"sampled"`
+	Capacity int                `json:"capacity"`
+	Recent   []debugSummaryJSON `json:"recent"`
+	Slowest  []debugSummaryJSON `json:"slowest"`
+	Errored  []debugSummaryJSON `json:"errored"`
+}
+
+type debugSummaryJSON struct {
+	Trace      string  `json:"trace"`
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+	Err        bool    `json:"err"`
+	Spans      int     `json:"spans"`
+}
+
+type debugNodeJSON struct {
+	Name  string          `json:"name"`
+	Attrs []obs.Attr      `json:"attrs"`
+	Err   bool            `json:"err"`
+	Spans []debugNodeJSON `json:"spans"`
+}
+
+type debugTraceJSON struct {
+	Trace string          `json:"trace"`
+	Name  string          `json:"name"`
+	Err   bool            `json:"err"`
+	Spans []debugNodeJSON `json:"spans"`
+}
+
+// findSpan walks a span tree depth-first for the first node with name.
+func findSpan(nodes []debugNodeJSON, name string) *debugNodeJSON {
+	for i := range nodes {
+		if nodes[i].Name == name {
+			return &nodes[i]
+		}
+		if n := findSpan(nodes[i].Spans, name); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+func attr(n *debugNodeJSON, key string) string {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestInstrumentPanicRecovery is the regression test for the leak: a
+// panicking handler must not propagate, must answer 500, must restore
+// the in-flight gauge and must still be counted and access-logged.
+func TestInstrumentPanicRecovery(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.instrument("/panic", func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})
+
+	rw := httptest.NewRecorder()
+	h(rw, httptest.NewRequest(http.MethodGet, "/panic", nil)) // must not re-panic
+
+	if rw.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rw.Code)
+	}
+	if v := s.reg.Value("rc_http_in_flight"); v != 0 {
+		t.Errorf("rc_http_in_flight = %v after panic, want 0 (gauge leaked)", v)
+	}
+	if v := s.reg.Value("rc_http_panics_total", "/panic"); v != 1 {
+		t.Errorf("rc_http_panics_total{/panic} = %v, want 1", v)
+	}
+	if v := s.reg.Value("rc_http_requests_total", http.MethodGet, "/panic", "500"); v != 1 {
+		t.Errorf("rc_http_requests_total{GET,/panic,500} = %v, want 1 (metrics skipped on panic)", v)
+	}
+
+	// The trace must have been sealed and recorded as errored.
+	trace := rw.Header().Get(obs.TraceHeader)
+	if trace == "" {
+		t.Fatal("no X-RC-Trace response header")
+	}
+	tr := s.recorder.Lookup(trace)
+	if tr == nil {
+		t.Fatalf("recorder lost trace %s of panicked request", trace)
+	}
+	if !tr.Err {
+		t.Error("panicked request's trace not marked errored")
+	}
+
+	// A panic after a partial write keeps the handler's status and must
+	// not double-WriteHeader.
+	h2 := s.instrument("/panic2", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late boom")
+	})
+	rw2 := httptest.NewRecorder()
+	h2(rw2, httptest.NewRequest(http.MethodGet, "/panic2", nil))
+	if rw2.Code != http.StatusAccepted {
+		t.Errorf("partial-write panic status = %d, want 202", rw2.Code)
+	}
+	if v := s.reg.Value("rc_http_in_flight"); v != 0 {
+		t.Errorf("rc_http_in_flight = %v, want 0", v)
+	}
+	if v := s.reg.Value("rc_http_panics_total", "/panic2"); v != 1 {
+		t.Errorf("rc_http_panics_total{/panic2} = %v, want 1", v)
+	}
+}
+
+// TestDebugRequests exercises the flight-recorder surface end to end:
+// a classify request must land in the ring with a span tree whose root
+// is the route pattern and whose children include the engine stages.
+func TestDebugRequests(t *testing.T) {
+	s, ts := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/classify?type=S_3&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	trace := resp.Header.Get(obs.TraceHeader)
+	if trace == "" {
+		t.Fatal("classify response carries no X-RC-Trace header")
+	}
+
+	var list debugListJSON
+	getJSON(t, ts.URL+"/debug/requests", http.StatusOK, &list)
+	if list.Sampled < 1 || len(list.Recent) < 1 {
+		t.Fatalf("recorder empty after traffic: sampled=%d recent=%d", list.Sampled, len(list.Recent))
+	}
+	if list.Capacity != 128 {
+		t.Errorf("default recorder capacity = %d, want 128", list.Capacity)
+	}
+	if list.Recent[0].Spans < 2 {
+		t.Errorf("newest trace has %d spans, want a tree", list.Recent[0].Spans)
+	}
+
+	var full debugTraceJSON
+	getJSON(t, ts.URL+"/debug/requests/"+trace, http.StatusOK, &full)
+	if full.Trace != trace {
+		t.Fatalf("trace id = %q, want %q", full.Trace, trace)
+	}
+	if len(full.Spans) == 0 || full.Spans[0].Name != "/v1/classify" {
+		t.Fatalf("root span = %+v, want /v1/classify root", full.Spans)
+	}
+	cls := findSpan(full.Spans, "engine.classify")
+	if cls == nil {
+		t.Fatalf("no engine.classify span in tree: %+v", full.Spans)
+	}
+	if got := attr(cls, "type"); got != "S_3" {
+		t.Errorf("engine.classify type attr = %q, want S_3", got)
+	}
+
+	// Unknown IDs are a clean 404, not a 500 or an empty 200.
+	getJSON(t, ts.URL+"/debug/requests/deadbeef00000000", http.StatusNotFound, nil)
+
+	// The stage histogram saw the same stages the tree shows.
+	if v := s.reg.Value("rc_stage_duration_seconds", "engine.classify"); v < 1 {
+		t.Errorf("rc_stage_duration_seconds{stage=engine.classify} count = %v, want ≥ 1", v)
+	}
+}
+
+// TestTraceSampleZero asserts the off switch: no traces recorded, but
+// requests still work and still carry a trace ID for log correlation.
+func TestTraceSampleZero(t *testing.T) {
+	_, ts := testServer(t, "-trace-sample", "0")
+	resp, err := http.Get(ts.URL + "/v1/classify?type=S_3&limit=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(obs.TraceHeader) == "" {
+		t.Error("trace header should still be echoed with sampling off")
+	}
+	var list debugListJSON
+	getJSON(t, ts.URL+"/debug/requests", http.StatusOK, &list)
+	if list.Sampled != 0 || len(list.Recent) != 0 {
+		t.Fatalf("recorder not empty with -trace-sample 0: %+v", list)
+	}
+	if list.Recent == nil || list.Slowest == nil || list.Errored == nil {
+		t.Error("empty recorder lists must still be JSON arrays")
+	}
+}
+
+// TestTracePropagationAcrossPeers is the PR's acceptance scenario: two
+// in-process servers, B configured with -store-peer at A. A classify on
+// cold B reads through B's store chain to warm A, and the whole journey
+// is ONE trace: B's tree shows root → store.chain → store.peer with the
+// peer URL, and A's recorder holds the same trace ID for its store hit.
+func TestTracePropagationAcrossPeers(t *testing.T) {
+	_, tsA := testServer(t, "-store", t.TempDir())
+	// Warm A: classify once so A's persist tier holds the artifact.
+	getJSON(t, tsA.URL+"/v1/classify?type=S_3&limit=5", http.StatusOK, nil)
+
+	_, tsB := testServer(t, "-store", t.TempDir(), "-store-peer", tsA.URL)
+	resp, err := http.Get(tsB.URL + "/v1/classify?type=S_3&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify via B = %d", resp.StatusCode)
+	}
+	trace := resp.Header.Get(obs.TraceHeader)
+	if trace == "" {
+		t.Fatal("no trace ID from B")
+	}
+
+	// B's tree: root route span, store.chain under it, peer hop under
+	// the chain carrying A's URL and a hit.
+	var full debugTraceJSON
+	getJSON(t, tsB.URL+"/debug/requests/"+trace, http.StatusOK, &full)
+	if len(full.Spans) == 0 || full.Spans[0].Name != "/v1/classify" {
+		t.Fatalf("B root span = %+v, want /v1/classify", full.Spans)
+	}
+	chain := findSpan(full.Spans, "store.chain")
+	if chain == nil {
+		t.Fatalf("no store.chain span in B's tree")
+	}
+	peer := findSpan(chain.Spans, "store.peer")
+	if peer == nil {
+		t.Fatalf("no store.peer span under store.chain: %+v", chain)
+	}
+	if got := attr(peer, "peer"); !strings.HasPrefix(tsA.URL, got) || got == "" {
+		t.Errorf("peer attr = %q, want A's URL %q", got, tsA.URL)
+	}
+	if got := attr(peer, "hit"); got != "true" {
+		t.Errorf("peer hit attr = %q, want true (A was warm)", got)
+	}
+
+	// A saw the hop under the SAME trace ID: the header forced sampling
+	// on A's side, so its recorder holds a store-route trace with it.
+	var listA debugListJSON
+	getJSON(t, tsA.URL+"/debug/requests", http.StatusOK, &listA)
+	found := false
+	for _, tr := range listA.Recent {
+		if tr.Trace == trace {
+			found = true
+			if tr.Name != "/v1/store/{kind}/{addr}" {
+				t.Errorf("A's half of trace %s rooted at %q, want store route", trace, tr.Name)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in A's recorder; A only saw %+v", trace, listA.Recent)
+	}
+}

@@ -1,9 +1,12 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+
+	"rcons/internal/obs"
 )
 
 // Backend is one tier of a read-through result-store chain. *Store is
@@ -18,9 +21,15 @@ import (
 // checksums on receipt and reject). Errors are operational (I/O, the
 // network, a down peer); callers treat them as misses and recompute,
 // so a degraded tier can slow the fleet but never poison or fail it.
+//
+// The context carries cancellation, the trace ID and the active span:
+// *Peer propagates the trace over the wire (X-RC-Trace) and bounds its
+// requests by ctx, and every tier hangs its span off the caller's, so
+// a traced request attributes its time to the exact tier that served
+// it. Tiers never fail on a context without a trace.
 type Backend interface {
-	Get(kind, key string) ([]byte, bool, error)
-	Put(kind, key string, payload []byte) error
+	Get(ctx context.Context, kind, key string) ([]byte, bool, error)
+	Put(ctx context.Context, kind, key string, payload []byte) error
 	// Name identifies the tier in metrics and logs ("local", a peer's
 	// base URL).
 	Name() string
@@ -61,10 +70,12 @@ func (c *Chain) Name() string {
 // hit. A tier error is remembered but never final while tiers remain:
 // only if every tier misses is the first error reported (alongside
 // ok=false, so callers that ignore the error still just recompute).
-func (c *Chain) Get(kind, key string) ([]byte, bool, error) {
+func (c *Chain) Get(ctx context.Context, kind, key string) ([]byte, bool, error) {
+	ctx, span := obs.StartSpan(ctx, "store.chain")
+	defer span.End()
 	var firstErr error
 	for i, t := range c.tiers {
-		data, ok, err := t.Get(kind, key)
+		data, ok, err := t.Get(ctx, kind, key)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -74,19 +85,21 @@ func (c *Chain) Get(kind, key string) ([]byte, bool, error) {
 		if !ok {
 			continue
 		}
+		span.SetAttr("hit", t.Name())
 		for j := 0; j < i; j++ {
 			// Write-back healing is best-effort: a full or read-only
 			// nearer tier must not turn a perfectly good hit into a miss.
-			_ = c.tiers[j].Put(kind, key, data)
+			_ = c.tiers[j].Put(ctx, kind, key, data)
 		}
 		return data, true, nil
 	}
+	span.SetAttr("hit", "miss")
 	return nil, false, firstErr
 }
 
 // Put writes through the first tier.
-func (c *Chain) Put(kind, key string, payload []byte) error {
-	return c.tiers[0].Put(kind, key, payload)
+func (c *Chain) Put(ctx context.Context, kind, key string, payload []byte) error {
+	return c.tiers[0].Put(ctx, kind, key, payload)
 }
 
 // ParseSize parses a human-readable byte size: a plain integer

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -46,7 +47,7 @@ func TestBudgetEvictsLRUOnPut(t *testing.T) {
 	// Room for three entries, not four.
 	s := mustOpen(t, dir, Options{BudgetBytes: 3*one + one/2})
 	for i := 0; i < 3; i++ {
-		if err := s.Put("search", fmt.Sprintf("k%d", i), payload); err != nil {
+		if err := s.Put(context.Background(), "search", fmt.Sprintf("k%d", i), payload); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -54,10 +55,10 @@ func TestBudgetEvictsLRUOnPut(t *testing.T) {
 		t.Fatalf("under budget yet evicted: %+v", st)
 	}
 	// Touch k0 so k1 is the LRU victim of the next Put.
-	if _, ok, _ := s.Get("search", "k0"); !ok {
+	if _, ok, _ := s.Get(context.Background(), "search", "k0"); !ok {
 		t.Fatal("k0 lost")
 	}
-	if err := s.Put("search", "k3", payload); err != nil {
+	if err := s.Put(context.Background(), "search", "k3", payload); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -78,7 +79,7 @@ func TestBudgetEvictsLRUOnPut(t *testing.T) {
 	}
 	// A fresh handle (no warm front) confirms the evicted entry is gone.
 	s2 := mustOpen(t, dir, Options{CacheEntries: -1})
-	if _, ok, _ := s2.Get("search", "k1"); ok {
+	if _, ok, _ := s2.Get(context.Background(), "search", "k1"); ok {
 		t.Fatal("evicted entry served from disk")
 	}
 }
@@ -89,10 +90,10 @@ func TestBudgetNeverEvictsJustWritten(t *testing.T) {
 	dir := t.TempDir()
 	payload := []byte(`{"v":"a long payload that will not fit the tiny budget at all"}`)
 	s := mustOpen(t, dir, Options{BudgetBytes: 10})
-	if err := s.Put("search", "big", payload); err != nil {
+	if err := s.Put(context.Background(), "search", "big", payload); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := s.Get("search", "big"); !ok {
+	if _, ok, _ := s.Get(context.Background(), "search", "big"); !ok {
 		t.Fatal("oversized entry evicted by its own put")
 	}
 	if st := s.Stats(); st.Entries != 1 || st.DiskEvictions != 0 {
@@ -110,7 +111,7 @@ func TestOpenEnforcesBudget(t *testing.T) {
 	base := time.Now().Add(-time.Hour)
 	for i := 0; i < 6; i++ {
 		key := fmt.Sprintf("k%d", i)
-		if err := s.Put("search", key, payload); err != nil {
+		if err := s.Put(context.Background(), "search", key, payload); err != nil {
 			t.Fatal(err)
 		}
 		// Distinct mtimes make the recovery order unambiguous: k0 oldest.
@@ -126,12 +127,12 @@ func TestOpenEnforcesBudget(t *testing.T) {
 		t.Fatalf("stats after budgeted reopen: %+v", st)
 	}
 	for i := 0; i < 3; i++ {
-		if _, ok, _ := s2.Get("search", fmt.Sprintf("k%d", i)); ok {
+		if _, ok, _ := s2.Get(context.Background(), "search", fmt.Sprintf("k%d", i)); ok {
 			t.Fatalf("k%d (oldest) survived the budgeted reopen", i)
 		}
 	}
 	for i := 3; i < 6; i++ {
-		if _, ok, _ := s2.Get("search", fmt.Sprintf("k%d", i)); !ok {
+		if _, ok, _ := s2.Get(context.Background(), "search", fmt.Sprintf("k%d", i)); !ok {
 			t.Fatalf("k%d (newest) lost in the budgeted reopen", i)
 		}
 	}
@@ -153,12 +154,12 @@ func TestCompactDropsQuarantineAndReconciles(t *testing.T) {
 	a := mustOpen(t, dir, Options{CacheEntries: -1})
 	b := mustOpen(t, dir, Options{CacheEntries: -1})
 	for i := 0; i < 3; i++ {
-		if err := a.Put("job", fmt.Sprintf("a%d", i), []byte(`{"w":"a"}`)); err != nil {
+		if err := a.Put(context.Background(), "job", fmt.Sprintf("a%d", i), []byte(`{"w":"a"}`)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 2; i++ {
-		if err := b.Put("job", fmt.Sprintf("b%d", i), []byte(`{"w":"b"}`)); err != nil {
+		if err := b.Put(context.Background(), "job", fmt.Sprintf("b%d", i), []byte(`{"w":"b"}`)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -167,7 +168,7 @@ func TestCompactDropsQuarantineAndReconciles(t *testing.T) {
 	if err := os.WriteFile(path, []byte("rotten"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := a.Get("job", "a0"); ok {
+	if _, ok, _ := a.Get(context.Background(), "job", "a0"); ok {
 		t.Fatal("rotten entry served")
 	}
 	if q, _ := os.ReadDir(filepath.Join(dir, quarantineSub)); len(q) != 1 {
@@ -184,7 +185,7 @@ func TestCompactDropsQuarantineAndReconciles(t *testing.T) {
 	}
 
 	for name, s := range map[string]*Store{"a": a, "b": b} {
-		cs, err := s.Compact()
+		cs, err := s.Compact(context.Background())
 		if err != nil {
 			t.Fatalf("%s.Compact: %v", name, err)
 		}
@@ -203,10 +204,10 @@ func TestCompactDropsQuarantineAndReconciles(t *testing.T) {
 	}
 	// Every entry is readable through either handle after reconciliation.
 	for _, k := range []string{"a1", "a2", "b0", "b1"} {
-		if _, ok, _ := a.Get("job", k); !ok {
+		if _, ok, _ := a.Get(context.Background(), "job", k); !ok {
 			t.Fatalf("a lost %s", k)
 		}
-		if _, ok, _ := b.Get("job", k); !ok {
+		if _, ok, _ := b.Get(context.Background(), "job", k); !ok {
 			t.Fatalf("b lost %s", k)
 		}
 	}
@@ -225,11 +226,11 @@ func TestCompactEvictsToBudget(t *testing.T) {
 	// A second, unbudgeted writer floods the directory.
 	flooder := mustOpen(t, dir, Options{CacheEntries: -1})
 	for i := 0; i < 5; i++ {
-		if err := flooder.Put("search", fmt.Sprintf("k%d", i), payload); err != nil {
+		if err := flooder.Put(context.Background(), "search", fmt.Sprintf("k%d", i), payload); err != nil {
 			t.Fatal(err)
 		}
 	}
-	cs, err := budgeted.Compact()
+	cs, err := budgeted.Compact(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestCrashMidCompactionRecovery(t *testing.T) {
 		dir := t.TempDir()
 		s := mustOpen(t, dir, Options{CacheEntries: -1})
 		for i := 0; i < 6; i++ {
-			if err := s.Put("search", fmt.Sprintf("k%d", i), payload); err != nil {
+			if err := s.Put(context.Background(), "search", fmt.Sprintf("k%d", i), payload); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -264,10 +265,10 @@ func TestCrashMidCompactionRecovery(t *testing.T) {
 			if err := os.WriteFile(p, []byte("rot"), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			if _, ok, _ := s.Get("search", "k5"); ok {
+			if _, ok, _ := s.Get(context.Background(), "search", "k5"); ok {
 				t.Fatal("rot served")
 			}
-			if err := s.Put("search", "k5", payload); err != nil {
+			if err := s.Put(context.Background(), "search", "k5", payload); err != nil {
 				t.Fatal(err)
 			}
 		}

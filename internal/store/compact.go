@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"io/fs"
 	"os"
@@ -8,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"rcons/internal/obs"
 )
 
 // CompactStats reports what one Compact pass did.
@@ -43,7 +46,9 @@ type CompactStats struct {
 // evicts the same victims. Every mutation is one atomic unlink; a
 // crash mid-pass leaves a valid store whose next Open re-sweeps,
 // recounts and finishes the eviction.
-func (s *Store) Compact() (CompactStats, error) {
+func (s *Store) Compact(ctx context.Context) (CompactStats, error) {
+	_, span := obs.StartSpan(ctx, "store.compact")
+	defer span.End()
 	// Taking every write-lock stripe freezes Puts/Gets mid-flight so the
 	// rescan can't race a rename; stripe order is fixed, so two
 	// concurrent Compacts can't deadlock each other.

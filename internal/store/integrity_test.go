@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +17,7 @@ import (
 func TestIdentityMismatchQuarantinesEntry(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{CacheEntries: -1})
-	if err := s.Put("search", "honest", []byte(`{"n":1}`)); err != nil {
+	if err := s.Put(context.Background(), "search", "honest", []byte(`{"n":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	src, _ := s.entryPath("search", "honest")
@@ -29,7 +30,7 @@ func TestIdentityMismatchQuarantinesEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, ok, err := s.Get("search", "imposter"); ok || err != nil {
+	if _, ok, err := s.Get(context.Background(), "search", "imposter"); ok || err != nil {
 		t.Fatalf("misplaced entry served: ok=%v err=%v", ok, err)
 	}
 	st := s.Stats()
@@ -47,7 +48,7 @@ func TestIdentityMismatchQuarantinesEntry(t *testing.T) {
 		t.Fatalf("quarantine holds %d files (err %v), want 1", len(q), err)
 	}
 	// The second Get must be a plain miss, not a second quarantine.
-	if _, ok, _ := s.Get("search", "imposter"); ok {
+	if _, ok, _ := s.Get(context.Background(), "search", "imposter"); ok {
 		t.Fatal("second Get served the quarantined entry")
 	}
 	if st := s.Stats(); st.Quarantined != 1 || st.Misses != 2 {
@@ -60,7 +61,7 @@ func TestIdentityMismatchQuarantinesEntry(t *testing.T) {
 func TestGetRawQuarantinesMisplacedEntry(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{CacheEntries: -1})
-	if err := s.Put("search", "honest", []byte(`{"n":1}`)); err != nil {
+	if err := s.Put(context.Background(), "search", "honest", []byte(`{"n":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	src, _ := s.entryPath("search", "honest")
@@ -89,14 +90,14 @@ func TestQuarantineNameCollision(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{CacheEntries: -1})
 	for i, rot := range []string{"first rot", "second rot"} {
-		if err := s.Put("search", "k", []byte(`{"n":1}`)); err != nil {
+		if err := s.Put(context.Background(), "search", "k", []byte(`{"n":1}`)); err != nil {
 			t.Fatal(err)
 		}
 		path, _ := s.entryPath("search", "k")
 		if err := os.WriteFile(path, []byte(rot), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, _ := s.Get("search", "k"); ok {
+		if _, ok, _ := s.Get(context.Background(), "search", "k"); ok {
 			t.Fatalf("corruption %d served", i)
 		}
 	}

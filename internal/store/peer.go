@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"rcons/internal/obs"
 )
 
 // maxPeerEnvelope bounds how much of a peer response a Get will read;
@@ -72,51 +75,74 @@ func (p *Peer) entryURL(kind, address string) string {
 	return p.base + "/v1/store/" + kind + "/" + address
 }
 
+// stampTrace forwards the context's trace ID (when one is present and
+// wire-safe) on an outbound peer request, so the peer's access log and
+// recorder join this request to the originating trace fleet-wide.
+func stampTrace(ctx context.Context, req *http.Request) {
+	if id := obs.TraceID(ctx); obs.ValidTraceID(id) {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+}
+
 // Get fetches (kind, key) from the peer. 404 is a plain miss; any
 // transport failure, unexpected status, oversized body or envelope that
 // fails re-verification is an error (counted, and reported so chains
-// and the engine can tally it) — but never a hit.
-func (p *Peer) Get(kind, key string) ([]byte, bool, error) {
+// and the engine can tally it) — but never a hit. The request is bound
+// to ctx (cancellation on top of the client timeout), carries the
+// context's trace ID as X-RC-Trace, and contributes a "store.peer"
+// span tagged with the peer URL — the cross-process hop a fleet trace
+// hinges on.
+func (p *Peer) Get(ctx context.Context, kind, key string) ([]byte, bool, error) {
 	if !validKind(kind) {
 		return nil, false, fmt.Errorf("store: invalid kind %q (want lowercase [a-z0-9-])", kind)
 	}
+	_, span := obs.StartSpan(ctx, "store.peer")
+	span.SetAttr("peer", p.base)
+	defer span.End()
 	start := time.Now()
 	defer func() {
 		p.gets.Add(1)
 		p.getNanos.Add(time.Since(start).Nanoseconds())
 	}()
-	resp, err := p.client.Get(p.entryURL(kind, addr(kind, key)))
-	if err != nil {
+	fail := func(err error) ([]byte, bool, error) {
 		p.errors.Add(1)
-		return nil, false, fmt.Errorf("store: peer %s: %w", p.base, err)
+		span.MarkError()
+		return nil, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.entryURL(kind, addr(kind, key)), nil)
+	if err != nil {
+		return fail(fmt.Errorf("store: peer %s: %w", p.base, err))
+	}
+	stampTrace(ctx, req)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return fail(fmt.Errorf("store: peer %s: %w", p.base, err))
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
 		p.misses.Add(1)
+		span.SetAttr("hit", "false")
 		return nil, false, nil
 	default:
-		p.errors.Add(1)
-		return nil, false, fmt.Errorf("store: peer %s: unexpected status %d", p.base, resp.StatusCode)
+		return fail(fmt.Errorf("store: peer %s: unexpected status %d", p.base, resp.StatusCode))
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerEnvelope+1))
 	if err != nil {
-		p.errors.Add(1)
-		return nil, false, fmt.Errorf("store: peer %s: read body: %w", p.base, err)
+		return fail(fmt.Errorf("store: peer %s: read body: %w", p.base, err))
 	}
 	if len(data) > maxPeerEnvelope {
-		p.errors.Add(1)
-		return nil, false, fmt.Errorf("store: peer %s: envelope exceeds %d bytes", p.base, maxPeerEnvelope)
+		return fail(fmt.Errorf("store: peer %s: envelope exceeds %d bytes", p.base, maxPeerEnvelope))
 	}
 	// Checksum re-verified on receipt: trust nothing a wire delivered.
 	var env envelope
 	if json.Unmarshal(data, &env) != nil || env.Version != Version ||
 		env.Kind != kind || env.Key != key || env.Checksum != checksum(env.Payload) {
-		p.errors.Add(1)
-		return nil, false, fmt.Errorf("store: peer %s served a corrupt or mismatched envelope for %s", p.base, kind)
+		return fail(fmt.Errorf("store: peer %s served a corrupt or mismatched envelope for %s", p.base, kind))
 	}
 	p.hits.Add(1)
+	span.SetAttr("hit", "true")
 	return append([]byte(nil), env.Payload...), true, nil
 }
 
@@ -124,26 +150,33 @@ func (p *Peer) Get(kind, key string) ([]byte, bool, error) {
 // via PUT /v1/store/{kind}/{addr}. This is how a diskless worker (a
 // chain with no local tier) contributes results back to the shared
 // pool; the receiving replica re-verifies the envelope before storing.
-func (p *Peer) Put(kind, key string, payload []byte) error {
+func (p *Peer) Put(ctx context.Context, kind, key string, payload []byte) error {
 	data, env, err := encodeEnvelope(kind, key, payload)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, p.entryURL(kind, addr(env.Kind, env.Key)), bytes.NewReader(data))
+	_, span := obs.StartSpan(ctx, "store.peer.put")
+	span.SetAttr("peer", p.base)
+	defer span.End()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.entryURL(kind, addr(env.Kind, env.Key)), bytes.NewReader(data))
 	if err != nil {
 		p.putErrors.Add(1)
+		span.MarkError()
 		return fmt.Errorf("store: peer %s: %w", p.base, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	stampTrace(ctx, req)
 	resp, err := p.client.Do(req)
 	if err != nil {
 		p.putErrors.Add(1)
+		span.MarkError()
 		return fmt.Errorf("store: peer %s: %w", p.base, err)
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		p.putErrors.Add(1)
+		span.MarkError()
 		return fmt.Errorf("store: peer %s: put rejected with status %d", p.base, resp.StatusCode)
 	}
 	p.puts.Add(1)

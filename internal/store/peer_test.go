@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -55,7 +56,7 @@ func newPeerFixture(t *testing.T) (*Store, *httptest.Server) {
 
 func TestPeerGetHitMissAndPut(t *testing.T) {
 	remote, srv := newPeerFixture(t)
-	if err := remote.Put("search", "warm", []byte(`{"n":7}`)); err != nil {
+	if err := remote.Put(context.Background(), "search", "warm", []byte(`{"n":7}`)); err != nil {
 		t.Fatal(err)
 	}
 	p, err := NewPeer(srv.URL, time.Second)
@@ -66,17 +67,17 @@ func TestPeerGetHitMissAndPut(t *testing.T) {
 		t.Fatalf("Name = %q", p.Name())
 	}
 
-	got, ok, err := p.Get("search", "warm")
+	got, ok, err := p.Get(context.Background(), "search", "warm")
 	if err != nil || !ok || string(got) != `{"n":7}` {
 		t.Fatalf("peer hit: %q ok=%v err=%v", got, ok, err)
 	}
-	if _, ok, err := p.Get("search", "cold"); ok || err != nil {
+	if _, ok, err := p.Get(context.Background(), "search", "cold"); ok || err != nil {
 		t.Fatalf("peer miss: ok=%v err=%v", ok, err)
 	}
-	if err := p.Put("job", "pushed", []byte(`{"r":"done"}`)); err != nil {
+	if err := p.Put(context.Background(), "job", "pushed", []byte(`{"r":"done"}`)); err != nil {
 		t.Fatalf("peer put: %v", err)
 	}
-	if got, ok, _ := remote.Get("job", "pushed"); !ok || string(got) != `{"r":"done"}` {
+	if got, ok, _ := remote.Get(context.Background(), "job", "pushed"); !ok || string(got) != `{"r":"done"}` {
 		t.Fatalf("pushed entry not on remote: %q ok=%v", got, ok)
 	}
 	st := p.Stats()
@@ -113,7 +114,7 @@ func TestPeerDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, ok, err := p.Get("search", "k")
+	data, ok, err := p.Get(context.Background(), "search", "k")
 	if ok || data != nil {
 		t.Fatalf("down peer produced a hit: %q", data)
 	}
@@ -139,7 +140,7 @@ func TestPeerSlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	_, ok, err := p.Get("search", "k")
+	_, ok, err := p.Get(context.Background(), "search", "k")
 	if ok || err == nil {
 		t.Fatalf("slow peer: ok=%v err=%v", ok, err)
 	}
@@ -180,7 +181,7 @@ func TestPeerCorruptEnvelope(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			data, ok, err := p.Get("search", "k")
+			data, ok, err := p.Get(context.Background(), "search", "k")
 			if ok || data != nil || err == nil {
 				t.Fatalf("corrupt envelope accepted: ok=%v err=%v", ok, err)
 			}
@@ -211,7 +212,7 @@ func TestPeerServerRejectsCorruptPut(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("tampered put got status %d, want 400", resp.StatusCode)
 	}
-	if _, ok, _ := remote.Get("search", "k"); ok {
+	if _, ok, _ := remote.Get(context.Background(), "search", "k"); ok {
 		t.Fatal("tampered entry stored")
 	}
 	// Address/identity mismatch: valid envelope sent to the wrong address.
@@ -233,7 +234,7 @@ func TestPeerServerRejectsCorruptPut(t *testing.T) {
 // have written itself.
 func TestChainReadThroughAndHealing(t *testing.T) {
 	remote, srv := newPeerFixture(t)
-	if err := remote.Put("search", "warm", []byte(`{"n":42}`)); err != nil {
+	if err := remote.Put(context.Background(), "search", "warm", []byte(`{"n":42}`)); err != nil {
 		t.Fatal(err)
 	}
 	local := mustOpen(t, t.TempDir(), Options{CacheEntries: -1})
@@ -246,7 +247,7 @@ func TestChainReadThroughAndHealing(t *testing.T) {
 		t.Fatalf("chain name %q, want %q", c.Name(), want)
 	}
 
-	got, ok, err := c.Get("search", "warm")
+	got, ok, err := c.Get(context.Background(), "search", "warm")
 	if err != nil || !ok || string(got) != `{"n":42}` {
 		t.Fatalf("chain read-through: %q ok=%v err=%v", got, ok, err)
 	}
@@ -255,7 +256,7 @@ func TestChainReadThroughAndHealing(t *testing.T) {
 	}
 	// Second Get is served locally — no new peer traffic.
 	gets := p.Stats().Gets
-	if _, ok, _ := c.Get("search", "warm"); !ok {
+	if _, ok, _ := c.Get(context.Background(), "search", "warm"); !ok {
 		t.Fatal("healed entry lost")
 	}
 	if p.Stats().Gets != gets {
@@ -285,7 +286,7 @@ func TestChainMissAndErrorPropagation(t *testing.T) {
 		t.Fatal(err)
 	}
 	remote, srv := newPeerFixture(t)
-	if err := remote.Put("search", "warm", []byte(`{"n":1}`)); err != nil {
+	if err := remote.Put(context.Background(), "search", "warm", []byte(`{"n":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	livePeer, err := NewPeer(srv.URL, time.Second)
@@ -295,16 +296,16 @@ func TestChainMissAndErrorPropagation(t *testing.T) {
 
 	// Dead tier first, warm tier second: the hit wins, no error.
 	c := NewChain(deadPeer, livePeer)
-	if _, ok, err := c.Get("search", "warm"); !ok || err != nil {
+	if _, ok, err := c.Get(context.Background(), "search", "warm"); !ok || err != nil {
 		t.Fatalf("hit behind a dead tier: ok=%v err=%v", ok, err)
 	}
 	// Everything misses or fails: the first error is reported with ok=false.
-	if _, ok, err := c.Get("search", "nowhere"); ok || err == nil {
+	if _, ok, err := c.Get(context.Background(), "search", "nowhere"); ok || err == nil {
 		t.Fatalf("want miss with the dead tier's error, got ok=%v err=%v", ok, err)
 	}
 	// A pure miss (no failing tier) carries no error.
 	c2 := NewChain(livePeer)
-	if _, ok, err := c2.Get("search", "nowhere"); ok || err != nil {
+	if _, ok, err := c2.Get(context.Background(), "search", "nowhere"); ok || err != nil {
 		t.Fatalf("pure miss: ok=%v err=%v", ok, err)
 	}
 }
@@ -318,10 +319,10 @@ func TestChainDisklessPut(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewChain(p)
-	if err := c.Put("search", "k", []byte(`{"n":3}`)); err != nil {
+	if err := c.Put(context.Background(), "search", "k", []byte(`{"n":3}`)); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := remote.Get("search", "k"); !ok {
+	if _, ok, _ := remote.Get(context.Background(), "search", "k"); !ok {
 		t.Fatal("diskless put did not reach the pool")
 	}
 }

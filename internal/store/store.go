@@ -51,6 +51,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -62,6 +63,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"rcons/internal/obs"
 )
 
 // Version identifies the on-disk envelope schema; entries with another
@@ -444,10 +447,16 @@ func readEnvelope(path string) (*envelope, []byte, bool) {
 // Get returns the payload stored under (kind, key). ok is false when no
 // (valid) entry exists; a corrupt or misplaced entry is quarantined and
 // reported as absent, never as an error — the caller recomputes and Put
-// heals the store.
-func (s *Store) Get(kind, key string) ([]byte, bool, error) {
+// heals the store. The context only feeds tracing (local I/O is never
+// cancelled mid-entry): a traced request gets a "store.local" span
+// whose tier attr says whether the memory front, the disk, or nothing
+// answered.
+func (s *Store) Get(ctx context.Context, kind, key string) ([]byte, bool, error) {
+	_, span := obs.StartSpan(ctx, "store.local")
+	defer span.End()
 	path, err := s.entryPath(kind, key)
 	if err != nil {
+		span.MarkError()
 		return nil, false, err
 	}
 	ck := kind + "\x00" + key
@@ -457,6 +466,7 @@ func (s *Store) Get(kind, key string) ([]byte, bool, error) {
 			s.stats.MemHits++
 			s.disk.touch(path) // keep disk recency in step with the front
 			s.mu.Unlock()
+			span.SetAttr("tier", "mem")
 			return append([]byte(nil), payload...), true, nil
 		}
 	}
@@ -492,6 +502,7 @@ func (s *Store) Get(kind, key string) ([]byte, bool, error) {
 		s.mu.Lock()
 		s.stats.Misses++
 		s.mu.Unlock()
+		span.SetAttr("tier", "miss")
 		return nil, false, nil
 	}
 	s.mu.Lock()
@@ -501,6 +512,7 @@ func (s *Store) Get(kind, key string) ([]byte, bool, error) {
 		s.stats.Evictions += s.front.put(ck, env.Payload)
 	}
 	s.mu.Unlock()
+	span.SetAttr("tier", "disk")
 	return append([]byte(nil), env.Payload...), true, nil
 }
 
@@ -555,8 +567,9 @@ func (s *Store) GetRaw(kind, address string) ([]byte, bool, error) {
 // atomically: a reader — or a crash — can only ever observe the old
 // complete entry or the new complete entry. Re-putting a byte-identical
 // payload is a no-op. With a budget, Put evicts least-recently-used
-// entries (never the one it just wrote) until the store fits.
-func (s *Store) Put(kind, key string, payload []byte) error {
+// entries (never the one it just wrote) until the store fits. Like
+// Get, the context is tracing-only; local writes always complete.
+func (s *Store) Put(_ context.Context, kind, key string, payload []byte) error {
 	path, err := s.entryPath(kind, key)
 	if err != nil {
 		return err
@@ -617,7 +630,7 @@ func (s *Store) PutRaw(kind, addrHint string, data []byte) error {
 	if a := addr(env.Kind, env.Key); addrHint != "" && a != addrHint {
 		return fmt.Errorf("store: raw entry identity hashes to %s, not %s", a, addrHint)
 	}
-	return s.Put(env.Kind, env.Key, env.Payload)
+	return s.Put(context.Background(), env.Kind, env.Key, env.Payload)
 }
 
 // writeAtomic writes data next to path and renames it into place. The

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -23,10 +24,10 @@ func mustOpen(t *testing.T, dir string, opts Options) *Store {
 func TestPutGetRoundTrip(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), Options{})
 	payload := []byte(`{"found": true, "n": 3}`)
-	if err := s.Put("search", "fp-1", payload); err != nil {
+	if err := s.Put(context.Background(), "search", "fp-1", payload); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := s.Get("search", "fp-1")
+	got, ok, err := s.Get(context.Background(), "search", "fp-1")
 	if err != nil || !ok {
 		t.Fatalf("Get = %v, %v, %v", got, ok, err)
 	}
@@ -34,10 +35,10 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if want := `{"found":true,"n":3}`; string(got) != want {
 		t.Fatalf("payload = %s, want %s", got, want)
 	}
-	if _, ok, _ := s.Get("search", "fp-2"); ok {
+	if _, ok, _ := s.Get(context.Background(), "search", "fp-2"); ok {
 		t.Fatal("absent key reported present")
 	}
-	if _, ok, _ := s.Get("census-row", "fp-1"); ok {
+	if _, ok, _ := s.Get(context.Background(), "census-row", "fp-1"); ok {
 		t.Fatal("kinds must not share a namespace")
 	}
 	st := s.Stats()
@@ -48,13 +49,13 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestPutRejectsBadInput(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), Options{})
-	if err := s.Put("search", "k", []byte(`not json`)); err == nil {
+	if err := s.Put(context.Background(), "search", "k", []byte(`not json`)); err == nil {
 		t.Fatal("non-JSON payload accepted")
 	}
-	if err := s.Put("Bad/Kind", "k", []byte(`1`)); err == nil {
+	if err := s.Put(context.Background(), "Bad/Kind", "k", []byte(`1`)); err == nil {
 		t.Fatal("invalid kind accepted")
 	}
-	if _, _, err := s.Get("", "k"); err == nil {
+	if _, _, err := s.Get(context.Background(), "", "k"); err == nil {
 		t.Fatal("empty kind accepted")
 	}
 }
@@ -64,7 +65,7 @@ func TestPutIdempotentNoop(t *testing.T) {
 	s := mustOpen(t, dir, Options{})
 	// Logically equal but differently formatted payloads must coalesce
 	// to one canonical entry and never rewrite the file.
-	if err := s.Put("job", "id", []byte(`{"a": 1, "b": 2}`)); err != nil {
+	if err := s.Put(context.Background(), "job", "id", []byte(`{"a": 1, "b": 2}`)); err != nil {
 		t.Fatal(err)
 	}
 	path, err := s.entryPath("job", "id")
@@ -76,7 +77,7 @@ func TestPutIdempotentNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	info1, _ := os.Stat(path)
-	if err := s.Put("job", "id", []byte("{\"a\":1,\n\"b\":2}")); err != nil {
+	if err := s.Put(context.Background(), "job", "id", []byte("{\"a\":1,\n\"b\":2}")); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := os.ReadFile(path)
@@ -92,7 +93,7 @@ func TestPutIdempotentNoop(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 	// A changed payload DOES rewrite.
-	if err := s.Put("job", "id", []byte(`{"a":1,"b":3}`)); err != nil {
+	if err := s.Put(context.Background(), "job", "id", []byte(`{"a":1,"b":3}`)); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Puts != 2 || st.Entries != 1 {
@@ -106,7 +107,7 @@ func TestPutIdempotentNoop(t *testing.T) {
 func TestKillMidWrite(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{})
-	if err := s.Put("search", "fp", []byte(`{"v":1}`)); err != nil {
+	if err := s.Put(context.Background(), "search", "fp", []byte(`{"v":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	path, _ := s.entryPath("search", "fp")
@@ -129,7 +130,7 @@ func TestKillMidWrite(t *testing.T) {
 	}
 
 	s2 := mustOpen(t, dir, Options{})
-	got, ok, err := s2.Get("search", "fp")
+	got, ok, err := s2.Get(context.Background(), "search", "fp")
 	if err != nil || !ok || string(got) != `{"v":1}` {
 		t.Fatalf("entry lost after crash recovery: %s, %v, %v", got, ok, err)
 	}
@@ -170,10 +171,10 @@ func TestCorruptEntryQuarantineOnOpen(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
 			s := mustOpen(t, dir, Options{})
-			if err := s.Put("job", "good", []byte(`{"keep":true}`)); err != nil {
+			if err := s.Put(context.Background(), "job", "good", []byte(`{"keep":true}`)); err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Put("job", "bad", []byte(`{"v":1}`)); err != nil {
+			if err := s.Put(context.Background(), "job", "bad", []byte(`{"v":1}`)); err != nil {
 				t.Fatal(err)
 			}
 			path, _ := s.entryPath("job", "bad")
@@ -186,10 +187,10 @@ func TestCorruptEntryQuarantineOnOpen(t *testing.T) {
 			}
 
 			s2 := mustOpen(t, dir, Options{})
-			if _, ok, err := s2.Get("job", "bad"); ok || err != nil {
+			if _, ok, err := s2.Get(context.Background(), "job", "bad"); ok || err != nil {
 				t.Fatalf("corrupt entry served: ok=%v err=%v", ok, err)
 			}
-			if got, ok, _ := s2.Get("job", "good"); !ok || string(got) != `{"keep":true}` {
+			if got, ok, _ := s2.Get(context.Background(), "job", "good"); !ok || string(got) != `{"keep":true}` {
 				t.Fatalf("healthy sibling entry lost: %s, %v", got, ok)
 			}
 			if st := s2.Stats(); st.Quarantined != 1 || st.Entries != 1 {
@@ -201,10 +202,10 @@ func TestCorruptEntryQuarantineOnOpen(t *testing.T) {
 				t.Fatalf("quarantine holds %d files, want 1", len(q))
 			}
 			// A healing re-put restores the entry.
-			if err := s2.Put("job", "bad", []byte(`{"v":1}`)); err != nil {
+			if err := s2.Put(context.Background(), "job", "bad", []byte(`{"v":1}`)); err != nil {
 				t.Fatal(err)
 			}
-			if got, ok, _ := s2.Get("job", "bad"); !ok || string(got) != `{"v":1}` {
+			if got, ok, _ := s2.Get(context.Background(), "job", "bad"); !ok || string(got) != `{"v":1}` {
 				t.Fatalf("re-put did not heal: %s, %v", got, ok)
 			}
 		})
@@ -217,14 +218,14 @@ func TestCorruptEntryQuarantineOnGet(t *testing.T) {
 	dir := t.TempDir()
 	// Disable the memory front so Get actually re-reads the disk.
 	s := mustOpen(t, dir, Options{CacheEntries: -1})
-	if err := s.Put("search", "fp", []byte(`{"v":1}`)); err != nil {
+	if err := s.Put(context.Background(), "search", "fp", []byte(`{"v":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	path, _ := s.entryPath("search", "fp")
 	if err := os.WriteFile(path, []byte(`{"version":1,"truncat`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := s.Get("search", "fp"); ok || err != nil {
+	if _, ok, err := s.Get(context.Background(), "search", "fp"); ok || err != nil {
 		t.Fatalf("rotten entry served: ok=%v err=%v", ok, err)
 	}
 	st := s.Stats()
@@ -266,11 +267,11 @@ func TestConcurrentOpenSharedDir(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < perStore; k++ {
 				key := fmt.Sprintf("key-%d-%d", i, k)
-				if err := s.Put("job", key, []byte(fmt.Sprintf(`{"n":%d}`, k))); err != nil {
+				if err := s.Put(context.Background(), "job", key, []byte(fmt.Sprintf(`{"n":%d}`, k))); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, ok, err := s.Get("job", key); !ok || err != nil {
+				if _, ok, err := s.Get(context.Background(), "job", key); !ok || err != nil {
 					t.Errorf("read own write %s: ok=%v err=%v", key, ok, err)
 				}
 			}
@@ -282,7 +283,7 @@ func TestConcurrentOpenSharedDir(t *testing.T) {
 		other := stores[1-i]
 		for k := 0; k < perStore; k++ {
 			key := fmt.Sprintf("key-%d-%d", i, k)
-			got, ok, err := other.Get("job", key)
+			got, ok, err := other.Get(context.Background(), "job", key)
 			if !ok || err != nil || string(got) != fmt.Sprintf(`{"n":%d}`, k) {
 				t.Fatalf("cross-read %s: %s, %v, %v", key, got, ok, err)
 			}
@@ -294,7 +295,7 @@ func TestLRUFrontBehavior(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{CacheEntries: 2})
 	for i := 0; i < 3; i++ {
-		if err := s.Put("search", fmt.Sprintf("k%d", i), []byte(`{}`)); err != nil {
+		if err := s.Put(context.Background(), "search", fmt.Sprintf("k%d", i), []byte(`{}`)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -302,7 +303,7 @@ func TestLRUFrontBehavior(t *testing.T) {
 		t.Fatalf("3 puts into a 2-entry front: %+v", st)
 	}
 	// k0 was evicted from the front but survives on disk.
-	if _, ok, _ := s.Get("search", "k0"); !ok {
+	if _, ok, _ := s.Get(context.Background(), "search", "k0"); !ok {
 		t.Fatal("evicted entry lost from disk")
 	}
 	st := s.Stats()
@@ -310,24 +311,24 @@ func TestLRUFrontBehavior(t *testing.T) {
 		t.Fatalf("front eviction stats: %+v", st)
 	}
 	// Reading k0 promoted it; k2 stays, k1 is now the LRU victim.
-	if _, ok, _ := s.Get("search", "k2"); !ok {
+	if _, ok, _ := s.Get(context.Background(), "search", "k2"); !ok {
 		t.Fatal("k2 lost")
 	}
 	if st := s.Stats(); st.MemHits != 1 {
 		t.Fatalf("k2 should be a memory hit: %+v", st)
 	}
-	if _, ok, _ := s.Get("search", "k1"); !ok {
+	if _, ok, _ := s.Get(context.Background(), "search", "k1"); !ok {
 		t.Fatal("k1 lost")
 	}
 	if st := s.Stats(); st.DiskHits != 2 {
 		t.Fatalf("k1 should have been the LRU victim (disk hit): %+v", st)
 	}
 	// Mutating a returned payload must not corrupt the cached copy.
-	got, _, _ := s.Get("search", "k1")
+	got, _, _ := s.Get(context.Background(), "search", "k1")
 	if len(got) > 0 {
 		got[0] = 'X'
 	}
-	again, _, _ := s.Get("search", "k1")
+	again, _, _ := s.Get(context.Background(), "search", "k1")
 	if string(again) != "{}" {
 		t.Fatalf("caller mutation corrupted the front: %s", again)
 	}
@@ -339,7 +340,7 @@ func TestLRUFrontBehavior(t *testing.T) {
 func TestEnvelopeIdentity(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{CacheEntries: -1})
-	if err := s.Put("search", "fp", []byte(`{"v":1}`)); err != nil {
+	if err := s.Put(context.Background(), "search", "fp", []byte(`{"v":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	src, _ := s.entryPath("search", "fp")
@@ -354,7 +355,7 @@ func TestEnvelopeIdentity(t *testing.T) {
 	if err := os.WriteFile(dst, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := s.Get("search", "other"); ok {
+	if _, ok, _ := s.Get(context.Background(), "search", "other"); ok {
 		t.Fatal("entry with mismatched identity served")
 	}
 }
@@ -368,7 +369,7 @@ func TestStoreReopenPreservesEntries(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		key := fmt.Sprintf("fp-%02d", i)
 		keys = append(keys, key)
-		if err := s.Put("census-row", key, []byte(fmt.Sprintf(`{"row":%d}`, i))); err != nil {
+		if err := s.Put(context.Background(), "census-row", key, []byte(fmt.Sprintf(`{"row":%d}`, i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -377,7 +378,7 @@ func TestStoreReopenPreservesEntries(t *testing.T) {
 		t.Fatalf("reopened store sees %d entries, want 20", st.Entries)
 	}
 	for i, key := range keys {
-		got, ok, err := s2.Get("census-row", key)
+		got, ok, err := s2.Get(context.Background(), "census-row", key)
 		if !ok || err != nil || string(got) != fmt.Sprintf(`{"row":%d}`, i) {
 			t.Fatalf("entry %s lost across reopen: %s, %v, %v", key, got, ok, err)
 		}
@@ -402,7 +403,7 @@ func TestOpenErrors(t *testing.T) {
 func TestEnvelopeOnDiskShape(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{})
-	if err := s.Put("job", "the-key", []byte(`{"x":1}`)); err != nil {
+	if err := s.Put(context.Background(), "job", "the-key", []byte(`{"x":1}`)); err != nil {
 		t.Fatal(err)
 	}
 	path, _ := s.entryPath("job", "the-key")
